@@ -1,0 +1,177 @@
+//! Gibbons-style adaptive distinct sampling (insert-only).
+//!
+//! The paper's §3 positions the Distinct-Count Sketch as a
+//! delete-resistant generalization of the *distinct samples* of Gibbons
+//! \[18\] and Gibbons–Tirthapura \[19\]: keep every item whose hash
+//! level is at least a current threshold; when the sample overflows,
+//! raise the threshold (halving the expected sample). The result is a
+//! uniform sample over *distinct* values — but an item, once evicted or
+//! never admitted, cannot be "un-deleted", so the scheme is insert-only.
+
+use std::collections::HashSet;
+
+use dcs_core::{FlowKey, GroupBy};
+use dcs_hash::GeometricLevelHash;
+
+/// An adaptive distinct sampler over flow keys.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_baselines::DistinctSampler;
+/// use dcs_core::{DestAddr, FlowKey, SourceAddr};
+///
+/// let mut sampler = DistinctSampler::new(64, 1);
+/// for s in 0..10_000u32 {
+///     sampler.add(FlowKey::new(SourceAddr(s), DestAddr(80)));
+/// }
+/// let est = sampler.estimate_distinct();
+/// assert!((5_000.0..20_000.0).contains(&est), "estimate = {est}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistinctSampler {
+    level_hash: GeometricLevelHash,
+    sample: HashSet<FlowKey>,
+    capacity: usize,
+    current_level: u32,
+}
+
+impl DistinctSampler {
+    /// Creates a sampler holding at most `capacity` distinct keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            level_hash: GeometricLevelHash::new(seed, 64),
+            sample: HashSet::new(),
+            capacity,
+            current_level: 0,
+        }
+    }
+
+    /// Records a key (idempotent for duplicates).
+    pub fn add(&mut self, key: FlowKey) {
+        if self.level_hash.level(key.packed()) >= self.current_level {
+            self.sample.insert(key);
+            while self.sample.len() > self.capacity {
+                self.current_level += 1;
+                let level_hash = self.level_hash;
+                let threshold = self.current_level;
+                self.sample
+                    .retain(|k| level_hash.level(k.packed()) >= threshold);
+            }
+        }
+    }
+
+    /// The current sampling level; the inclusion rate is `2^-level`.
+    pub fn level(&self) -> u32 {
+        self.current_level
+    }
+
+    /// The current distinct sample.
+    pub fn sample(&self) -> impl Iterator<Item = &FlowKey> {
+        self.sample.iter()
+    }
+
+    /// Estimates the number of distinct keys seen: `|sample| · 2^level`.
+    pub fn estimate_distinct(&self) -> f64 {
+        self.sample.len() as f64 * 2f64.powi(self.current_level as i32)
+    }
+
+    /// Estimates per-group distinct frequencies and returns the top `k`
+    /// (scaled by the sampling rate), descending, ties to larger group.
+    pub fn top_k(&self, k: usize, group_by: GroupBy) -> Vec<(u32, f64)> {
+        let mut freqs: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for key in &self.sample {
+            *freqs.entry(group_by.group_of(*key)).or_insert(0) += 1;
+        }
+        let scale = 2f64.powi(self.current_level as i32);
+        let mut ranked: Vec<(u64, u32)> = freqs.into_iter().map(|(g, f)| (f, g)).collect();
+        ranked.sort_unstable_by(|a, b| b.cmp(a));
+        ranked.truncate(k);
+        ranked
+            .into_iter()
+            .map(|(f, g)| (g, f as f64 * scale))
+            .collect()
+    }
+
+    /// Heap bytes used by the sample set.
+    pub fn heap_bytes(&self) -> usize {
+        self.sample.capacity() * (std::mem::size_of::<FlowKey>() + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_core::{DestAddr, SourceAddr};
+
+    fn key(s: u32, d: u32) -> FlowKey {
+        FlowKey::new(SourceAddr(s), DestAddr(d))
+    }
+
+    #[test]
+    fn small_streams_are_sampled_exactly() {
+        let mut sampler = DistinctSampler::new(100, 1);
+        for s in 0..50u32 {
+            sampler.add(key(s, 1));
+        }
+        assert_eq!(sampler.level(), 0);
+        assert_eq!(sampler.estimate_distinct(), 50.0);
+        assert_eq!(sampler.sample().count(), 50);
+    }
+
+    #[test]
+    fn capacity_is_respected_and_level_rises() {
+        let mut sampler = DistinctSampler::new(64, 2);
+        for s in 0..10_000u32 {
+            sampler.add(key(s, 1));
+        }
+        assert!(sampler.sample().count() <= 64);
+        assert!(sampler.level() > 0);
+    }
+
+    #[test]
+    fn estimate_tracks_distinct_count() {
+        let mut sampler = DistinctSampler::new(256, 3);
+        let n = 20_000u32;
+        for s in 0..n {
+            sampler.add(key(s, s % 7));
+        }
+        let est = sampler.estimate_distinct();
+        let rel = (est - f64::from(n)).abs() / f64::from(n);
+        assert!(rel < 0.35, "estimate {est} vs {n} (rel {rel:.2})");
+    }
+
+    #[test]
+    fn duplicates_are_idempotent() {
+        let mut sampler = DistinctSampler::new(64, 4);
+        for _ in 0..100 {
+            sampler.add(key(1, 1));
+        }
+        assert_eq!(sampler.estimate_distinct(), 1.0);
+    }
+
+    #[test]
+    fn top_k_ranks_heavy_destination_first() {
+        let mut sampler = DistinctSampler::new(512, 5);
+        for s in 0..5000u32 {
+            sampler.add(key(s, 1));
+        }
+        for s in 0..100u32 {
+            sampler.add(key(s + 100_000, 2));
+        }
+        let top = sampler.top_k(2, GroupBy::Destination);
+        assert_eq!(top[0].0, 1);
+        assert!(top[0].1 > top[1].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = DistinctSampler::new(0, 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Flajolet–Martin PCSA distinct counting (insert-only).
+//!
+//! The classic probabilistic counter \[12\] the Distinct-Count Sketch's
+//! first-level hash descends from: each of `m` bitmaps records the LSB
+//! level of hashed items; the lowest never-set level estimates
+//! `log₂(n/m·0.77351)`. Included as the historical baseline and to make
+//! the deletion gap concrete — a bit, once set, cannot be unset, so
+//! PCSA cannot discount flows that complete their handshakes.
+
+use dcs_hash::mix::mix64;
+use std::collections::HashMap;
+
+/// Correction constant `φ ≈ 0.77351` from Flajolet–Martin's analysis.
+const PHI: f64 = 0.77351;
+
+/// A PCSA (Probabilistic Counting with Stochastic Averaging) distinct
+/// counter over `u64` items.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_baselines::FmSketch;
+///
+/// let mut fm = FmSketch::new(64, 1);
+/// for i in 0..10_000u64 {
+///     fm.add(i);
+/// }
+/// let est = fm.estimate();
+/// assert!((5_000.0..20_000.0).contains(&est), "estimate = {est}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FmSketch {
+    bitmaps: Vec<u64>,
+    seed: u64,
+}
+
+impl FmSketch {
+    /// Creates a sketch with `num_bitmaps` 64-bit bitmaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bitmaps` is zero.
+    pub fn new(num_bitmaps: usize, seed: u64) -> Self {
+        assert!(num_bitmaps > 0, "need at least one bitmap");
+        Self {
+            bitmaps: vec![0; num_bitmaps],
+            seed,
+        }
+    }
+
+    /// Records an item. Duplicate items are idempotent.
+    pub fn add(&mut self, item: u64) {
+        let hashed = mix64(item, self.seed);
+        let bitmap = (hashed as usize) % self.bitmaps.len();
+        // Remaining bits drive the geometric level.
+        let level = (hashed >> 32 | 1 << 63).trailing_zeros();
+        self.bitmaps[bitmap] |= 1 << level;
+    }
+
+    /// Estimates the number of distinct items added.
+    pub fn estimate(&self) -> f64 {
+        let m = self.bitmaps.len() as f64;
+        let total_r: u32 = self.bitmaps.iter().map(|&b| (!b).trailing_zeros()).sum();
+        let mean_r = f64::from(total_r) / m;
+        m / PHI * 2f64.powf(mean_r)
+    }
+
+    /// Merges another sketch built with the same shape and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes or seeds differ.
+    pub fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.bitmaps.len(), other.bitmaps.len(), "shape mismatch");
+        assert_eq!(self.seed, other.seed, "seed mismatch");
+        for (a, b) in self.bitmaps.iter_mut().zip(&other.bitmaps) {
+            *a |= b;
+        }
+    }
+
+    /// Heap bytes used by the bitmaps.
+    pub fn heap_bytes(&self) -> usize {
+        self.bitmaps.len() * 8
+    }
+}
+
+/// Per-group Flajolet–Martin counting: one [`FmSketch`] per observed
+/// group — the "maintain per-destination distinct counters" strawman,
+/// whose memory grows with the number of *groups* and which cannot
+/// handle deletions at all.
+#[derive(Debug, Clone)]
+pub struct PerGroupFm {
+    sketches: HashMap<u32, FmSketch>,
+    bitmaps_per_group: usize,
+    seed: u64,
+}
+
+impl PerGroupFm {
+    /// Creates an empty per-group counter collection.
+    pub fn new(bitmaps_per_group: usize, seed: u64) -> Self {
+        Self {
+            sketches: HashMap::new(),
+            bitmaps_per_group,
+            seed,
+        }
+    }
+
+    /// Records `member` under `group`.
+    pub fn add(&mut self, group: u32, member: u64) {
+        let (bitmaps, seed) = (self.bitmaps_per_group, self.seed);
+        self.sketches
+            .entry(group)
+            .or_insert_with(|| FmSketch::new(bitmaps, seed))
+            .add(member);
+    }
+
+    /// Estimates the distinct count for `group`.
+    pub fn estimate(&self, group: u32) -> f64 {
+        self.sketches.get(&group).map_or(0.0, FmSketch::estimate)
+    }
+
+    /// The top-`k` groups by estimated distinct count.
+    pub fn top_k(&self, k: usize) -> Vec<(u32, f64)> {
+        let mut ranked: Vec<(u32, f64)> = self
+            .sketches
+            .iter()
+            .map(|(&g, s)| (g, s.estimate()))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(b.0.cmp(&a.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Number of groups with at least one recorded member.
+    pub fn num_groups(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// Heap bytes across all per-group sketches — grows linearly in the
+    /// number of groups, unlike the Distinct-Count Sketch.
+    pub fn heap_bytes(&self) -> usize {
+        self.sketches
+            .values()
+            .map(FmSketch::heap_bytes)
+            .sum::<usize>()
+            + self.sketches.capacity() * (std::mem::size_of::<(u32, FmSketch)>() + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_within_factor_on_large_set() {
+        let mut fm = FmSketch::new(256, 7);
+        let n = 100_000u64;
+        for i in 0..n {
+            fm.add(i);
+        }
+        let est = fm.estimate();
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.25, "estimate {est} vs {n} (rel {rel:.2})");
+    }
+
+    #[test]
+    fn duplicates_are_idempotent() {
+        let mut a = FmSketch::new(64, 1);
+        let mut b = FmSketch::new(64, 1);
+        for i in 0..1000u64 {
+            a.add(i);
+            b.add(i);
+            b.add(i); // duplicate
+        }
+        assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = FmSketch::new(64, 1);
+        let mut b = FmSketch::new(64, 1);
+        let mut union = FmSketch::new(64, 1);
+        for i in 0..500u64 {
+            a.add(i);
+            union.add(i);
+        }
+        for i in 500..1000u64 {
+            b.add(i);
+            union.add(i);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.estimate(), union.estimate());
+    }
+
+    #[test]
+    #[should_panic(expected = "seed mismatch")]
+    fn merge_rejects_seed_mismatch() {
+        let mut a = FmSketch::new(64, 1);
+        let b = FmSketch::new(64, 2);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bitmap")]
+    fn zero_bitmaps_panics() {
+        let _ = FmSketch::new(0, 1);
+    }
+
+    #[test]
+    fn per_group_ranks_heavy_groups_first() {
+        let mut pg = PerGroupFm::new(64, 3);
+        for m in 0..5000u64 {
+            pg.add(1, m);
+        }
+        for m in 0..100u64 {
+            pg.add(2, m);
+        }
+        let top = pg.top_k(2);
+        assert_eq!(top[0].0, 1);
+        assert_eq!(top[1].0, 2);
+        assert_eq!(pg.num_groups(), 2);
+        assert_eq!(pg.estimate(99), 0.0);
+    }
+
+    #[test]
+    fn per_group_memory_grows_with_groups() {
+        let mut few = PerGroupFm::new(64, 3);
+        let mut many = PerGroupFm::new(64, 3);
+        for g in 0..2u32 {
+            few.add(g, 1);
+        }
+        for g in 0..2000u32 {
+            many.add(g, 1);
+        }
+        assert!(many.heap_bytes() > 100 * few.heap_bytes());
+    }
+}

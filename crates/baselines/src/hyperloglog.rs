@@ -1,0 +1,182 @@
+//! HyperLogLog distinct counting (insert-only).
+//!
+//! The modern successor to Flajolet–Martin counting: `2^p` 6-bit-ish
+//! registers each remembering the maximum LSB rank seen in their
+//! substream, combined through a harmonic mean. Registers only grow, so
+//! — like PCSA — HyperLogLog cannot process the deletions that let the
+//! Distinct-Count Sketch separate half-open flows from completed ones.
+
+use dcs_hash::mix::mix64;
+
+/// A HyperLogLog distinct counter over `u64` items.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_baselines::HyperLogLog;
+///
+/// let mut hll = HyperLogLog::new(10, 7); // 2^10 registers
+/// for i in 0..50_000u64 {
+///     hll.add(i);
+/// }
+/// let est = hll.estimate();
+/// assert!((40_000.0..60_000.0).contains(&est), "estimate = {est}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct HyperLogLog {
+    registers: Vec<u8>,
+    precision: u32,
+    seed: u64,
+}
+
+impl HyperLogLog {
+    /// Creates a counter with `2^precision` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `precision` is outside `4..=18`.
+    pub fn new(precision: u32, seed: u64) -> Self {
+        assert!(
+            (4..=18).contains(&precision),
+            "precision must be in 4..=18, got {precision}"
+        );
+        Self {
+            registers: vec![0; 1 << precision],
+            precision,
+            seed,
+        }
+    }
+
+    /// Records an item (idempotent for duplicates).
+    pub fn add(&mut self, item: u64) {
+        let hashed = mix64(item, self.seed);
+        let index = (hashed >> (64 - self.precision)) as usize;
+        let rest = hashed << self.precision;
+        // Rank = position of the leftmost 1-bit in the remaining bits,
+        // counted from 1; all-zero remainder gets the maximum rank.
+        let rank = (rest.leading_zeros() + 1).min(64 - self.precision + 1) as u8;
+        if rank > self.registers[index] {
+            self.registers[index] = rank;
+        }
+    }
+
+    /// Estimates the number of distinct items, with the standard
+    /// small-range (linear counting) correction.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        };
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 2f64.powi(-i32::from(r)))
+            .sum();
+        let raw = alpha * m * m / sum;
+        if raw <= 2.5 * m {
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+
+    /// Merges another counter with the same precision and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if precision or seed differ.
+    pub fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.precision, other.precision, "precision mismatch");
+        assert_eq!(self.seed, other.seed, "seed mismatch");
+        for (a, &b) in self.registers.iter_mut().zip(&other.registers) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// Heap bytes used by the registers.
+    pub fn heap_bytes(&self) -> usize {
+        self.registers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_is_accurate_at_scale() {
+        let mut hll = HyperLogLog::new(12, 3);
+        let n = 200_000u64;
+        for i in 0..n {
+            hll.add(i);
+        }
+        let est = hll.estimate();
+        let rel = (est - n as f64).abs() / n as f64;
+        // Standard error ≈ 1.04/√4096 ≈ 1.6%; allow 6%.
+        assert!(rel < 0.06, "estimate {est} vs {n} (rel {rel:.3})");
+    }
+
+    #[test]
+    fn small_range_correction_is_exactish() {
+        let mut hll = HyperLogLog::new(12, 3);
+        for i in 0..100u64 {
+            hll.add(i);
+        }
+        let est = hll.estimate();
+        assert!((90.0..110.0).contains(&est), "estimate = {est}");
+    }
+
+    #[test]
+    fn duplicates_do_not_move_estimate() {
+        let mut hll = HyperLogLog::new(8, 1);
+        for i in 0..1000u64 {
+            hll.add(i);
+        }
+        let before = hll.estimate();
+        for i in 0..1000u64 {
+            hll.add(i);
+        }
+        assert_eq!(hll.estimate(), before);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = HyperLogLog::new(10, 5);
+        let mut b = HyperLogLog::new(10, 5);
+        let mut union = HyperLogLog::new(10, 5);
+        for i in 0..3000u64 {
+            a.add(i);
+            union.add(i);
+        }
+        for i in 3000..6000u64 {
+            b.add(i);
+            union.add(i);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.estimate(), union.estimate());
+    }
+
+    #[test]
+    #[should_panic(expected = "precision mismatch")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = HyperLogLog::new(10, 5);
+        let b = HyperLogLog::new(11, 5);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "precision must be")]
+    fn bad_precision_panics() {
+        let _ = HyperLogLog::new(3, 1);
+    }
+
+    #[test]
+    fn heap_bytes_matches_register_count() {
+        assert_eq!(HyperLogLog::new(10, 1).heap_bytes(), 1024);
+    }
+}

@@ -1,0 +1,196 @@
+//! Sample-and-hold heavy-hitter detection (Estan–Varghese,
+//! SIGCOMM 2002 — the paper's \[10\]).
+//!
+//! Each byte (or packet) of a flow is sampled with a small probability;
+//! once a flow is sampled it is *held*: an exact counter tracks all its
+//! subsequent traffic. Memory concentrates on large flows. As the paper
+//! argues, identifying large flows is not a robust DDoS indicator —
+//! half-open SYN-flood flows carry almost no bytes and are essentially
+//! never sampled, which `tests::syn_flood_is_invisible` demonstrates.
+
+use std::collections::HashMap;
+
+use dcs_hash::mix::mix64;
+
+/// A sample-and-hold flow table over `u64` flow keys.
+///
+/// Sampling is hash-driven (deterministic per (key, byte-offset)), so
+/// runs are reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_baselines::SampleAndHold;
+///
+/// let mut sh = SampleAndHold::new(0.01, 1024, 7);
+/// for _ in 0..100 {
+///     sh.observe(42, 1_500); // a large flow: 150 kB total
+/// }
+/// assert!(sh.estimate(42) > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SampleAndHold {
+    /// Per-byte sampling probability.
+    probability: f64,
+    /// Maximum number of held flows.
+    capacity: usize,
+    seed: u64,
+    held: HashMap<u64, u64>,
+    observations: u64,
+}
+
+impl SampleAndHold {
+    /// Creates a table sampling each byte with `probability`, holding
+    /// at most `capacity` flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is outside `(0, 1]` or `capacity` is 0.
+    pub fn new(probability: f64, capacity: usize, seed: u64) -> Self {
+        assert!(
+            probability > 0.0 && probability <= 1.0,
+            "probability must be in (0, 1]"
+        );
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            probability,
+            capacity,
+            seed,
+            held: HashMap::new(),
+            observations: 0,
+        }
+    }
+
+    /// Observes `bytes` of traffic for `key`.
+    ///
+    /// If the flow is held, its counter grows exactly; otherwise the
+    /// packet is sampled with probability `1 − (1−p)^bytes` and, on a
+    /// hit (and free capacity), the flow becomes held.
+    pub fn observe(&mut self, key: u64, bytes: u32) {
+        self.observations += 1;
+        if let Some(count) = self.held.get_mut(&key) {
+            *count += u64::from(bytes);
+            return;
+        }
+        if bytes == 0 {
+            // A zero-byte control packet can never be byte-sampled —
+            // the structural reason SYN floods evade this detector.
+            return;
+        }
+        // Deterministic pseudo-random draw for this observation.
+        let draw = mix64(key, self.seed ^ self.observations) as f64 / u64::MAX as f64;
+        let hit_probability = 1.0 - (1.0 - self.probability).powi(bytes as i32);
+        if draw < hit_probability && self.held.len() < self.capacity {
+            self.held.insert(key, u64::from(bytes));
+        }
+    }
+
+    /// The held byte count for `key` (an underestimate of the flow's
+    /// true volume — bytes before sampling are missed), or 0 if the
+    /// flow was never sampled.
+    pub fn estimate(&self, key: u64) -> u64 {
+        self.held.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Whether `key` is currently held.
+    pub fn is_held(&self, key: u64) -> bool {
+        self.held.contains_key(&key)
+    }
+
+    /// The top-`k` held flows by byte count, descending, ties to the
+    /// larger key.
+    pub fn top_k(&self, k: usize) -> Vec<(u64, u64)> {
+        let mut ranked: Vec<(u64, u64)> = self.held.iter().map(|(&key, &c)| (c, key)).collect();
+        ranked.sort_unstable_by(|a, b| b.cmp(a));
+        ranked.truncate(k);
+        ranked.into_iter().map(|(c, key)| (key, c)).collect()
+    }
+
+    /// Number of held flows.
+    pub fn held_flows(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Heap bytes used by the flow table.
+    pub fn heap_bytes(&self) -> usize {
+        self.held.capacity() * (std::mem::size_of::<(u64, u64)>() + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_flows_are_caught_and_counted() {
+        let mut sh = SampleAndHold::new(0.001, 256, 1);
+        // 1 MB flow in 1.5 kB packets: expected to be sampled early.
+        for _ in 0..700 {
+            sh.observe(7, 1_500);
+        }
+        assert!(sh.is_held(7));
+        // Held counter is within the flow's total volume.
+        assert!(sh.estimate(7) <= 700 * 1_500);
+        assert!(sh.estimate(7) > 100 * 1_500, "{}", sh.estimate(7));
+    }
+
+    #[test]
+    fn tiny_flows_are_mostly_missed() {
+        let mut sh = SampleAndHold::new(0.0001, 4096, 2);
+        // 5 000 one-packet 40-byte flows.
+        for key in 0..5_000u64 {
+            sh.observe(key, 40);
+        }
+        // Expected held ≈ 5000 × (1 − 0.9996^40) ≈ 20.
+        assert!(sh.held_flows() < 200, "held = {}", sh.held_flows());
+    }
+
+    #[test]
+    fn syn_flood_is_invisible() {
+        // Bare SYNs carry zero payload bytes: never sampled, while one
+        // bulky legitimate flow is caught immediately.
+        let mut sh = SampleAndHold::new(0.01, 1024, 3);
+        for key in 0..10_000u64 {
+            sh.observe(key, 0); // the flood
+        }
+        for _ in 0..100 {
+            sh.observe(999_999, 10_000); // one fat legitimate flow
+        }
+        assert_eq!(
+            sh.top_k(1),
+            vec![(999_999, sh.estimate(999_999))],
+            "only the legitimate flow is visible"
+        );
+        assert_eq!(sh.held_flows(), 1);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut sh = SampleAndHold::new(1.0, 8, 4);
+        for key in 0..100u64 {
+            sh.observe(key, 1_000);
+        }
+        assert_eq!(sh.held_flows(), 8);
+    }
+
+    #[test]
+    fn held_flows_count_exactly_afterwards() {
+        let mut sh = SampleAndHold::new(1.0, 8, 5);
+        sh.observe(1, 100); // held immediately at p = 1
+        sh.observe(1, 250);
+        sh.observe(1, 650);
+        assert_eq!(sh.estimate(1), 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_panics() {
+        let _ = SampleAndHold::new(0.0, 8, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = SampleAndHold::new(0.5, 0, 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Space-Saving heavy hitters (volume-based top-k).
+//!
+//! Metwally–Agrawal–El Abbadi's deterministic counter-based algorithm:
+//! keep `capacity` `(key, count, overestimate)` entries; on overflow,
+//! evict the minimum and inherit its count as the new key's error bound.
+//! Together with [`crate::countmin`], this represents the
+//! "large-flow"-style detection the paper argues is *not* a robust DDoS
+//! indicator: it ranks by traffic volume, not by distinct sources.
+
+use std::collections::HashMap;
+
+/// A Space-Saving summary over `u64` keys.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_baselines::SpaceSaving;
+///
+/// let mut ss = SpaceSaving::new(8);
+/// for _ in 0..100 {
+///     ss.add(1, 1);
+/// }
+/// for k in 2..50u64 {
+///     ss.add(k, 1);
+/// }
+/// assert_eq!(ss.top_k(1)[0].0, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    /// key → (count, overestimate bound).
+    entries: HashMap<u64, (u64, u64)>,
+    capacity: usize,
+}
+
+impl SpaceSaving {
+    /// Creates a summary holding at most `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            entries: HashMap::with_capacity(capacity + 1),
+            capacity,
+        }
+    }
+
+    /// Adds `count` occurrences of `key`.
+    pub fn add(&mut self, key: u64, count: u64) {
+        if let Some((c, _)) = self.entries.get_mut(&key) {
+            *c += count;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.insert(key, (count, 0));
+            return;
+        }
+        // Evict the minimum; the newcomer inherits its count as error.
+        let (&victim, &(min_count, _)) = self
+            .entries
+            .iter()
+            .min_by_key(|(&k, &(c, _))| (c, k))
+            .expect("capacity > 0");
+        self.entries.remove(&victim);
+        self.entries.insert(key, (min_count + count, min_count));
+    }
+
+    /// The estimated count of `key` (an overestimate by at most the
+    /// entry's error bound), or zero if untracked.
+    pub fn query(&self, key: u64) -> u64 {
+        self.entries.get(&key).map_or(0, |&(c, _)| c)
+    }
+
+    /// The guaranteed-maximum overestimation for `key`, if tracked.
+    pub fn error_bound(&self, key: u64) -> Option<u64> {
+        self.entries.get(&key).map(|&(_, e)| e)
+    }
+
+    /// The top-`k` keys by estimated count, descending, ties to the
+    /// larger key.
+    pub fn top_k(&self, k: usize) -> Vec<(u64, u64)> {
+        let mut ranked: Vec<(u64, u64)> = self
+            .entries
+            .iter()
+            .map(|(&key, &(c, _))| (c, key))
+            .collect();
+        ranked.sort_unstable_by(|a, b| b.cmp(a));
+        ranked.truncate(k);
+        ranked.into_iter().map(|(c, key)| (key, c)).collect()
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the summary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Heap bytes used by the entry table.
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.capacity() * (std::mem::size_of::<(u64, (u64, u64))>() + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut ss = SpaceSaving::new(16);
+        for k in 0..10u64 {
+            ss.add(k, k + 1);
+        }
+        for k in 0..10u64 {
+            assert_eq!(ss.query(k), k + 1);
+            assert_eq!(ss.error_bound(k), Some(0));
+        }
+        assert_eq!(ss.len(), 10);
+        assert!(!ss.is_empty());
+    }
+
+    #[test]
+    fn heavy_hitter_survives_churn() {
+        let mut ss = SpaceSaving::new(8);
+        for round in 0..1000u64 {
+            ss.add(42, 5); // persistent heavy key
+            ss.add(1000 + round, 1); // churning light keys
+        }
+        let top = ss.top_k(1);
+        assert_eq!(top[0].0, 42);
+        assert!(top[0].1 >= 5000);
+    }
+
+    #[test]
+    fn query_never_underestimates_true_count() {
+        // Space-Saving guarantees estimate ≥ true count for all keys.
+        let mut ss = SpaceSaving::new(4);
+        let stream: Vec<u64> = (0..200).map(|i| i % 10).collect();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &k in &stream {
+            ss.add(k, 1);
+            *truth.entry(k).or_insert(0) += 1;
+        }
+        for (&k, &t) in &truth {
+            let q = ss.query(k);
+            if q > 0 {
+                assert!(q >= t, "key {k}: {q} < {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut ss = SpaceSaving::new(5);
+        for k in 0..100u64 {
+            ss.add(k, 1);
+        }
+        assert_eq!(ss.len(), 5);
+    }
+
+    #[test]
+    fn top_k_is_deterministic_on_ties() {
+        let mut ss = SpaceSaving::new(8);
+        ss.add(1, 3);
+        ss.add(2, 3);
+        assert_eq!(ss.top_k(2), vec![(2, 3), (1, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = SpaceSaving::new(0);
+    }
+}

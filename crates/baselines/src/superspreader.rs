@@ -1,0 +1,187 @@
+//! Flow-sampled superspreader detection (Venkataraman et al. style).
+//!
+//! The `k`-superspreader problem asks for *sources* contacting more than
+//! `k` distinct destinations. The one-level algorithm samples distinct
+//! flows with probability `p` (by hashing the flow, so duplicates are
+//! sampled consistently) and reports sources whose sampled distinct
+//! destination count crosses `p·k` (with a small slack). It is
+//! threshold-based — the user must guess `k` — and insert-only, the two
+//! limitations the paper contrasts its top-k formulation against (§1,
+//! "Our Contributions").
+
+use std::collections::{HashMap, HashSet};
+
+use dcs_core::FlowKey;
+use dcs_hash::mix::mix64;
+
+/// A one-level sampling superspreader detector.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_baselines::SuperspreaderSampler;
+/// use dcs_core::{DestAddr, FlowKey, SourceAddr};
+///
+/// let mut det = SuperspreaderSampler::new(100, 0.5, 7);
+/// for d in 0..1000u32 {
+///     det.observe(FlowKey::new(SourceAddr(1), DestAddr(d)));
+/// }
+/// assert!(det.superspreaders().iter().any(|&(s, _)| s == 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SuperspreaderSampler {
+    /// The destination-count threshold `k`.
+    threshold: u64,
+    /// Flow sampling probability `p`.
+    probability: f64,
+    seed: u64,
+    /// Sampled distinct destinations per source.
+    sampled: HashMap<u32, HashSet<u32>>,
+}
+
+impl SuperspreaderSampler {
+    /// Creates a detector for the `k`-superspreader problem with flow
+    /// sampling probability `probability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero or `probability` is outside
+    /// `(0, 1]`.
+    pub fn new(threshold: u64, probability: f64, seed: u64) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        assert!(
+            probability > 0.0 && probability <= 1.0,
+            "probability must be in (0, 1]"
+        );
+        Self {
+            threshold,
+            probability,
+            seed,
+            sampled: HashMap::new(),
+        }
+    }
+
+    /// Observes a flow. Duplicate flows hash identically, so they are
+    /// either always sampled or never — the sample is over *distinct*
+    /// flows, as required.
+    pub fn observe(&mut self, key: FlowKey) {
+        let hashed = mix64(key.packed(), self.seed);
+        // Map the hash to [0, 1) and compare against p.
+        let unit = hashed as f64 / u64::MAX as f64;
+        if unit < self.probability {
+            self.sampled
+                .entry(key.source().0)
+                .or_default()
+                .insert(key.dest().0);
+        }
+    }
+
+    /// Sources whose *estimated* distinct destination count
+    /// (`sampled / p`) reaches the threshold, with estimates, sorted
+    /// descending (ties to larger source).
+    pub fn superspreaders(&self) -> Vec<(u32, f64)> {
+        let mut out: Vec<(u32, f64)> = self
+            .sampled
+            .iter()
+            .map(|(&src, dests)| (src, dests.len() as f64 / self.probability))
+            .filter(|&(_, est)| est >= self.threshold as f64)
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(b.0.cmp(&a.0)));
+        out
+    }
+
+    /// Estimated distinct destination count for one source.
+    pub fn estimate(&self, source: u32) -> f64 {
+        self.sampled
+            .get(&source)
+            .map_or(0.0, |d| d.len() as f64 / self.probability)
+    }
+
+    /// The configured threshold `k`.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Heap bytes used by the per-source samples. Grows with the number
+    /// of *sampled sources* — for small `p` much less than exact
+    /// tracking, but unbounded in the worst case.
+    pub fn heap_bytes(&self) -> usize {
+        self.sampled
+            .values()
+            .map(|d| d.capacity() * 12)
+            .sum::<usize>()
+            + self.sampled.capacity() * 48
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_core::{DestAddr, SourceAddr};
+
+    fn key(s: u32, d: u32) -> FlowKey {
+        FlowKey::new(SourceAddr(s), DestAddr(d))
+    }
+
+    #[test]
+    fn detects_scanner_and_ignores_normal_source() {
+        let mut det = SuperspreaderSampler::new(50, 0.5, 1);
+        // Source 1 scans 2000 destinations.
+        for d in 0..2000u32 {
+            det.observe(key(1, d));
+        }
+        // Source 2 contacts 5.
+        for d in 0..5u32 {
+            det.observe(key(2, d));
+        }
+        let spreaders = det.superspreaders();
+        assert!(spreaders.iter().any(|&(s, _)| s == 1));
+        assert!(!spreaders.iter().any(|&(s, _)| s == 2));
+    }
+
+    #[test]
+    fn estimate_is_unbiased_ish() {
+        let mut det = SuperspreaderSampler::new(10, 0.25, 2);
+        let n = 4000u32;
+        for d in 0..n {
+            det.observe(key(9, d));
+        }
+        let est = det.estimate(9);
+        let rel = (est - f64::from(n)).abs() / f64::from(n);
+        assert!(rel < 0.2, "estimate {est} vs {n} (rel {rel:.2})");
+    }
+
+    #[test]
+    fn duplicate_flows_sample_consistently() {
+        let mut det = SuperspreaderSampler::new(10, 0.5, 3);
+        for _ in 0..100 {
+            det.observe(key(1, 1));
+        }
+        // One distinct flow: estimate is either 0 or 1/p = 2.
+        let est = det.estimate(1);
+        assert!(est == 0.0 || est == 2.0, "estimate = {est}");
+    }
+
+    #[test]
+    fn probability_one_is_exact() {
+        let mut det = SuperspreaderSampler::new(3, 1.0, 4);
+        for d in 0..5u32 {
+            det.observe(key(7, d));
+        }
+        assert_eq!(det.estimate(7), 5.0);
+        assert_eq!(det.superspreaders(), vec![(7, 5.0)]);
+        assert_eq!(det.threshold(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_panics() {
+        let _ = SuperspreaderSampler::new(10, 1.5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_panics() {
+        let _ = SuperspreaderSampler::new(0, 0.5, 1);
+    }
+}

@@ -1,0 +1,235 @@
+//! SYN–FIN difference detection with nonparametric CUSUM
+//! (Wang–Zhang–Shin, INFOCOM 2002 — discussed in the paper's §1).
+//!
+//! The detector watches the *aggregate* difference between SYN and
+//! FIN/RST counts at one router, normalizes per observation interval,
+//! and applies a nonparametric CUSUM to flag abrupt increases. Its
+//! documented limitations — it runs per first/last-mile router, detects
+//! *that* a flood is underway but not *which destination* is the
+//! victim, and cannot aggregate evidence across a large ISP — are
+//! exactly what the distinct-count sketches address; the
+//! `detection_quality` experiment quantifies the contrast.
+
+/// Per-interval SYN/FIN(RST) counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IntervalCounts {
+    /// Number of SYN packets observed in the interval.
+    pub syns: u64,
+    /// Number of FIN or RST packets observed in the interval.
+    pub fins: u64,
+}
+
+/// A nonparametric CUSUM detector over normalized SYN−FIN differences.
+///
+/// Let `Xₙ = (SYNₙ − FINₙ) / F̄ₙ`, where `F̄ₙ` is an EWMA of the FIN
+/// rate (a stand-in for the steady-state connection rate). In normal
+/// operation `Xₙ` hovers around a small constant `a`; the CUSUM
+/// statistic `yₙ = max(0, yₙ₋₁ + Xₙ − a)` stays near zero and crosses
+/// the threshold `h` only under a sustained surge of unmatched SYNs.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_baselines::synfin::{IntervalCounts, SynFinCusum};
+///
+/// let mut det = SynFinCusum::new(1.0, 4.0, 0.2);
+/// // Calm traffic: SYNs ≈ FINs.
+/// for _ in 0..20 {
+///     assert!(!det.observe(IntervalCounts { syns: 100, fins: 98 }));
+/// }
+/// // Flood: SYNs explode, FINs do not.
+/// let mut fired = false;
+/// for _ in 0..10 {
+///     fired |= det.observe(IntervalCounts { syns: 1_000, fins: 100 });
+/// }
+/// assert!(fired);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SynFinCusum {
+    /// Drift `a`: the tolerated normalized SYN excess per interval.
+    drift: f64,
+    /// Decision threshold `h`.
+    threshold: f64,
+    /// EWMA factor for the FIN-rate baseline.
+    alpha: f64,
+    /// Intervals spent learning the FIN rate before judging.
+    warmup: u64,
+    fin_rate: f64,
+    statistic: f64,
+    intervals: u64,
+}
+
+impl SynFinCusum {
+    /// Creates a detector with drift `a`, threshold `h`, and FIN-rate
+    /// EWMA factor `alpha`, with a default warm-up of 3 intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive or `alpha` is outside
+    /// `(0, 1]`.
+    pub fn new(drift: f64, threshold: f64, alpha: f64) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self {
+            drift,
+            threshold,
+            alpha,
+            warmup: 3,
+            fin_rate: 0.0,
+            statistic: 0.0,
+            intervals: 0,
+        }
+    }
+
+    /// Sets how many initial intervals are used only to learn the FIN
+    /// rate (no judging, no statistic accumulation).
+    pub fn with_warmup(mut self, intervals: u64) -> Self {
+        self.warmup = intervals;
+        self
+    }
+
+    /// Feeds one interval's counts; returns `true` if the CUSUM crosses
+    /// the threshold (attack suspected). The first
+    /// [`with_warmup`](Self::with_warmup) intervals only train the
+    /// FIN-rate baseline.
+    pub fn observe(&mut self, counts: IntervalCounts) -> bool {
+        self.intervals += 1;
+        if self.intervals <= self.warmup {
+            self.fin_rate = if self.intervals == 1 {
+                counts.fins.max(1) as f64
+            } else {
+                self.alpha * counts.fins as f64 + (1.0 - self.alpha) * self.fin_rate
+            };
+            return false;
+        }
+        let normalized = (counts.syns as f64 - counts.fins as f64) / self.fin_rate.max(1.0);
+        self.statistic = (self.statistic + normalized - self.drift).max(0.0);
+        self.fin_rate = self.alpha * counts.fins as f64 + (1.0 - self.alpha) * self.fin_rate;
+        self.statistic > self.threshold
+    }
+
+    /// The current CUSUM statistic `yₙ`.
+    pub fn statistic(&self) -> f64 {
+        self.statistic
+    }
+
+    /// Resets the statistic (e.g., after an operator acknowledges an
+    /// alarm), keeping the learned FIN-rate baseline.
+    pub fn reset(&mut self) {
+        self.statistic = 0.0;
+    }
+
+    /// Number of intervals observed.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calm_traffic_never_fires() {
+        let mut det = SynFinCusum::new(1.0, 5.0, 0.2);
+        for i in 0..200u64 {
+            let jitter = i % 7;
+            assert!(!det.observe(IntervalCounts {
+                syns: 100 + jitter,
+                fins: 99,
+            }));
+        }
+        assert!(det.statistic() < 5.0);
+    }
+
+    #[test]
+    fn sustained_flood_fires() {
+        let mut det = SynFinCusum::new(1.0, 5.0, 0.2);
+        for _ in 0..30 {
+            det.observe(IntervalCounts {
+                syns: 100,
+                fins: 100,
+            });
+        }
+        let mut fired = false;
+        for _ in 0..20 {
+            fired |= det.observe(IntervalCounts {
+                syns: 2_000,
+                fins: 100,
+            });
+        }
+        assert!(fired);
+    }
+
+    #[test]
+    fn single_spike_is_absorbed() {
+        // One bursty interval under the threshold's worth of excess
+        // does not fire; CUSUM needs sustained evidence.
+        let mut det = SynFinCusum::new(1.0, 10.0, 0.2);
+        for _ in 0..30 {
+            det.observe(IntervalCounts {
+                syns: 100,
+                fins: 100,
+            });
+        }
+        let fired = det.observe(IntervalCounts {
+            syns: 400,
+            fins: 100,
+        });
+        assert!(!fired, "statistic = {}", det.statistic());
+        // And decays back under calm traffic.
+        for _ in 0..10 {
+            det.observe(IntervalCounts {
+                syns: 100,
+                fins: 100,
+            });
+        }
+        assert!(det.statistic() < 1.0);
+    }
+
+    #[test]
+    fn reset_clears_statistic_but_keeps_baseline() {
+        let mut det = SynFinCusum::new(1.0, 2.0, 0.5);
+        for _ in 0..10 {
+            det.observe(IntervalCounts {
+                syns: 500,
+                fins: 50,
+            });
+        }
+        assert!(det.statistic() > 0.0);
+        det.reset();
+        assert_eq!(det.statistic(), 0.0);
+        assert_eq!(det.intervals(), 10);
+    }
+
+    #[test]
+    fn flash_crowd_with_matching_fins_does_not_fire() {
+        // A flash crowd completes connections: FINs keep pace with
+        // SYNs, so the normalized difference stays small.
+        let mut det = SynFinCusum::new(1.0, 5.0, 0.2);
+        for _ in 0..30 {
+            det.observe(IntervalCounts {
+                syns: 100,
+                fins: 100,
+            });
+        }
+        for _ in 0..30 {
+            assert!(!det.observe(IntervalCounts {
+                syns: 3_000,
+                fins: 2_900,
+            }));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_panics() {
+        let _ = SynFinCusum::new(1.0, 0.0, 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        let _ = SynFinCusum::new(1.0, 1.0, 0.0);
+    }
+}

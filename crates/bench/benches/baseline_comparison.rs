@@ -1,0 +1,82 @@
+//! Update-path cost of the Distinct-Count Sketch against the baseline
+//! structures (exact tracking, HyperLogLog-per-group, Count-Min,
+//! Space-Saving) on the same stream.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use dcs_baselines::{CountMinSketch, ExactDistinctTracker, HyperLogLog, PerGroupFm, SpaceSaving};
+use dcs_core::{GroupBy, SketchConfig, TrackingDcs};
+use dcs_streamgen::{PaperWorkload, WorkloadConfig};
+
+fn bench_baselines(c: &mut Criterion) {
+    let updates = PaperWorkload::generate(WorkloadConfig {
+        distinct_pairs: 20_000,
+        num_destinations: 500,
+        skew: 1.0,
+        seed: 5,
+    })
+    .into_updates();
+
+    let mut group = c.benchmark_group("baseline_update_path");
+    group.throughput(Throughput::Elements(updates.len() as u64));
+
+    group.bench_function("tracking_dcs", |b| {
+        let config = SketchConfig::builder().seed(5).build().expect("valid");
+        b.iter(|| {
+            let mut s = TrackingDcs::new(config.clone());
+            for u in &updates {
+                s.update(*u);
+            }
+            s
+        })
+    });
+    group.bench_function("exact_tracker", |b| {
+        b.iter(|| {
+            let mut t = ExactDistinctTracker::new(GroupBy::Destination);
+            for u in &updates {
+                t.update(*u);
+            }
+            t
+        })
+    });
+    group.bench_function("per_group_fm", |b| {
+        b.iter(|| {
+            let mut fm = PerGroupFm::new(16, 5);
+            for u in &updates {
+                fm.add(u.key.dest().0, u.key.packed());
+            }
+            fm
+        })
+    });
+    group.bench_function("hyperloglog_global", |b| {
+        b.iter(|| {
+            let mut hll = HyperLogLog::new(12, 5);
+            for u in &updates {
+                hll.add(u.key.packed());
+            }
+            hll
+        })
+    });
+    group.bench_function("countmin_volume", |b| {
+        b.iter(|| {
+            let mut cm = CountMinSketch::new(3, 1024, 5);
+            for u in &updates {
+                cm.add(u64::from(u.key.dest().0), 1);
+            }
+            cm
+        })
+    });
+    group.bench_function("spacesaving_volume", |b| {
+        b.iter(|| {
+            let mut ss = SpaceSaving::new(256);
+            for u in &updates {
+                ss.add(u64::from(u.key.dest().0), 1);
+            }
+            ss
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Cost of the linear-sketch operations: merge (multi-router
+//! aggregation) and difference (epoch windowing), plus the tracking
+//! rebuild that follows them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dcs_core::{DistinctCountSketch, SketchConfig, TrackingDcs};
+use dcs_streamgen::{PaperWorkload, WorkloadConfig};
+
+fn build(seed: u64, pair_base: u64) -> DistinctCountSketch {
+    let updates = PaperWorkload::generate(WorkloadConfig {
+        distinct_pairs: 50_000,
+        num_destinations: 500,
+        skew: 1.0,
+        seed: pair_base,
+    })
+    .into_updates();
+    let config = SketchConfig::builder().seed(seed).build().expect("valid");
+    let mut sketch = DistinctCountSketch::new(config);
+    for u in &updates {
+        sketch.update(*u);
+    }
+    sketch
+}
+
+fn bench_linear_ops(c: &mut Criterion) {
+    let a = build(1, 10);
+    let b = build(1, 20);
+    let mut group = c.benchmark_group("linear_ops");
+    group.bench_function("merge_50k_into_50k", |bencher| {
+        bencher.iter(|| {
+            let mut m = a.clone();
+            m.merge_from(&b).expect("compatible");
+            m
+        })
+    });
+    group.bench_function("difference_50k", |bencher| {
+        bencher.iter(|| a.difference(&b).expect("compatible"))
+    });
+    group.bench_function("tracking_rebuild_from_sketch", |bencher| {
+        bencher.iter(|| TrackingDcs::from_sketch(a.clone()))
+    });
+    group.bench_function("clone_snapshot", |bencher| bencher.iter(|| a.clone()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_linear_ops);
+criterion_main!(benches);

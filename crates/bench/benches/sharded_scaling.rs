@@ -1,0 +1,36 @@
+//! Throughput scaling of sharded parallel ingestion: identical answers,
+//! more cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dcs_core::SketchConfig;
+use dcs_netsim::sharded::ingest_sharded;
+use dcs_streamgen::{PaperWorkload, WorkloadConfig};
+
+fn bench_sharded(c: &mut Criterion) {
+    let updates = PaperWorkload::generate(WorkloadConfig {
+        distinct_pairs: 200_000,
+        num_destinations: 1_000,
+        skew: 1.0,
+        seed: 17,
+    })
+    .into_updates();
+    let config = SketchConfig::builder().seed(17).build().expect("valid");
+
+    let mut group = c.benchmark_group("sharded_ingest");
+    group.throughput(Throughput::Elements(updates.len() as u64));
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| ingest_sharded(&updates, config.clone(), shards).expect("compatible"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Per-update latency of the Basic and Tracking sketches (the
+//! update-cost half of Fig. 9 / Table 2), across `r`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dcs_core::{DistinctCountSketch, SketchConfig, TrackingDcs};
+use dcs_streamgen::{PaperWorkload, WorkloadConfig};
+
+fn workload(n: u64) -> Vec<dcs_core::FlowUpdate> {
+    PaperWorkload::generate(WorkloadConfig {
+        distinct_pairs: n,
+        num_destinations: 1_000,
+        skew: 1.0,
+        seed: 42,
+    })
+    .into_updates()
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let updates = workload(20_000);
+    let mut group = c.benchmark_group("update");
+    group.throughput(Throughput::Elements(updates.len() as u64));
+    for r in [2usize, 3, 4] {
+        let config = SketchConfig::builder()
+            .num_tables(r)
+            .seed(1)
+            .build()
+            .expect("valid");
+        group.bench_with_input(BenchmarkId::new("basic", r), &config, |b, config| {
+            b.iter(|| {
+                let mut sketch = DistinctCountSketch::new(config.clone());
+                for u in &updates {
+                    sketch.update(*u);
+                }
+                sketch
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tracking", r), &config, |b, config| {
+            b.iter(|| {
+                let mut sketch = TrackingDcs::new(config.clone());
+                for u in &updates {
+                    sketch.update(*u);
+                }
+                sketch
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_deletions(c: &mut Criterion) {
+    // Deletion-heavy stream: insert all, delete half.
+    let inserts = workload(10_000);
+    let mut stream = inserts.clone();
+    stream.extend(inserts.iter().take(5_000).map(|u| u.inverted()));
+    let config = SketchConfig::builder().seed(2).build().expect("valid");
+    let mut group = c.benchmark_group("update_with_deletes");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("tracking", |b| {
+        b.iter(|| {
+            let mut sketch = TrackingDcs::new(config.clone());
+            for u in &stream {
+                sketch.update(*u);
+            }
+            sketch
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_deletions);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Ablation: multiply-shift vs tabulation second-level hashing.
+//!
+//! The paper assumes "mutually independent" randomizing hash functions
+//! `g_j` without prescribing a family. This binary measures whether the
+//! choice matters in practice: accuracy (recall/ARE at k = 10) and
+//! update throughput for both families at the default shape.
+//!
+//! Run: `cargo run -p dcs-bench --release --bin ablation_hash [--scale full]`
+
+use dcs_bench::{emit_record, Scale, SEEDS};
+use dcs_core::{HashFamily, SketchConfig, TrackingDcs};
+use dcs_metrics::{
+    average_relative_error, measure_per_update_micros, top_k_recall, ExperimentRecord, Table,
+};
+use dcs_streamgen::PaperWorkload;
+
+const K: usize = 10;
+const EPSILON: f64 = 0.25;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!(
+        "hash-family ablation — scale {}, z = 1.5, k = {K}, s = 1024, {} seeds",
+        scale.label(),
+        SEEDS.len()
+    );
+
+    let mut table = Table::new(vec![
+        "family".into(),
+        format!("recall@{K}"),
+        format!("ARE@{K}"),
+        "µs/update".into(),
+    ]);
+    let mut rec = ExperimentRecord::new("ablation_hash")
+        .parameter("scale", scale.label())
+        .parameter("z", 1.5)
+        .parameter("k", K)
+        .parameter("s", 1024);
+
+    for (name, family) in [
+        ("multiply-shift", HashFamily::MultiplyShift),
+        ("tabulation", HashFamily::Tabulation),
+    ] {
+        let mut recall_sum = 0.0;
+        let mut are_sum = 0.0;
+        let mut micros_sum = 0.0;
+        for &seed in &SEEDS {
+            let workload = PaperWorkload::generate(scale.workload(1.5, seed));
+            let config = SketchConfig::builder()
+                .buckets_per_table(1024)
+                .hash_family(family)
+                .seed(seed)
+                .build()
+                .expect("valid");
+            let mut sketch = TrackingDcs::new(config);
+            let timing = measure_per_update_micros(workload.updates().len() as u64, || {
+                for u in workload.updates() {
+                    sketch.update(*u);
+                }
+            });
+            let exact = workload.exact_top_k(K);
+            let est = sketch.track_top_k(K, EPSILON);
+            let approx: Vec<(u32, u64)> = est
+                .entries
+                .iter()
+                .map(|e| (e.group, e.estimated_frequency))
+                .collect();
+            recall_sum += top_k_recall(&exact, &est.groups());
+            are_sum += average_relative_error(&exact, &approx);
+            micros_sum += timing.mean_micros;
+        }
+        let n = SEEDS.len() as f64;
+        println!(
+            "{name:>15}: recall {:.3}, ARE {:.3}, {:.3} µs/update",
+            recall_sum / n,
+            are_sum / n,
+            micros_sum / n
+        );
+        table.row(vec![
+            name.to_string(),
+            format!("{:.3}", recall_sum / n),
+            format!("{:.3}", are_sum / n),
+            format!("{:.3}", micros_sum / n),
+        ]);
+        rec = rec.with_series(
+            format!("{}_recall_are_micros", name.replace('-', "_")),
+            vec![recall_sum / n, are_sum / n, micros_sum / n],
+        );
+    }
+
+    println!("\nHash family ablation:");
+    print!("{}", table.render());
+    if let Some(path) = emit_record(&rec) {
+        println!("wrote {}", path.display());
+    }
+}

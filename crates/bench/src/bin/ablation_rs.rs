@@ -1,0 +1,117 @@
+//! Ablation over the sketch shape parameters `r` (number of inner hash
+//! tables) and `s` (buckets per table).
+//!
+//! §6.1 varies "the number of inner hash tables r and the number of
+//! buckets per inner hash table s between 3–4 and 64–256" and settles
+//! on `r = 3`, `s = 128`. This binary maps the accuracy / space /
+//! update-time trade-off across a wider grid so the default's position
+//! on the curve is visible.
+//!
+//! Run: `cargo run -p dcs-bench --release --bin ablation_rs [--scale full]`
+
+use dcs_bench::{emit_record, Scale, SEEDS};
+use dcs_core::{SketchConfig, TrackingDcs};
+use dcs_metrics::{
+    average_relative_error, measure_per_update_micros, top_k_recall, ExperimentRecord, Table,
+};
+use dcs_streamgen::PaperWorkload;
+
+const RS: [usize; 3] = [2, 3, 4];
+const SS: [usize; 4] = [64, 128, 256, 1024];
+const K: usize = 10;
+const EPSILON: f64 = 0.25;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!(
+        "r/s ablation — scale {}, z = 1.5, k = {K}, {} seeds",
+        scale.label(),
+        SEEDS.len()
+    );
+
+    let mut table = Table::new(vec![
+        "r".into(),
+        "s".into(),
+        format!("recall@{K}"),
+        format!("ARE@{K}"),
+        "µs/update".into(),
+        "KB".into(),
+    ]);
+    let mut rec = ExperimentRecord::new("ablation_rs")
+        .parameter("scale", scale.label())
+        .parameter("z", 1.5)
+        .parameter("k", K)
+        .parameter("epsilon", EPSILON);
+    let mut flat_recall = Vec::new();
+    let mut flat_are = Vec::new();
+    let mut flat_micros = Vec::new();
+    let mut flat_bytes = Vec::new();
+
+    for &r in &RS {
+        for &s in &SS {
+            let mut recall_sum = 0.0;
+            let mut are_sum = 0.0;
+            let mut micros_sum = 0.0;
+            let mut bytes_sum = 0.0;
+            for &seed in &SEEDS {
+                let workload = PaperWorkload::generate(scale.workload(1.5, seed));
+                let config = SketchConfig::builder()
+                    .num_tables(r)
+                    .buckets_per_table(s)
+                    .seed(seed)
+                    .build()
+                    .expect("valid");
+                let mut sketch = TrackingDcs::new(config);
+                let timing = measure_per_update_micros(workload.updates().len() as u64, || {
+                    for u in workload.updates() {
+                        sketch.update(*u);
+                    }
+                });
+                let exact = workload.exact_top_k(K);
+                let estimate = sketch.track_top_k(K, EPSILON);
+                let approx: Vec<(u32, u64)> = estimate
+                    .entries
+                    .iter()
+                    .map(|e| (e.group, e.estimated_frequency))
+                    .collect();
+                recall_sum += top_k_recall(&exact, &estimate.groups());
+                are_sum += average_relative_error(&exact, &approx);
+                micros_sum += timing.mean_micros;
+                bytes_sum += sketch.heap_bytes() as f64;
+            }
+            let n = SEEDS.len() as f64;
+            let (recall, are, micros, bytes) =
+                (recall_sum / n, are_sum / n, micros_sum / n, bytes_sum / n);
+            table.row(vec![
+                r.to_string(),
+                s.to_string(),
+                format!("{recall:.3}"),
+                format!("{are:.3}"),
+                format!("{micros:.3}"),
+                format!("{:.0}", bytes / 1e3),
+            ]);
+            println!(
+                "r = {r}, s = {s:>4}: recall {recall:.3}, ARE {are:.3}, {micros:.3} µs, {:.0} KB",
+                bytes / 1e3
+            );
+            flat_recall.push(recall);
+            flat_are.push(are);
+            flat_micros.push(micros);
+            flat_bytes.push(bytes);
+        }
+    }
+
+    println!("\nAblation grid (averaged over seeds):");
+    print!("{}", table.render());
+
+    rec = rec
+        .parameter("rs", format!("{RS:?}"))
+        .parameter("ss", format!("{SS:?}"))
+        .with_series("recall", flat_recall)
+        .with_series("are", flat_are)
+        .with_series("update_micros", flat_micros)
+        .with_series("bytes", flat_bytes);
+    if let Some(path) = emit_record(&rec) {
+        println!("wrote {}", path.display());
+    }
+}

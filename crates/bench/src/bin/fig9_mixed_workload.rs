@@ -1,0 +1,129 @@
+//! Figure 9: per-update processing time (µs) as the frequency of
+//! interleaved top-1 queries grows, Basic vs Tracking distinct-count
+//! sketch.
+//!
+//! Paper setup (§6.2): a stream of 4M flow updates with max (top-1)
+//! queries interleaved at frequencies 0 … 0.0025 (one query per 400
+//! updates). The paper's Pentium-III measures 55–56 µs/update for both
+//! at frequency 0; the Basic sketch degrades to ~290 µs at 0.0025 while
+//! Tracking stays flat. Absolute numbers differ on modern hardware; the
+//! *shape* (flat Tracking, steeply growing Basic) is the claim under
+//! test.
+//!
+//! Run: `cargo run -p dcs-bench --release --bin fig9_mixed_workload [--scale full]`
+
+use dcs_bench::{emit_record, Scale};
+use dcs_core::{DistinctCountSketch, SketchConfig, TrackingDcs};
+use dcs_metrics::{measure_per_update_micros, ExperimentRecord, Table};
+use dcs_streamgen::{PaperWorkload, WorkloadConfig};
+
+/// Query frequencies: the paper's x-axis (0 … 1/400) extended to 1/10.
+/// On 2026 hardware a `BaseTopk` rescan costs ~10 µs instead of the
+/// paper's ~90 ms, so the divergence the paper shows at 1/400 appears
+/// here at higher query rates — same shape, shifted crossover.
+const QUERY_FREQS: [f64; 8] = [
+    0.0,
+    1.0 / 3200.0,
+    1.0 / 1600.0,
+    1.0 / 800.0,
+    1.0 / 400.0,
+    1.0 / 100.0,
+    1.0 / 25.0,
+    1.0 / 10.0,
+];
+const EPSILON: f64 = 0.25;
+
+fn main() {
+    let scale = Scale::from_args();
+    let n_updates = scale.fig9_updates();
+    println!(
+        "Figure 9 reproduction — scale {} ({} updates), r = 3, s = 128",
+        scale.label(),
+        n_updates
+    );
+
+    // One fixed workload: distinct pairs ≈ updates (insert-only mixed
+    // stream, as in the paper's update-time experiment).
+    let workload = PaperWorkload::generate(WorkloadConfig {
+        distinct_pairs: n_updates,
+        num_destinations: scale.workload(1.0, 0).num_destinations,
+        skew: 1.0,
+        seed: 7,
+    });
+    let updates = workload.updates();
+
+    let config = SketchConfig::builder().seed(7).build().expect("valid");
+
+    let mut basic_micros = Vec::new();
+    let mut tracking_micros = Vec::new();
+    let mut table = Table::new(vec![
+        "query freq".into(),
+        "basic µs/update".into(),
+        "tracking µs/update".into(),
+    ]);
+
+    for &freq in &QUERY_FREQS {
+        let every = if freq == 0.0 {
+            u64::MAX
+        } else {
+            (1.0 / freq) as u64
+        };
+
+        let basic = {
+            let mut sketch = DistinctCountSketch::new(config.clone());
+            measure_per_update_micros(updates.len() as u64, || {
+                for (i, u) in updates.iter().enumerate() {
+                    sketch.update(*u);
+                    if (i as u64 + 1).is_multiple_of(every) {
+                        std::hint::black_box(sketch.estimate_top_k(1, EPSILON));
+                    }
+                }
+            })
+        };
+        let tracking = {
+            let mut sketch = TrackingDcs::new(config.clone());
+            measure_per_update_micros(updates.len() as u64, || {
+                for (i, u) in updates.iter().enumerate() {
+                    sketch.update(*u);
+                    if (i as u64 + 1).is_multiple_of(every) {
+                        std::hint::black_box(sketch.track_top_k(1, EPSILON));
+                    }
+                }
+            })
+        };
+        println!(
+            "freq {:>9.6}: basic {:>8.3} µs, tracking {:>8.3} µs",
+            freq, basic.mean_micros, tracking.mean_micros
+        );
+        table.row(vec![
+            format!("{freq:.6}"),
+            format!("{:.3}", basic.mean_micros),
+            format!("{:.3}", tracking.mean_micros),
+        ]);
+        basic_micros.push(basic.mean_micros);
+        tracking_micros.push(tracking.mean_micros);
+    }
+
+    println!("\nFigure 9 — per-update processing time (µs):");
+    print!("{}", table.render());
+
+    let record = ExperimentRecord::new("fig9")
+        .parameter("scale", scale.label())
+        .parameter("updates", n_updates)
+        .parameter("r", 3)
+        .parameter("s", 128)
+        .parameter("query_freqs", format!("{QUERY_FREQS:?}"))
+        .with_series("basic_micros", basic_micros.clone())
+        .with_series("tracking_micros", tracking_micros.clone());
+    if let Some(path) = emit_record(&record) {
+        println!("wrote {}", path.display());
+    }
+
+    // Shape check mirroring the paper's claim.
+    let basic_growth = basic_micros.last().unwrap() / basic_micros.first().unwrap().max(1e-9);
+    let tracking_growth =
+        tracking_micros.last().unwrap() / tracking_micros.first().unwrap().max(1e-9);
+    println!(
+        "\nshape: basic grows {basic_growth:.1}x with query load; tracking grows {tracking_growth:.1}x"
+    );
+}

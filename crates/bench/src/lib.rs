@@ -1,0 +1,131 @@
+//! # dcs-bench — shared harness code for the experiment binaries
+//!
+//! Each binary under `src/bin/` regenerates one table or figure from the
+//! paper's evaluation (§6). This library holds the shared pieces: scale
+//! selection (quick laptop runs vs the paper's full parameters), seed
+//! management (§6.1 averages over 5 runs), and result emission.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dcs_streamgen::WorkloadConfig;
+
+/// Experiment scale: quick (CI/laptop) or the paper's full parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// `U = 400k`, `d = 2.5k` — same `U/d` ratio as the paper, runs in
+    /// seconds.
+    Quick,
+    /// The paper's §6.1 parameters: `U = 8M`, `d = 50k`.
+    Full,
+}
+
+impl Scale {
+    /// Parses `--scale quick|full` from the process arguments
+    /// (default quick).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        match args
+            .iter()
+            .position(|a| a == "--scale")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+        {
+            Some("full") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// The workload configuration for this scale with skew `z` and a
+    /// `seed`.
+    pub fn workload(self, z: f64, seed: u64) -> WorkloadConfig {
+        match self {
+            Scale::Quick => WorkloadConfig {
+                distinct_pairs: 400_000,
+                num_destinations: 2_500,
+                skew: z,
+                seed,
+            },
+            Scale::Full => WorkloadConfig {
+                distinct_pairs: 8_000_000,
+                num_destinations: 50_000,
+                skew: z,
+                seed,
+            },
+        }
+    }
+
+    /// The Fig. 9 stream length at this scale (paper: 4M updates).
+    pub fn fig9_updates(self) -> u64 {
+        match self {
+            Scale::Quick => 400_000,
+            Scale::Full => 4_000_000,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+}
+
+/// The paper's five-run averaging (§6.1: "averages over 5 runs of our
+/// algorithms with different random seeds").
+pub const SEEDS: [u64; 5] = [11, 23, 37, 51, 71];
+
+/// The paper's skew sweep (§6.2, Fig. 8).
+pub const SKEWS: [f64; 4] = [1.0, 1.5, 2.0, 2.5];
+
+/// Writes an experiment record as JSON under `results/` (created on
+/// demand) and returns the path. Failures to write are reported but not
+/// fatal — the table has already been printed.
+pub fn emit_record(record: &dcs_metrics::ExperimentRecord) -> Option<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results dir: {e}");
+        return None;
+    }
+    let path = dir.join(format!("{}.json", record.experiment));
+    match std::fs::write(&path, record.to_json()) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_preserves_paper_ratio() {
+        let quick = Scale::Quick.workload(1.0, 0);
+        let full = Scale::Full.workload(1.0, 0);
+        assert_eq!(
+            quick.distinct_pairs / u64::from(quick.num_destinations),
+            full.distinct_pairs / u64::from(full.num_destinations),
+        );
+        assert_eq!(full.distinct_pairs, 8_000_000);
+        assert_eq!(full.num_destinations, 50_000);
+    }
+
+    #[test]
+    fn labels_and_lengths() {
+        assert_eq!(Scale::Quick.label(), "quick");
+        assert_eq!(Scale::Full.label(), "full");
+        assert_eq!(Scale::Full.fig9_updates(), 4_000_000);
+        assert_eq!(SEEDS.len(), 5);
+        assert_eq!(SKEWS, [1.0, 1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn from_args_defaults_to_quick() {
+        // Test binaries never pass --scale.
+        assert_eq!(Scale::from_args(), Scale::Quick);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error types for sketch construction and combination.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by sketch configuration and merging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SketchError {
+    /// A configuration parameter was out of its valid range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Human-readable description of the constraint that failed.
+        reason: String,
+    },
+    /// Two sketches could not be merged because their shapes or hash
+    /// seeds differ.
+    IncompatibleMerge {
+        /// Description of the first mismatching attribute.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid sketch configuration: {parameter}: {reason}")
+            }
+            SketchError::IncompatibleMerge { reason } => {
+                write!(f, "sketches cannot be merged: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SketchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SketchError::InvalidConfig {
+            parameter: "num_tables",
+            reason: "must be positive".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("num_tables"));
+        assert!(text.contains("must be positive"));
+
+        let m = SketchError::IncompatibleMerge {
+            reason: "seed mismatch".into(),
+        };
+        assert!(m.to_string().contains("seed mismatch"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<SketchError>();
+    }
+}

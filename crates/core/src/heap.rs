@@ -1,0 +1,399 @@
+//! An addressable (indexed) max-heap.
+//!
+//! The Tracking DCS keeps, per first-level bucket `b`, a max-heap
+//! `topDestHeap(b)` over destination sample frequencies that must support
+//! *in-place priority adjustment* ("find entry for destination v', update
+//! frequency, and adjust the heap" — Fig. 6, steps 11/21) as well as the
+//! classic `deleteMax` used by `TrackTopk` (Fig. 7, step 11). A plain
+//! `BinaryHeap` cannot do the former, so this module implements a binary
+//! heap with a key → slot index map giving `O(log n)` increase/decrease
+//! and removal, `O(1)` lookup, and a non-destructive `top_k` traversal.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A binary max-heap whose entries can be addressed by key.
+///
+/// Priorities are `u64`; ties are broken by the larger key so that
+/// ordering (and therefore every top-k answer in the crate) is fully
+/// deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_core::heap::IndexedMaxHeap;
+///
+/// let mut heap = IndexedMaxHeap::new();
+/// heap.set(7u32, 3);
+/// heap.set(9u32, 5);
+/// heap.set(7u32, 10); // in-place priority update
+/// assert_eq!(heap.peek_max(), Some((&7u32, 10)));
+/// assert_eq!(heap.pop_max(), Some((7u32, 10)));
+/// assert_eq!(heap.pop_max(), Some((9u32, 5)));
+/// assert_eq!(heap.pop_max(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IndexedMaxHeap<K> {
+    /// Heap-ordered `(priority, key)` slots.
+    slots: Vec<(u64, K)>,
+    /// Key → slot index.
+    positions: HashMap<K, usize>,
+}
+
+impl<K: Ord + Hash + Clone> IndexedMaxHeap<K> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            positions: HashMap::new(),
+        }
+    }
+
+    /// Number of entries in the heap.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the heap holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Returns the priority of `key`, if present.
+    pub fn priority(&self, key: &K) -> Option<u64> {
+        self.positions.get(key).map(|&i| self.slots[i].0)
+    }
+
+    /// Inserts `key` with `priority`, or updates its priority in place.
+    pub fn set(&mut self, key: K, priority: u64) {
+        match self.positions.get(&key) {
+            Some(&i) => {
+                let old = self.slots[i].0;
+                self.slots[i].0 = priority;
+                if priority > old {
+                    self.sift_up(i);
+                } else if priority < old {
+                    self.sift_down(i);
+                }
+            }
+            None => {
+                let i = self.slots.len();
+                self.positions.insert(key.clone(), i);
+                self.slots.push((priority, key));
+                self.sift_up(i);
+            }
+        }
+    }
+
+    /// Adds `delta` to `key`'s priority, inserting it at `max(delta, 0)`
+    /// if absent. Entries whose priority reaches zero are removed, which
+    /// matches the Tracking DCS semantics: a destination with no
+    /// singleton occurrences left contributes nothing to the sample.
+    pub fn adjust(&mut self, key: K, delta: i64) {
+        let current = self.priority(&key).unwrap_or(0) as i64;
+        let next = (current + delta).max(0) as u64;
+        if next == 0 {
+            self.remove(&key);
+        } else {
+            self.set(key, next);
+        }
+    }
+
+    /// Removes `key`, returning its priority if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<u64> {
+        let i = self.positions.remove(key)?;
+        let (priority, _) = self.slots.swap_remove(i);
+        if i < self.slots.len() {
+            let moved_key = self.slots[i].1.clone();
+            self.positions.insert(moved_key, i);
+            self.sift_down(i);
+            self.sift_up(i);
+        }
+        Some(priority)
+    }
+
+    /// Returns the maximum entry without removing it.
+    pub fn peek_max(&self) -> Option<(&K, u64)> {
+        self.slots.first().map(|(p, k)| (k, *p))
+    }
+
+    /// Removes and returns the maximum entry — the paper's `deleteMax`.
+    pub fn pop_max(&mut self) -> Option<(K, u64)> {
+        let (_, key) = self.slots.first().cloned()?;
+        let priority = self.remove(&key)?;
+        Some((key, priority))
+    }
+
+    /// Returns the `k` largest entries in descending order *without
+    /// mutating the heap*, in `O(k log k)` time.
+    ///
+    /// This is how `TrackTopk` reads the top-k destinations here: the
+    /// paper pops `k` times and would need to re-insert; a frontier
+    /// traversal over the heap array gives the same answer read-only.
+    pub fn top_k(&self, k: usize) -> Vec<(K, u64)> {
+        let mut out = Vec::with_capacity(k.min(self.slots.len()));
+        if k == 0 || self.slots.is_empty() {
+            return out;
+        }
+        // Frontier of slot indices ordered like `pop_max`: priority
+        // descending, ties broken by the larger key.
+        let mut frontier = std::collections::BinaryHeap::new();
+        frontier.push((self.slots[0].0, self.slots[0].1.clone(), 0usize));
+        while out.len() < k {
+            let Some((priority, key, slot)) = frontier.pop() else {
+                break;
+            };
+            out.push((key, priority));
+            for child in [2 * slot + 1, 2 * slot + 2] {
+                if child < self.slots.len() {
+                    frontier.push((self.slots[child].0, self.slots[child].1.clone(), child));
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates over all `(key, priority)` entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.slots.iter().map(|(p, k)| (k, *p))
+    }
+
+    /// Approximate heap memory used by the structure's backing storage.
+    pub fn heap_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<(u64, K)>()
+            + self.positions.capacity() * (std::mem::size_of::<(K, usize)>() + 8)
+    }
+
+    /// `(priority, key)` ordering: max by priority, ties by larger key.
+    #[inline]
+    fn greater(&self, a: usize, b: usize) -> bool {
+        self.slots[a] > self.slots[b]
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.slots.swap(a, b);
+        self.positions.insert(self.slots[a].1.clone(), a);
+        self.positions.insert(self.slots[b].1.clone(), b);
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.greater(i, parent) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let mut largest = i;
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < self.slots.len() && self.greater(child, largest) {
+                    largest = child;
+                }
+            }
+            if largest == i {
+                break;
+            }
+            self.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    /// Debug-only invariant check: heap order and position-map coherence.
+    #[cfg(test)]
+    fn assert_invariants(&self) {
+        assert_eq!(self.slots.len(), self.positions.len());
+        for (i, (_, k)) in self.slots.iter().enumerate() {
+            assert_eq!(self.positions[k], i, "position map out of sync");
+            if i > 0 {
+                let parent = (i - 1) / 2;
+                assert!(!self.greater(i, parent), "heap order violated at slot {i}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn empty_heap_behaves() {
+        let mut h: IndexedMaxHeap<u32> = IndexedMaxHeap::new();
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.peek_max(), None);
+        assert_eq!(h.pop_max(), None);
+        assert_eq!(h.priority(&1), None);
+        assert_eq!(h.remove(&1), None);
+        assert!(h.top_k(3).is_empty());
+    }
+
+    #[test]
+    fn pop_order_is_descending_with_key_tiebreak() {
+        let mut h = IndexedMaxHeap::new();
+        h.set(1u32, 5);
+        h.set(2u32, 5);
+        h.set(3u32, 7);
+        assert_eq!(h.pop_max(), Some((3, 7)));
+        // Tie at priority 5: larger key first (deterministic).
+        assert_eq!(h.pop_max(), Some((2, 5)));
+        assert_eq!(h.pop_max(), Some((1, 5)));
+    }
+
+    #[test]
+    fn adjust_to_zero_removes_entry() {
+        let mut h = IndexedMaxHeap::new();
+        h.adjust(5u32, 2);
+        assert_eq!(h.priority(&5), Some(2));
+        h.adjust(5u32, -2);
+        assert_eq!(h.priority(&5), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn adjust_missing_key_with_negative_delta_is_noop() {
+        let mut h = IndexedMaxHeap::new();
+        h.adjust(5u32, -3);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn top_k_matches_pop_order_and_does_not_mutate() {
+        let mut h = IndexedMaxHeap::new();
+        for i in 0..50u32 {
+            h.set(i, u64::from((i * 37) % 23));
+        }
+        let snapshot = h.top_k(10);
+        assert_eq!(h.len(), 50, "top_k must not mutate");
+        let mut popped = Vec::new();
+        for _ in 0..10 {
+            popped.push(h.pop_max().unwrap());
+        }
+        assert_eq!(snapshot, popped);
+    }
+
+    #[test]
+    fn top_k_larger_than_len_returns_everything() {
+        let mut h = IndexedMaxHeap::new();
+        h.set(1u32, 1);
+        h.set(2u32, 2);
+        assert_eq!(h.top_k(10).len(), 2);
+    }
+
+    #[test]
+    fn set_updates_in_place() {
+        let mut h = IndexedMaxHeap::new();
+        for i in 0..20u32 {
+            h.set(i, u64::from(i));
+        }
+        h.set(0, 100);
+        h.assert_invariants();
+        assert_eq!(h.peek_max(), Some((&0, 100)));
+        h.set(0, 0);
+        h.assert_invariants();
+        assert_ne!(h.peek_max().unwrap().0, &0);
+        assert_eq!(h.len(), 20);
+    }
+
+    #[test]
+    fn remove_interior_keeps_invariants() {
+        let mut h = IndexedMaxHeap::new();
+        for i in 0..31u32 {
+            h.set(i, u64::from((i * 13) % 17));
+        }
+        for victim in [5u32, 0, 30, 16] {
+            h.remove(&victim);
+            h.assert_invariants();
+        }
+        assert_eq!(h.len(), 27);
+    }
+
+    #[test]
+    fn iter_covers_all_entries() {
+        let mut h = IndexedMaxHeap::new();
+        for i in 0..10u32 {
+            h.set(i, 1);
+        }
+        assert_eq!(h.iter().count(), 10);
+        assert!(h.heap_bytes() > 0);
+    }
+
+    /// Model-based property test against a BTreeMap.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Set(u8, u64),
+        Adjust(u8, i64),
+        Remove(u8),
+        PopMax,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (any::<u8>(), 1u64..100).prop_map(|(k, p)| Op::Set(k, p)),
+            (any::<u8>(), -5i64..6).prop_map(|(k, d)| Op::Adjust(k, d)),
+            any::<u8>().prop_map(Op::Remove),
+            Just(Op::PopMax),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn heap_matches_map_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+            let mut heap = IndexedMaxHeap::new();
+            let mut model: BTreeMap<u8, u64> = BTreeMap::new();
+            for op in ops {
+                match op {
+                    Op::Set(k, p) => {
+                        heap.set(k, p);
+                        model.insert(k, p);
+                    }
+                    Op::Adjust(k, d) => {
+                        heap.adjust(k, d);
+                        let next = (*model.get(&k).unwrap_or(&0) as i64 + d).max(0) as u64;
+                        if next == 0 {
+                            model.remove(&k);
+                        } else {
+                            model.insert(k, next);
+                        }
+                    }
+                    Op::Remove(k) => {
+                        let got = heap.remove(&k);
+                        let expected = model.remove(&k);
+                        prop_assert_eq!(got, expected);
+                    }
+                    Op::PopMax => {
+                        let got = heap.pop_max();
+                        // Model max: highest priority, ties to larger key.
+                        let expected = model
+                            .iter()
+                            .map(|(&k, &p)| (p, k))
+                            .max()
+                            .map(|(p, k)| (k, p));
+                        if let Some((k, _)) = expected {
+                            model.remove(&k);
+                        }
+                        prop_assert_eq!(got, expected);
+                    }
+                }
+                heap.assert_invariants();
+                prop_assert_eq!(heap.len(), model.len());
+            }
+            // Drain both and compare orderings.
+            let mut drained = Vec::new();
+            while let Some(e) = heap.pop_max() {
+                drained.push(e);
+            }
+            let mut expected: Vec<(u8, u64)> = model.into_iter().collect();
+            expected.sort_by_key(|&(k, p)| std::cmp::Reverse((p, k)));
+            prop_assert_eq!(drained, expected);
+        }
+    }
+}

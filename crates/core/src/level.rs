@@ -1,0 +1,155 @@
+//! First-level bucket storage: `r` second-level hash tables of `s`
+//! count-signature buckets each.
+//!
+//! Levels are allocated lazily — the geometric first-level hash sends a
+//! `U`-pair stream into only ≈ `log₂ U` distinct levels, and the paper's
+//! §6.1 space accounting ("approximately 23 non-empty first-level
+//! buckets" at `U = 8·10⁶`) counts exactly those. The sketch mirrors
+//! that by materializing a level the first time a pair lands in it.
+
+use crate::signature::{BucketState, CountSignature};
+use crate::types::{Delta, FlowKey};
+
+/// Counter storage for one first-level bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub(crate) struct LevelState {
+    /// `tables[j][k]` is the signature of bucket `k` in table `j`.
+    tables: Vec<Vec<CountSignature>>,
+}
+
+impl LevelState {
+    /// Allocates an all-empty level with `r` tables of `s` buckets.
+    pub(crate) fn new(num_tables: usize, buckets_per_table: usize) -> Self {
+        Self {
+            tables: vec![vec![CountSignature::new(); buckets_per_table]; num_tables],
+        }
+    }
+
+    /// Applies an update to bucket `bucket` of table `table`.
+    #[inline]
+    pub(crate) fn apply(&mut self, table: usize, bucket: usize, key: FlowKey, delta: Delta) {
+        self.tables[table][bucket].apply(key, delta);
+    }
+
+    /// Decodes bucket `bucket` of table `table`.
+    #[inline]
+    pub(crate) fn decode(&self, table: usize, bucket: usize) -> BucketState {
+        self.tables[table][bucket].decode()
+    }
+
+    /// The paper's `GetdSample(X, b)` (Fig. 4): scans every second-level
+    /// bucket, decoding singletons; distinct recovered keys are pushed
+    /// into `out` (deduplicated by the caller's set semantics).
+    pub(crate) fn collect_singletons(&self, out: &mut std::collections::HashSet<FlowKey>) {
+        for table in &self.tables {
+            for sig in table {
+                if let BucketState::Singleton { key, .. } = sig.decode() {
+                    out.insert(key);
+                }
+            }
+        }
+    }
+
+    /// Adds another level's counters bucket-wise.
+    pub(crate) fn merge_from(&mut self, other: &LevelState) {
+        debug_assert_eq!(self.tables.len(), other.tables.len());
+        for (mine, theirs) in self.tables.iter_mut().zip(&other.tables) {
+            debug_assert_eq!(mine.len(), theirs.len());
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                a.merge_from(b);
+            }
+        }
+    }
+
+    /// Subtracts another level's counters bucket-wise.
+    pub(crate) fn subtract(&mut self, other: &LevelState) {
+        debug_assert_eq!(self.tables.len(), other.tables.len());
+        for (mine, theirs) in self.tables.iter_mut().zip(&other.tables) {
+            debug_assert_eq!(mine.len(), theirs.len());
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                a.subtract(b);
+            }
+        }
+    }
+
+    /// Whether every signature in the level is zero.
+    pub(crate) fn is_zero(&self) -> bool {
+        self.tables
+            .iter()
+            .all(|t| t.iter().all(CountSignature::is_zero))
+    }
+
+    /// Heap bytes used by the level's counter arrays.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .flat_map(|t| t.iter())
+            .map(CountSignature::heap_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{DestAddr, SourceAddr};
+    use std::collections::HashSet;
+
+    fn key(s: u32, d: u32) -> FlowKey {
+        FlowKey::new(SourceAddr(s), DestAddr(d))
+    }
+
+    #[test]
+    fn fresh_level_is_zero() {
+        let level = LevelState::new(3, 8);
+        assert!(level.is_zero());
+        assert_eq!(level.decode(0, 0), BucketState::Empty);
+        let mut sample = HashSet::new();
+        level.collect_singletons(&mut sample);
+        assert!(sample.is_empty());
+    }
+
+    #[test]
+    fn collect_singletons_dedups_across_tables() {
+        let mut level = LevelState::new(3, 4);
+        let k = key(1, 2);
+        // Same key singleton in all three tables.
+        for j in 0..3 {
+            level.apply(j, j, k, Delta::Insert);
+        }
+        let mut sample = HashSet::new();
+        level.collect_singletons(&mut sample);
+        assert_eq!(sample.len(), 1);
+        assert!(sample.contains(&k));
+    }
+
+    #[test]
+    fn collisions_are_skipped() {
+        let mut level = LevelState::new(1, 2);
+        level.apply(0, 0, key(1, 1), Delta::Insert);
+        level.apply(0, 0, key(2, 2), Delta::Insert);
+        level.apply(0, 1, key(3, 3), Delta::Insert);
+        let mut sample = HashSet::new();
+        level.collect_singletons(&mut sample);
+        assert_eq!(sample, HashSet::from([key(3, 3)]));
+    }
+
+    #[test]
+    fn merge_from_adds_counters() {
+        let mut a = LevelState::new(1, 2);
+        let mut b = LevelState::new(1, 2);
+        a.apply(0, 0, key(1, 1), Delta::Insert);
+        b.apply(0, 1, key(2, 2), Delta::Insert);
+        a.merge_from(&b);
+        let mut sample = HashSet::new();
+        a.collect_singletons(&mut sample);
+        assert_eq!(sample.len(), 2);
+    }
+
+    #[test]
+    fn heap_bytes_counts_all_signatures() {
+        let level = LevelState::new(2, 3);
+        assert_eq!(level.heap_bytes(), 2 * 3 * 65 * 8);
+    }
+}

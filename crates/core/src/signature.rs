@@ -1,0 +1,345 @@
+//! Count signatures: the per-bucket counter arrays that make the sketch
+//! delete-resilient and let singleton buckets be *decoded* back into the
+//! unique pair they hold.
+//!
+//! A signature is the paper's array of `2·log m + 1 = 65` counters for a
+//! second-level hash bucket: one **total element count** (net number of
+//! pairs mapped to the bucket) and, for each bit position `j` of the
+//! packed pair, a **bit-location count** (net number of mapped pairs with
+//! `BIT_j = 1`). Both counts are *net* — an insert followed by a delete
+//! of the same pair leaves the signature exactly as if the pair had never
+//! been seen, which is the delete-resilience property everything else in
+//! the sketch rests on.
+
+use crate::config::KEY_BITS;
+use crate::types::{Delta, FlowKey};
+
+/// The number of counters in a signature: one total + 64 bit locations.
+pub const SIGNATURE_LEN: usize = KEY_BITS as usize + 1;
+
+/// What a count signature reveals about its bucket's contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BucketState {
+    /// No pairs currently map to the bucket (net).
+    Empty,
+    /// Exactly one distinct pair maps to the bucket.
+    Singleton {
+        /// The recovered pair.
+        key: FlowKey,
+        /// Its net multiplicity (≥ 1 on well-formed streams).
+        net_count: i64,
+    },
+    /// Two or more distinct pairs map to the bucket — nothing can be
+    /// recovered. Also reported for signatures that could only arise
+    /// from ill-formed streams (negative net counts).
+    Collision,
+}
+
+impl BucketState {
+    /// Returns the recovered key if the bucket is a singleton —
+    /// the paper's `ReturnSingleton` (Fig. 4), `null` mapped to `None`.
+    pub fn singleton_key(self) -> Option<FlowKey> {
+        match self {
+            BucketState::Singleton { key, .. } => Some(key),
+            _ => None,
+        }
+    }
+}
+
+/// A second-level hash bucket's counter array.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_core::signature::{BucketState, CountSignature};
+/// use dcs_core::{Delta, FlowKey};
+///
+/// let mut sig = CountSignature::new();
+/// let key = FlowKey::from_packed(0xdead_beef);
+/// sig.apply(key, Delta::Insert);
+/// assert_eq!(sig.decode().singleton_key(), Some(key));
+/// sig.apply(key, Delta::Delete);
+/// assert_eq!(sig.decode(), BucketState::Empty);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CountSignature {
+    /// `counts[0]` is the total element count; `counts[1 + j]` is the
+    /// bit-location count for bit `j` of the packed pair.
+    counts: Vec<i64>,
+}
+
+impl CountSignature {
+    /// Creates an all-zero (empty) signature.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; SIGNATURE_LEN],
+        }
+    }
+
+    /// Applies an update for `key` to the signature: the total count and
+    /// every bit-location count where `key` has a 1-bit move by ±1.
+    #[inline]
+    pub fn apply(&mut self, key: FlowKey, delta: Delta) {
+        let sign = delta.signum();
+        self.counts[0] += sign;
+        let mut bits = key.packed();
+        while bits != 0 {
+            let j = bits.trailing_zeros();
+            self.counts[1 + j as usize] += sign;
+            bits &= bits - 1;
+        }
+    }
+
+    /// The net total number of pairs mapped to this bucket.
+    #[inline]
+    pub fn net_total(&self) -> i64 {
+        self.counts[0]
+    }
+
+    /// Whether the signature is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Decodes the bucket's contents — the paper's `ReturnSingleton`
+    /// logic (Fig. 4): a bucket is a singleton iff every bit-location
+    /// count is either `0` (all pairs have a 0-bit there) or equal to the
+    /// total (all pairs have a 1-bit there); the pattern of which counts
+    /// equal the total spells out the unique pair's binary signature.
+    ///
+    /// On well-formed streams (no pair's net count ever negative) the
+    /// decode is sound: a bucket holding two or more distinct pairs can
+    /// never masquerade as a singleton, because the pairs differ in some
+    /// bit `j` and that bit's count then lies strictly between `0` and
+    /// the total.
+    #[inline]
+    pub fn decode(&self) -> BucketState {
+        let total = self.counts[0];
+        if total == 0 {
+            // A zero total with nonzero bit counts can only arise from
+            // ill-formed streams; classify it as a collision rather than
+            // erasing information.
+            return if self.is_zero() {
+                BucketState::Empty
+            } else {
+                BucketState::Collision
+            };
+        }
+        if total < 0 {
+            return BucketState::Collision;
+        }
+        let mut packed = 0u64;
+        for j in 0..KEY_BITS {
+            let c = self.counts[1 + j as usize];
+            if c == total {
+                packed |= 1 << j;
+            } else if c != 0 {
+                return BucketState::Collision;
+            }
+        }
+        BucketState::Singleton {
+            key: FlowKey::from_packed(packed),
+            net_count: total,
+        }
+    }
+
+    /// Adds another signature counter-wise (used by sketch merging).
+    pub fn merge_from(&mut self, other: &CountSignature) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Subtracts another signature counter-wise (used by sketch
+    /// differencing — counters are linear, so subtracting a snapshot
+    /// leaves exactly the updates that arrived after it).
+    pub fn subtract(&mut self, other: &CountSignature) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a -= b;
+        }
+    }
+
+    /// Heap bytes used by this signature's counters.
+    pub fn heap_bytes(&self) -> usize {
+        self.counts.len() * std::mem::size_of::<i64>()
+    }
+}
+
+impl Default for CountSignature {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{DestAddr, SourceAddr};
+
+    fn key(s: u32, d: u32) -> FlowKey {
+        FlowKey::new(SourceAddr(s), DestAddr(d))
+    }
+
+    #[test]
+    fn empty_signature_decodes_empty() {
+        let sig = CountSignature::new();
+        assert_eq!(sig.decode(), BucketState::Empty);
+        assert!(sig.is_zero());
+        assert_eq!(sig.net_total(), 0);
+    }
+
+    #[test]
+    fn single_insert_decodes_to_the_key() {
+        let mut sig = CountSignature::new();
+        let k = key(0xAABB_CCDD, 0x1122_3344);
+        sig.apply(k, Delta::Insert);
+        assert_eq!(
+            sig.decode(),
+            BucketState::Singleton {
+                key: k,
+                net_count: 1
+            }
+        );
+    }
+
+    #[test]
+    fn repeated_inserts_of_same_key_stay_singleton() {
+        let mut sig = CountSignature::new();
+        let k = key(5, 9);
+        for _ in 0..7 {
+            sig.apply(k, Delta::Insert);
+        }
+        assert_eq!(
+            sig.decode(),
+            BucketState::Singleton {
+                key: k,
+                net_count: 7
+            }
+        );
+    }
+
+    #[test]
+    fn two_distinct_keys_collide() {
+        let mut sig = CountSignature::new();
+        sig.apply(key(1, 2), Delta::Insert);
+        sig.apply(key(3, 4), Delta::Insert);
+        assert_eq!(sig.decode(), BucketState::Collision);
+    }
+
+    #[test]
+    fn two_keys_differing_in_one_bit_collide() {
+        let mut sig = CountSignature::new();
+        let a = FlowKey::from_packed(0b1000);
+        let b = FlowKey::from_packed(0b1001);
+        sig.apply(a, Delta::Insert);
+        sig.apply(b, Delta::Insert);
+        assert_eq!(sig.decode(), BucketState::Collision);
+    }
+
+    #[test]
+    fn delete_reverts_insert_exactly() {
+        let mut sig = CountSignature::new();
+        let resident = key(10, 20);
+        sig.apply(resident, Delta::Insert);
+        let reference = sig.clone();
+
+        let transient = key(77, 88);
+        sig.apply(transient, Delta::Insert);
+        assert_eq!(sig.decode(), BucketState::Collision);
+        sig.apply(transient, Delta::Delete);
+        assert_eq!(sig, reference, "signature must be impervious to deletes");
+        assert_eq!(sig.decode().singleton_key(), Some(resident));
+    }
+
+    #[test]
+    fn collision_resolves_back_to_singleton_after_delete() {
+        let mut sig = CountSignature::new();
+        let a = key(1, 1);
+        let b = key(2, 2);
+        sig.apply(a, Delta::Insert);
+        sig.apply(b, Delta::Insert);
+        sig.apply(a, Delta::Delete);
+        assert_eq!(
+            sig.decode(),
+            BucketState::Singleton {
+                key: b,
+                net_count: 1
+            }
+        );
+    }
+
+    #[test]
+    fn all_zero_key_is_a_valid_singleton() {
+        // The pair (0.0.0.0 -> 0.0.0.0) packs to 0: total count is the
+        // only evidence, and the decode must report it, not Empty.
+        let mut sig = CountSignature::new();
+        let zero = FlowKey::from_packed(0);
+        sig.apply(zero, Delta::Insert);
+        assert_eq!(
+            sig.decode(),
+            BucketState::Singleton {
+                key: zero,
+                net_count: 1
+            }
+        );
+    }
+
+    #[test]
+    fn all_ones_key_roundtrips() {
+        let mut sig = CountSignature::new();
+        let k = FlowKey::from_packed(u64::MAX);
+        sig.apply(k, Delta::Insert);
+        assert_eq!(sig.decode().singleton_key(), Some(k));
+    }
+
+    #[test]
+    fn ill_formed_negative_total_reports_collision() {
+        let mut sig = CountSignature::new();
+        sig.apply(key(1, 2), Delta::Delete);
+        assert_eq!(sig.decode(), BucketState::Collision);
+    }
+
+    #[test]
+    fn ill_formed_zero_total_nonzero_bits_reports_collision() {
+        // Insert a, delete b (a != b): total 0 but bit residue remains.
+        let mut sig = CountSignature::new();
+        sig.apply(key(1, 2), Delta::Insert);
+        sig.apply(key(3, 4), Delta::Delete);
+        assert_eq!(sig.net_total(), 0);
+        assert!(!sig.is_zero());
+        assert_eq!(sig.decode(), BucketState::Collision);
+    }
+
+    #[test]
+    fn merge_from_adds_counterwise() {
+        let mut a = CountSignature::new();
+        let mut b = CountSignature::new();
+        let k = key(9, 9);
+        a.apply(k, Delta::Insert);
+        b.apply(k, Delta::Insert);
+        a.merge_from(&b);
+        assert_eq!(
+            a.decode(),
+            BucketState::Singleton {
+                key: k,
+                net_count: 2
+            }
+        );
+    }
+
+    #[test]
+    fn merge_of_disjoint_singletons_is_collision() {
+        let mut a = CountSignature::new();
+        let mut b = CountSignature::new();
+        a.apply(key(1, 2), Delta::Insert);
+        b.apply(key(3, 4), Delta::Insert);
+        a.merge_from(&b);
+        assert_eq!(a.decode(), BucketState::Collision);
+    }
+
+    #[test]
+    fn heap_bytes_is_65_counters() {
+        assert_eq!(CountSignature::new().heap_bytes(), 65 * 8);
+    }
+}

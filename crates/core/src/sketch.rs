@@ -1,0 +1,880 @@
+//! The (Basic) Distinct-Count Sketch — §3 and §4 of the paper.
+
+use std::collections::HashSet;
+
+use dcs_hash::{GeometricLevelHash, Hash64, MultiplyShiftHash, SeedSequence, TabulationHash};
+
+use crate::config::{HashFamily, SketchConfig};
+use crate::error::SketchError;
+use crate::estimator::{
+    group_frequencies, threshold_from_frequencies, top_k_from_frequencies, TopKEstimate,
+};
+use crate::level::LevelState;
+use crate::signature::BucketState;
+use crate::types::{Delta, FlowKey, FlowUpdate};
+
+/// A distinct sample extracted from a sketch, with its inference level.
+///
+/// `keys` is a uniform sample (rate `2^-level`) over the *distinct*
+/// source-destination pairs with positive net frequency; `level` is the
+/// lowest first-level bucket included.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistinctSample {
+    /// The sampled distinct pairs.
+    pub keys: Vec<FlowKey>,
+    /// The lowest first-level bucket index included; the sampling rate
+    /// is `2^-level`.
+    pub level: u32,
+}
+
+impl DistinctSample {
+    /// The scale factor `2^level` that unbiases sample counts.
+    pub fn scale(&self) -> u64 {
+        1u64 << self.level
+    }
+}
+
+/// A second-level hash function of the configured [`HashFamily`].
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+enum TableHash {
+    MultiplyShift(MultiplyShiftHash),
+    Tabulation(Box<TabulationHash>),
+}
+
+impl TableHash {
+    fn new(family: HashFamily, seed: u64) -> Self {
+        match family {
+            HashFamily::MultiplyShift => TableHash::MultiplyShift(MultiplyShiftHash::new(seed)),
+            HashFamily::Tabulation => TableHash::Tabulation(Box::new(TabulationHash::new(seed))),
+        }
+    }
+}
+
+impl Hash64 for TableHash {
+    #[inline]
+    fn hash(&self, key: u64) -> u64 {
+        match self {
+            TableHash::MultiplyShift(h) => h.hash(key),
+            TableHash::Tabulation(h) => h.hash(key),
+        }
+    }
+}
+
+/// The Basic Distinct-Count Sketch (Fig. 2).
+///
+/// A delete-resilient synopsis of a flow-update stream supporting
+/// approximate top-k *distinct-source frequency* queries. Updates cost
+/// `O(r · log m)` counter operations; queries ([`estimate_top_k`]) scan
+/// the structure (`O(r · s · log² m)`) — use
+/// [`TrackingDcs`](crate::tracking::TrackingDcs) when queries are
+/// frequent.
+///
+/// # Well-formed streams
+///
+/// Singleton decoding is sound when the stream is *well-formed*: at every
+/// prefix, each pair's net count is ≥ 0 (deletions never outnumber prior
+/// insertions of the same pair). SYN/ACK flow-update streams have this
+/// property by construction. On ill-formed streams the sketch stays
+/// consistent (counters are exact), but decodes may misreport buckets
+/// and estimates lose their guarantees.
+///
+/// [`estimate_top_k`]: DistinctCountSketch::estimate_top_k
+///
+/// # Examples
+///
+/// ```
+/// use dcs_core::{DestAddr, DistinctCountSketch, SketchConfig, SourceAddr};
+///
+/// let mut sketch = DistinctCountSketch::new(SketchConfig::paper_default());
+/// for s in 0..100u32 {
+///     sketch.insert(SourceAddr(s), DestAddr(7));
+/// }
+/// let top = sketch.estimate_top_k(1, 0.25);
+/// assert_eq!(top.entries[0].group, 7);
+/// ```
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DistinctCountSketch {
+    config: SketchConfig,
+    level_hash: GeometricLevelHash,
+    table_hashes: Vec<TableHash>,
+    levels: Vec<Option<LevelState>>,
+    updates_processed: u64,
+    net_updates: i64,
+}
+
+impl DistinctCountSketch {
+    /// Creates an empty sketch with the given configuration.
+    pub fn new(config: SketchConfig) -> Self {
+        let mut seeds = SeedSequence::new(config.seed());
+        let level_hash = GeometricLevelHash::new(seeds.next_seed(), config.max_levels());
+        let table_hashes = (0..config.num_tables())
+            .map(|_| TableHash::new(config.hash_family(), seeds.next_seed()))
+            .collect();
+        let levels = vec![None; config.max_levels() as usize];
+        Self {
+            config,
+            level_hash,
+            table_hashes,
+            levels,
+            updates_processed: 0,
+            net_updates: 0,
+        }
+    }
+
+    /// Creates a sketch with the paper's default configuration.
+    pub fn with_default_config() -> Self {
+        Self::new(SketchConfig::paper_default())
+    }
+
+    /// The sketch's configuration.
+    pub fn config(&self) -> &SketchConfig {
+        &self.config
+    }
+
+    /// Total number of updates (inserts + deletes) processed.
+    pub fn updates_processed(&self) -> u64 {
+        self.updates_processed
+    }
+
+    /// Net sum of update signs (inserts minus deletes).
+    pub fn net_updates(&self) -> i64 {
+        self.net_updates
+    }
+
+    /// The first-level bucket a key maps to.
+    #[inline]
+    pub fn level_of(&self, key: FlowKey) -> u32 {
+        self.level_hash.level(key.packed())
+    }
+
+    /// The second-level bucket a key maps to in table `table`.
+    #[inline]
+    pub fn bucket_of(&self, table: usize, key: FlowKey) -> usize {
+        self.table_hashes[table].hash_to_range(key.packed(), self.config.buckets_per_table())
+    }
+
+    /// Processes one flow update — the basic maintenance algorithm of §3:
+    /// for each of the `r` second-level tables at level `h(u,v)`, apply
+    /// the update to the count signature at `g_j(u,v)`.
+    #[inline]
+    pub fn update(&mut self, update: FlowUpdate) {
+        let level = self.level_of(update.key) as usize;
+        let buckets = self.config.buckets_per_table();
+        let num_tables = self.config.num_tables();
+        let state = self.levels[level].get_or_insert_with(|| LevelState::new(num_tables, buckets));
+        for (table, hash) in self.table_hashes.iter().enumerate() {
+            let bucket = hash.hash_to_range(update.key.packed(), buckets);
+            state.apply(table, bucket, update.key, update.delta);
+        }
+        self.updates_processed += 1;
+        self.net_updates += update.delta.signum();
+    }
+
+    /// Convenience: processes a `+1` update for `(source, dest)`.
+    pub fn insert(&mut self, source: crate::types::SourceAddr, dest: crate::types::DestAddr) {
+        self.update(FlowUpdate::insert(source, dest));
+    }
+
+    /// Convenience: processes a `-1` update for `(source, dest)`.
+    pub fn delete(&mut self, source: crate::types::SourceAddr, dest: crate::types::DestAddr) {
+        self.update(FlowUpdate::delete(source, dest));
+    }
+
+    /// Processes a batch of updates.
+    pub fn extend<I: IntoIterator<Item = FlowUpdate>>(&mut self, updates: I) {
+        for u in updates {
+            self.update(u);
+        }
+    }
+
+    /// Decodes the bucket `(level, table, bucket)` without allocating.
+    pub(crate) fn decode_bucket(&self, level: usize, table: usize, bucket: usize) -> BucketState {
+        match &self.levels[level] {
+            Some(state) => state.decode(table, bucket),
+            None => BucketState::Empty,
+        }
+    }
+
+    /// Applies an update to a single `(level, table, bucket)` cell —
+    /// used by the tracking layer, which interleaves decodes between
+    /// per-table applications.
+    pub(crate) fn apply_at(
+        &mut self,
+        level: usize,
+        table: usize,
+        bucket: usize,
+        key: FlowKey,
+        delta: Delta,
+    ) {
+        self.level_mut(level).apply(table, bucket, key, delta);
+    }
+
+    pub(crate) fn note_update(&mut self, delta: Delta) {
+        self.updates_processed += 1;
+        self.net_updates += delta.signum();
+    }
+
+    fn level_mut(&mut self, level: usize) -> &mut LevelState {
+        self.levels[level].get_or_insert_with(|| {
+            LevelState::new(self.config.num_tables(), self.config.buckets_per_table())
+        })
+    }
+
+    /// Extracts the distinct sample for an estimation target of
+    /// `(1+ε)·s/16` pairs — the sampling loop of `BaseTopk`
+    /// (Fig. 3, steps 1–6).
+    ///
+    /// Decoded keys are cross-checked against the first-level hash
+    /// (`level_of(key) == level`), which is a no-op on well-formed
+    /// streams and discards phantom decodes on ill-formed ones.
+    pub fn distinct_sample(&self, epsilon: f64) -> DistinctSample {
+        let target = self.config.target_sample_size(epsilon);
+        let mut sample: HashSet<FlowKey> = HashSet::new();
+        let mut lowest = 0u32;
+        for level in (0..self.config.max_levels()).rev() {
+            if let Some(state) = &self.levels[level as usize] {
+                let mut candidates = HashSet::new();
+                state.collect_singletons(&mut candidates);
+                sample.extend(
+                    candidates
+                        .into_iter()
+                        .filter(|k| self.level_of(*k) == level),
+                );
+            }
+            if sample.len() >= target {
+                lowest = level;
+                break;
+            }
+        }
+        let mut keys: Vec<FlowKey> = sample.into_iter().collect();
+        keys.sort_unstable();
+        DistinctSample {
+            keys,
+            level: lowest,
+        }
+    }
+
+    /// `BaseTopk` (Fig. 3): estimates the top-`k` groups and their
+    /// distinct-count frequencies.
+    ///
+    /// `epsilon` is the relative-accuracy parameter; it sets the target
+    /// sample size `(1+ε)·s/16`. The returned estimate exposes the
+    /// inference level and sample size alongside the entries.
+    pub fn estimate_top_k(&self, k: usize, epsilon: f64) -> TopKEstimate {
+        let sample = self.distinct_sample(epsilon);
+        let freqs = group_frequencies(&sample.keys, self.config.group_by());
+        top_k_from_frequencies(
+            &freqs,
+            k,
+            self.config.group_by(),
+            sample.level,
+            sample.keys.len(),
+        )
+    }
+
+    /// Footnote-3 variant: estimates all groups with frequency ≥ `tau`.
+    pub fn estimate_threshold(&self, tau: u64, epsilon: f64) -> TopKEstimate {
+        let sample = self.distinct_sample(epsilon);
+        let freqs = group_frequencies(&sample.keys, self.config.group_by());
+        threshold_from_frequencies(
+            &freqs,
+            tau,
+            self.config.group_by(),
+            sample.level,
+            sample.keys.len(),
+        )
+    }
+
+    /// Estimates the total number `U` of distinct pairs with positive
+    /// net frequency (Flajolet–Martin style: sample size × scale).
+    pub fn estimate_distinct_pairs(&self, epsilon: f64) -> u64 {
+        let sample = self.distinct_sample(epsilon);
+        sample.keys.len() as u64 * sample.scale()
+    }
+
+    /// Whether two sketches share configuration and hash functions and
+    /// can therefore be merged.
+    pub fn is_compatible(&self, other: &Self) -> bool {
+        self.config == other.config
+    }
+
+    /// Merges another sketch built over a disjoint (or overlapping —
+    /// counters are linear) stream into this one, bucket-wise.
+    ///
+    /// This is how a central DDoS monitor combines synopses computed at
+    /// several edge routers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::IncompatibleMerge`] if the configurations
+    /// (including seeds) differ.
+    pub fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        if !self.is_compatible(other) {
+            return Err(SketchError::IncompatibleMerge {
+                reason: format!("configs differ: {:?} vs {:?}", self.config, other.config),
+            });
+        }
+        for (mine, theirs) in self.levels.iter_mut().zip(&other.levels) {
+            match (mine.as_mut(), theirs) {
+                (Some(a), Some(b)) => a.merge_from(b),
+                (None, Some(b)) => *mine = Some(b.clone()),
+                _ => {}
+            }
+        }
+        self.updates_processed += other.updates_processed;
+        self.net_updates += other.net_updates;
+        Ok(())
+    }
+
+    /// Subtracts an earlier snapshot of the same sketch, yielding a
+    /// sketch of exactly the updates that arrived *after* the snapshot.
+    ///
+    /// Counters are linear, so if `snapshot` was cloned from this
+    /// sketch at time `t₁` and this sketch has since processed more
+    /// updates, the difference equals a sketch built over only the
+    /// `(t₁, now]` updates. This is the building block for epoch-based
+    /// surge detection (see `dcs-netsim`'s epoch manager): compare the
+    /// *recent* distinct-source activity against baseline profiles
+    /// without keeping per-interval sketches.
+    ///
+    /// The resulting sketch is well-formed whenever the suffix stream
+    /// itself is (e.g., for insert-only suffixes, always).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::IncompatibleMerge`] if the configurations
+    /// (including seeds) differ.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_core::{DestAddr, DistinctCountSketch, SketchConfig, SourceAddr};
+    ///
+    /// let mut sketch = DistinctCountSketch::new(SketchConfig::paper_default());
+    /// sketch.insert(SourceAddr(1), DestAddr(9));
+    /// let snapshot = sketch.clone();
+    /// sketch.insert(SourceAddr(2), DestAddr(9));
+    /// let recent = sketch.difference(&snapshot)?;
+    /// assert_eq!(recent.estimate_distinct_pairs(0.25), 1); // only the new pair
+    /// # Ok::<(), dcs_core::SketchError>(())
+    /// ```
+    pub fn difference(&self, snapshot: &Self) -> Result<Self, SketchError> {
+        if !self.is_compatible(snapshot) {
+            return Err(SketchError::IncompatibleMerge {
+                reason: format!("configs differ: {:?} vs {:?}", self.config, snapshot.config),
+            });
+        }
+        let mut diff = self.clone();
+        for (mine, theirs) in diff.levels.iter_mut().zip(&snapshot.levels) {
+            match (mine.as_mut(), theirs) {
+                (Some(a), Some(b)) => a.subtract(b),
+                (None, Some(b))
+                    // Level never touched here but present in the
+                    // snapshot: only sound if the snapshot level is
+                    // all-zero (anything else would go negative).
+                    if !b.is_zero() => {
+                        let mut fresh =
+                            LevelState::new(self.config.num_tables(), self.config.buckets_per_table());
+                        fresh.subtract(b);
+                        *mine = Some(fresh);
+                    }
+                _ => {}
+            }
+        }
+        diff.updates_processed = self
+            .updates_processed
+            .saturating_sub(snapshot.updates_processed);
+        diff.net_updates = self.net_updates - snapshot.net_updates;
+        Ok(diff)
+    }
+
+    /// Estimates the distinct-count frequency of a single `group` from
+    /// the current distinct sample (a point query over the same sample
+    /// the top-k estimate uses).
+    pub fn estimate_group_frequency(&self, group: u32, epsilon: f64) -> u64 {
+        let sample = self.distinct_sample(epsilon);
+        let count = sample
+            .keys
+            .iter()
+            .filter(|k| self.config.group_by().group_of(**k) == group)
+            .count() as u64;
+        count * sample.scale()
+    }
+
+    /// Iterates over every currently-decodable singleton pair with its
+    /// level — the raw material of the distinct sample, exposed for
+    /// debugging and inspection.
+    ///
+    /// Distinct pairs decodable in several tables of one level are
+    /// yielded once. Order: descending level, ascending key.
+    pub fn singletons(&self) -> Vec<(u32, FlowKey)> {
+        let mut out = Vec::new();
+        for level in (0..self.config.max_levels()).rev() {
+            if let Some(state) = &self.levels[level as usize] {
+                let mut keys = HashSet::new();
+                state.collect_singletons(&mut keys);
+                let mut keys: Vec<FlowKey> = keys.into_iter().collect();
+                keys.sort_unstable();
+                out.extend(keys.into_iter().map(|k| (level, k)));
+            }
+        }
+        out
+    }
+
+    /// Number of currently allocated (touched) first-level buckets.
+    pub fn allocated_levels(&self) -> usize {
+        self.levels.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Heap bytes used by allocated counter storage.
+    pub fn heap_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .flatten()
+            .map(LevelState::heap_bytes)
+            .sum()
+    }
+
+    /// Read-only view of a level used by tests and the tracking layer.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn level_state(&self, level: usize) -> Option<&LevelState> {
+        self.levels[level].as_ref()
+    }
+}
+
+impl Default for DistinctCountSketch {
+    fn default() -> Self {
+        Self::with_default_config()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{DestAddr, GroupBy, SourceAddr};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    fn small_config(seed: u64) -> SketchConfig {
+        SketchConfig::builder()
+            .num_tables(3)
+            .buckets_per_table(64)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_sketch_returns_empty_estimates() {
+        let sketch = DistinctCountSketch::with_default_config();
+        let est = sketch.estimate_top_k(5, 0.25);
+        assert!(est.entries.is_empty());
+        assert_eq!(est.sample_size, 0);
+        assert_eq!(sketch.estimate_distinct_pairs(0.25), 0);
+        assert_eq!(sketch.allocated_levels(), 0);
+        assert_eq!(sketch.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn small_stream_is_recovered_exactly() {
+        // Fewer distinct pairs than the sample target: every pair is
+        // recovered, the inference level is 0, and estimates are exact.
+        let mut sketch = DistinctCountSketch::new(small_config(1));
+        for s in 0..5u32 {
+            sketch.insert(SourceAddr(s), DestAddr(100));
+        }
+        for s in 0..3u32 {
+            sketch.insert(SourceAddr(s), DestAddr(200));
+        }
+        let est = sketch.estimate_top_k(2, 0.25);
+        assert_eq!(est.sample_level, 0);
+        assert_eq!(est.scale, 1);
+        assert_eq!(est.groups(), vec![100, 200]);
+        assert_eq!(est.frequency_of(100), Some(5));
+        assert_eq!(est.frequency_of(200), Some(3));
+    }
+
+    #[test]
+    fn deletes_cancel_inserts_exactly() {
+        let mut with_noise = DistinctCountSketch::new(small_config(2));
+        let mut clean = DistinctCountSketch::new(small_config(2));
+        // Persistent flows in both.
+        for s in 0..10u32 {
+            with_noise.insert(SourceAddr(s), DestAddr(1));
+            clean.insert(SourceAddr(s), DestAddr(1));
+        }
+        // Transient flows only in `with_noise`, later deleted.
+        for s in 100..200u32 {
+            with_noise.insert(SourceAddr(s), DestAddr(2));
+        }
+        for s in 100..200u32 {
+            with_noise.delete(SourceAddr(s), DestAddr(2));
+        }
+        // The synopsis must be bit-identical to one that never saw the
+        // deleted flows ("impervious to delete operations", §3), modulo
+        // levels that were touched and fully reverted (allocated but
+        // all-zero).
+        for level in 0..64usize {
+            match (with_noise.level_state(level), clean.level_state(level)) {
+                (Some(a), Some(b)) => assert_eq!(a, b, "level {level} diverged"),
+                (Some(a), None) => assert!(a.is_zero(), "level {level} has residue"),
+                (None, Some(b)) => assert!(b.is_zero(), "level {level} missing"),
+                (None, None) => {}
+            }
+        }
+        let est = with_noise.estimate_top_k(2, 0.25);
+        assert_eq!(est.groups(), vec![1]);
+        assert_eq!(est.frequency_of(1), Some(10));
+    }
+
+    #[test]
+    fn duplicate_inserts_count_once_for_distinct_frequency() {
+        let mut sketch = DistinctCountSketch::new(small_config(3));
+        for _ in 0..50 {
+            sketch.insert(SourceAddr(7), DestAddr(9));
+        }
+        let est = sketch.estimate_top_k(1, 0.25);
+        // 50 inserts of the same pair are one distinct source.
+        assert_eq!(est.frequency_of(9), Some(1));
+    }
+
+    #[test]
+    fn update_counters_track_stream() {
+        let mut sketch = DistinctCountSketch::new(small_config(4));
+        sketch.insert(SourceAddr(1), DestAddr(2));
+        sketch.insert(SourceAddr(2), DestAddr(2));
+        sketch.delete(SourceAddr(1), DestAddr(2));
+        assert_eq!(sketch.updates_processed(), 3);
+        assert_eq!(sketch.net_updates(), 1);
+    }
+
+    #[test]
+    fn extend_processes_all() {
+        let mut sketch = DistinctCountSketch::new(small_config(5));
+        let ups: Vec<FlowUpdate> = (0..10)
+            .map(|s| FlowUpdate::insert(SourceAddr(s), DestAddr(1)))
+            .collect();
+        sketch.extend(ups);
+        assert_eq!(sketch.updates_processed(), 10);
+    }
+
+    #[test]
+    fn estimates_on_larger_stream_are_accurate() {
+        // 5 heavy destinations (300 distinct sources each) plus 500
+        // singleton flows. With s = 2048 the stopping rule targets a
+        // ~160-element distinct sample, putting ~24 occurrences of each
+        // heavy destination in the sample — enough for ~20% relative
+        // error; we assert a generous 50%.
+        let config = SketchConfig::builder()
+            .buckets_per_table(2048)
+            .seed(6)
+            .build()
+            .unwrap();
+        let mut sketch = DistinctCountSketch::new(config);
+        let mut exact: HashMap<u32, u64> = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        for dest in 0..5u32 {
+            for _ in 0..300 {
+                sketch.insert(SourceAddr(rng.gen()), DestAddr(dest));
+                *exact.entry(dest).or_insert(0) += 1;
+            }
+        }
+        for i in 0..500u32 {
+            sketch.insert(SourceAddr(rng.gen()), DestAddr(1000 + i));
+        }
+        let est = sketch.estimate_top_k(5, 0.25);
+        assert_eq!(est.entries.len(), 5);
+        for entry in &est.entries {
+            let truth = exact[&entry.group] as f64;
+            let got = entry.estimated_frequency as f64;
+            let rel = (got - truth).abs() / truth;
+            assert!(
+                rel < 0.5,
+                "group {}: est {} vs exact {} (rel {rel:.2})",
+                entry.group,
+                got,
+                truth
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_pair_estimate_tracks_u() {
+        let mut sketch = DistinctCountSketch::new(small_config(7));
+        let u = 5000u32;
+        for i in 0..u {
+            sketch.insert(SourceAddr(i), DestAddr(i % 50));
+        }
+        let est = sketch.estimate_distinct_pairs(0.25) as f64;
+        let rel = (est - f64::from(u)).abs() / f64::from(u);
+        assert!(rel < 0.5, "estimated U = {est}, true = {u}");
+    }
+
+    #[test]
+    fn merge_equals_single_sketch_over_union() {
+        let mut a = DistinctCountSketch::new(small_config(8));
+        let mut b = DistinctCountSketch::new(small_config(8));
+        let mut combined = DistinctCountSketch::new(small_config(8));
+        for s in 0..50u32 {
+            a.insert(SourceAddr(s), DestAddr(1));
+            combined.insert(SourceAddr(s), DestAddr(1));
+        }
+        for s in 50..80u32 {
+            b.insert(SourceAddr(s), DestAddr(2));
+            combined.insert(SourceAddr(s), DestAddr(2));
+        }
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.updates_processed(), combined.updates_processed());
+        let merged_est = a.estimate_top_k(2, 0.25);
+        let combined_est = combined.estimate_top_k(2, 0.25);
+        assert_eq!(merged_est, combined_est);
+    }
+
+    #[test]
+    fn merge_rejects_different_seeds() {
+        let mut a = DistinctCountSketch::new(small_config(1));
+        let b = DistinctCountSketch::new(small_config(2));
+        let err = a.merge_from(&b).unwrap_err();
+        assert!(matches!(err, SketchError::IncompatibleMerge { .. }));
+    }
+
+    #[test]
+    fn source_orientation_counts_distinct_destinations() {
+        let config = SketchConfig::builder()
+            .buckets_per_table(64)
+            .group_by(GroupBy::Source)
+            .seed(9)
+            .build()
+            .unwrap();
+        let mut sketch = DistinctCountSketch::new(config);
+        // Source 5 scans 40 destinations; source 6 contacts 2.
+        for d in 0..40u32 {
+            sketch.insert(SourceAddr(5), DestAddr(d));
+        }
+        for d in 0..2u32 {
+            sketch.insert(SourceAddr(6), DestAddr(d));
+        }
+        let est = sketch.estimate_top_k(1, 0.25);
+        assert_eq!(est.entries[0].group, 5);
+        assert_eq!(est.group_by, GroupBy::Source);
+    }
+
+    #[test]
+    fn prefix_orientation_aggregates_subnet_spray() {
+        // An attack spraying 64 hosts of one /24 with 8 sources each:
+        // no host exceeds 8, but the prefix totals 512.
+        let config = SketchConfig::builder()
+            .buckets_per_table(1024)
+            .group_by(GroupBy::DestinationPrefix { bits: 24 })
+            .seed(31)
+            .build()
+            .unwrap();
+        let mut sketch = DistinctCountSketch::new(config);
+        let prefix = 0x0a00_1200u32;
+        for host in 0..64u32 {
+            for s in 0..8u32 {
+                sketch.insert(SourceAddr(host * 100 + s), DestAddr(prefix + host));
+            }
+        }
+        // Background: a single busy host elsewhere with 100 sources.
+        for s in 0..100u32 {
+            sketch.insert(SourceAddr(0x5000_0000 + s), DestAddr(0x0b00_0001));
+        }
+        let top = sketch.estimate_top_k(1, 0.25);
+        assert_eq!(top.entries[0].group, prefix, "sprayed /24 must lead");
+        let est = top.entries[0].estimated_frequency as f64;
+        assert!((est - 512.0).abs() / 512.0 < 0.4, "estimate {est}");
+    }
+
+    #[test]
+    fn threshold_query_filters() {
+        let mut sketch = DistinctCountSketch::new(small_config(10));
+        for s in 0..30u32 {
+            sketch.insert(SourceAddr(s), DestAddr(1));
+        }
+        for s in 0..3u32 {
+            sketch.insert(SourceAddr(s), DestAddr(2));
+        }
+        let est = sketch.estimate_threshold(10, 0.25);
+        assert_eq!(est.groups(), vec![1]);
+    }
+
+    #[test]
+    fn allocated_levels_stay_logarithmic() {
+        let mut sketch = DistinctCountSketch::new(small_config(11));
+        for i in 0..10_000u32 {
+            sketch.insert(SourceAddr(i), DestAddr(i % 10));
+        }
+        // 10^4 pairs ≈ 2^13.3: expect ≈14 non-empty levels, certainly
+        // far fewer than 64.
+        let allocated = sketch.allocated_levels();
+        assert!(
+            (10..=20).contains(&allocated),
+            "allocated levels = {allocated}"
+        );
+    }
+
+    #[test]
+    fn scale_factor_is_inclusion_probability_inverse() {
+        // Regression for the pseudocode off-by-one (module docs of
+        // `estimator`): with enough pairs to push the inference level
+        // above 0, the scaled estimate must track the true frequency —
+        // under the paper's literal `2^(B-1)` scaling it would sit near
+        // half the truth.
+        let mut sketch = DistinctCountSketch::new(small_config(12));
+        let truth = 4000u32;
+        for s in 0..truth {
+            sketch.insert(SourceAddr(s), DestAddr(77));
+        }
+        let est = sketch.estimate_top_k(1, 0.25);
+        assert!(est.sample_level > 0, "level = {}", est.sample_level);
+        let got = est.frequency_of(77).unwrap() as f64;
+        let rel = (got - f64::from(truth)).abs() / f64::from(truth);
+        assert!(rel < 0.35, "estimate {got} vs truth {truth} (rel {rel:.2})");
+    }
+
+    #[test]
+    fn difference_isolates_the_suffix_stream() {
+        let mut sketch = DistinctCountSketch::new(small_config(20));
+        for s in 0..50u32 {
+            sketch.insert(SourceAddr(s), DestAddr(1));
+        }
+        let snapshot = sketch.clone();
+        // 4 suffix pairs: strictly below the sample target, so the
+        // difference resolves exactly at level 0.
+        for s in 0..4u32 {
+            sketch.insert(SourceAddr(1000 + s), DestAddr(2));
+        }
+        let recent = sketch.difference(&snapshot).unwrap();
+        assert_eq!(recent.estimate_distinct_pairs(0.25), 4);
+        let top = recent.estimate_top_k(1, 0.25);
+        assert_eq!(top.entries[0].group, 2);
+        assert_eq!(top.entries[0].estimated_frequency, 4);
+        assert_eq!(recent.updates_processed(), 4);
+        assert_eq!(recent.net_updates(), 4);
+    }
+
+    #[test]
+    fn difference_of_identical_states_is_empty() {
+        let mut sketch = DistinctCountSketch::new(small_config(21));
+        for s in 0..40u32 {
+            sketch.insert(SourceAddr(s), DestAddr(3));
+        }
+        let diff = sketch.difference(&sketch.clone()).unwrap();
+        assert_eq!(diff.estimate_distinct_pairs(0.25), 0);
+        assert!(diff.estimate_top_k(5, 0.25).entries.is_empty());
+    }
+
+    #[test]
+    fn difference_equals_suffix_built_fresh() {
+        let mut full = DistinctCountSketch::new(small_config(22));
+        let mut suffix_only = DistinctCountSketch::new(small_config(22));
+        for s in 0..100u32 {
+            full.insert(SourceAddr(s), DestAddr(1));
+        }
+        let snapshot = full.clone();
+        for s in 0..60u32 {
+            full.insert(SourceAddr(5000 + s), DestAddr(4));
+            suffix_only.insert(SourceAddr(5000 + s), DestAddr(4));
+        }
+        let diff = full.difference(&snapshot).unwrap();
+        assert_eq!(
+            diff.distinct_sample(0.25),
+            suffix_only.distinct_sample(0.25)
+        );
+        assert_eq!(
+            diff.estimate_top_k(3, 0.25),
+            suffix_only.estimate_top_k(3, 0.25)
+        );
+    }
+
+    #[test]
+    fn difference_rejects_incompatible() {
+        let a = DistinctCountSketch::new(small_config(1));
+        let b = DistinctCountSketch::new(small_config(2));
+        assert!(a.difference(&b).is_err());
+    }
+
+    #[test]
+    fn group_frequency_point_query_matches_top_k() {
+        let mut sketch = DistinctCountSketch::new(small_config(23));
+        for s in 0..80u32 {
+            sketch.insert(SourceAddr(s), DestAddr(6));
+        }
+        let top = sketch.estimate_top_k(1, 0.25);
+        assert_eq!(
+            sketch.estimate_group_frequency(6, 0.25),
+            top.entries[0].estimated_frequency
+        );
+        assert_eq!(sketch.estimate_group_frequency(999, 0.25), 0);
+    }
+
+    #[test]
+    fn tabulation_family_produces_working_sketch() {
+        let config = SketchConfig::builder()
+            .buckets_per_table(512)
+            .hash_family(crate::config::HashFamily::Tabulation)
+            .seed(24)
+            .build()
+            .unwrap();
+        assert_eq!(config.hash_family(), crate::config::HashFamily::Tabulation);
+        let mut sketch = DistinctCountSketch::new(config);
+        for s in 0..200u32 {
+            sketch.insert(SourceAddr(s), DestAddr(s % 4));
+        }
+        let est = sketch.estimate_top_k(4, 0.25);
+        assert_eq!(est.entries.len(), 4);
+        let total: u64 = est.entries.iter().map(|e| e.estimated_frequency).sum();
+        assert!((100..400).contains(&total), "total = {total}");
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn tabulation_sketch_serde_roundtrips() {
+        let config = SketchConfig::builder()
+            .buckets_per_table(64)
+            .hash_family(crate::config::HashFamily::Tabulation)
+            .seed(25)
+            .build()
+            .unwrap();
+        let mut sketch = DistinctCountSketch::new(config);
+        for s in 0..100u32 {
+            sketch.insert(SourceAddr(s), DestAddr(1));
+        }
+        let json = serde_json::to_string(&sketch).unwrap();
+        let back: DistinctCountSketch = serde_json::from_str(&json).unwrap();
+        assert_eq!(sketch.estimate_top_k(1, 0.25), back.estimate_top_k(1, 0.25));
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn sketch_serde_roundtrips_and_answers_identically() {
+        let mut sketch = DistinctCountSketch::new(small_config(13));
+        for s in 0..500u32 {
+            sketch.insert(SourceAddr(s), DestAddr(s % 7));
+        }
+        let json = serde_json::to_string(&sketch).unwrap();
+        let back: DistinctCountSketch = serde_json::from_str(&json).unwrap();
+        assert_eq!(sketch.estimate_top_k(3, 0.25), back.estimate_top_k(3, 0.25));
+    }
+
+    #[test]
+    fn singletons_enumerates_decodable_pairs() {
+        let mut sketch = DistinctCountSketch::new(small_config(40));
+        for s in 0..10u32 {
+            sketch.insert(SourceAddr(s), DestAddr(1));
+        }
+        let singles = sketch.singletons();
+        // Small population: everything decodable, levels descending.
+        assert_eq!(singles.len(), 10);
+        for w in singles.windows(2) {
+            assert!(w[0].0 >= w[1].0);
+        }
+        for &(level, key) in &singles {
+            assert_eq!(sketch.level_of(key), level);
+        }
+    }
+}

@@ -1,0 +1,688 @@
+//! The Tracking Distinct-Count Sketch — §5 of the paper.
+//!
+//! A Tracking-DCS wraps the basic sketch's counter storage and keeps the
+//! distinct sample *incrementally maintained*, so top-k queries run in
+//! `O(k log m)` instead of rescanning `O(r·s·log² m)` counters:
+//!
+//! * `singletons(b)` — the set of currently-decodable singleton pairs in
+//!   level `b`, each with the number of second-level tables where it is
+//!   a singleton (`getCount`/`incrCount`/`decrCount` in the paper);
+//! * `numSingletons(b)` — `|singletons(b)|`;
+//! * `topDestHeap(b)` — an addressable max-heap over groups keyed by
+//!   their occurrence frequency in `∪_{l ≥ b} singletons(l)`.
+//!
+//! The update algorithm (`UpdateTracking`, Fig. 6) watches each of the
+//! `r` affected second-level buckets for state *transitions*
+//! (empty ↔ singleton ↔ collision) and patches the three structures
+//! accordingly. We implement insertion and deletion with one symmetric
+//! decode-before / decode-after transition handler, which covers every
+//! case in the paper's Fig. 6 (and its elided deletion half) uniformly.
+
+use std::collections::HashMap;
+
+use crate::config::SketchConfig;
+use crate::error::SketchError;
+use crate::estimator::{
+    threshold_from_frequencies, top_k_from_frequencies, TopKEntry, TopKEstimate,
+};
+use crate::heap::IndexedMaxHeap;
+use crate::sketch::DistinctCountSketch;
+use crate::types::{FlowKey, FlowUpdate};
+
+/// Per-level tracking state: the incrementally maintained distinct
+/// sample and destination heap.
+#[derive(Debug, Clone, Default)]
+struct TrackingLevel {
+    /// Packed singleton pair → number of tables where it is a singleton.
+    singletons: HashMap<u64, u32>,
+    /// Group → occurrence frequency in `∪_{l ≥ this} singletons(l)`.
+    heap: IndexedMaxHeap<u32>,
+}
+
+/// The Tracking Distinct-Count Sketch (Fig. 5).
+///
+/// Same space class as [`DistinctCountSketch`] (a small constant factor
+/// more), same update class (`O(r log² m)` vs `O(r log m)`), but top-k
+/// queries are `O(k log m)` — suitable for *continuous* tracking, where
+/// the monitor asks for the top-k every few updates.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_core::{DestAddr, SketchConfig, SourceAddr, TrackingDcs};
+///
+/// let mut sketch = TrackingDcs::new(SketchConfig::paper_default());
+/// for s in 0..64u32 {
+///     sketch.insert(SourceAddr(s), DestAddr(9));
+/// }
+/// let top = sketch.track_top_k(1, 0.25);
+/// assert_eq!(top.entries[0].group, 9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrackingDcs {
+    sketch: DistinctCountSketch,
+    levels: Vec<TrackingLevel>,
+}
+
+impl TrackingDcs {
+    /// Creates an empty tracking sketch with the given configuration.
+    pub fn new(config: SketchConfig) -> Self {
+        let levels = (0..config.max_levels())
+            .map(|_| TrackingLevel::default())
+            .collect();
+        Self {
+            sketch: DistinctCountSketch::new(config),
+            levels,
+        }
+    }
+
+    /// Creates a tracking sketch with the paper's default configuration.
+    pub fn with_default_config() -> Self {
+        Self::new(SketchConfig::paper_default())
+    }
+
+    /// Wraps an existing basic sketch, building the tracking structures
+    /// by scanning its counters once (`O(r·s·log² m)`, the cost of one
+    /// basic query).
+    ///
+    /// This is how a monitoring center turns a serialized or
+    /// merged [`DistinctCountSketch`] back into a continuously
+    /// trackable synopsis.
+    pub fn from_sketch(sketch: DistinctCountSketch) -> Self {
+        let levels = (0..sketch.config().max_levels())
+            .map(|_| TrackingLevel::default())
+            .collect();
+        let mut tracking = Self { sketch, levels };
+        tracking.rebuild_tracking();
+        tracking
+    }
+
+    /// Consumes the tracking layer, returning the underlying basic
+    /// sketch (e.g., for compact serialization).
+    pub fn into_sketch(self) -> DistinctCountSketch {
+        self.sketch
+    }
+
+    /// The underlying basic sketch (counter storage and configuration).
+    ///
+    /// `BaseTopk`-style estimation remains available through this view;
+    /// on identical state it returns identical answers to
+    /// [`track_top_k`](Self::track_top_k) (a property the test suite
+    /// pins down).
+    pub fn sketch(&self) -> &DistinctCountSketch {
+        &self.sketch
+    }
+
+    /// The sketch configuration.
+    pub fn config(&self) -> &SketchConfig {
+        self.sketch.config()
+    }
+
+    /// Total number of updates processed.
+    pub fn updates_processed(&self) -> u64 {
+        self.sketch.updates_processed()
+    }
+
+    /// `numSingletons(b)`: current number of distinct singleton pairs in
+    /// level `level`.
+    pub fn num_singletons(&self, level: u32) -> usize {
+        self.levels[level as usize].singletons.len()
+    }
+
+    /// `UpdateTracking` (Fig. 6): applies one flow update and patches
+    /// the tracked sample structures.
+    pub fn update(&mut self, update: FlowUpdate) {
+        let level = self.sketch.level_of(update.key) as usize;
+        let num_tables = self.config().num_tables();
+        for table in 0..num_tables {
+            let bucket = self.sketch.bucket_of(table, update.key);
+            let before = self.sketch.decode_bucket(level, table, bucket);
+            self.sketch
+                .apply_at(level, table, bucket, update.key, update.delta);
+            let after = self.sketch.decode_bucket(level, table, bucket);
+            match (before.singleton_key(), after.singleton_key()) {
+                (None, Some(fresh)) => self.incr_singleton(level, fresh),
+                (Some(gone), None) => self.decr_singleton(level, gone),
+                (Some(gone), Some(fresh)) if gone != fresh => {
+                    // Only reachable on ill-formed streams; handled for
+                    // robustness.
+                    self.decr_singleton(level, gone);
+                    self.incr_singleton(level, fresh);
+                }
+                _ => {}
+            }
+        }
+        self.sketch.note_update(update.delta);
+    }
+
+    /// Convenience: processes a `+1` update.
+    pub fn insert(&mut self, source: crate::types::SourceAddr, dest: crate::types::DestAddr) {
+        self.update(FlowUpdate::insert(source, dest));
+    }
+
+    /// Convenience: processes a `-1` update.
+    pub fn delete(&mut self, source: crate::types::SourceAddr, dest: crate::types::DestAddr) {
+        self.update(FlowUpdate::delete(source, dest));
+    }
+
+    /// Processes a batch of updates.
+    pub fn extend<I: IntoIterator<Item = FlowUpdate>>(&mut self, updates: I) {
+        for u in updates {
+            self.update(u);
+        }
+    }
+
+    /// Fig. 6, steps 15–23: the pair became a singleton in one more
+    /// table of level `level`.
+    fn incr_singleton(&mut self, level: usize, key: FlowKey) {
+        let count = self.levels[level]
+            .singletons
+            .entry(key.packed())
+            .or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            // New singleton occurrence: bump the destination's sample
+            // frequency in the heaps of every level l ≤ level.
+            let group = self.config().group_by().group_of(key);
+            for l in 0..=level {
+                self.levels[l].heap.adjust(group, 1);
+            }
+        }
+    }
+
+    /// Fig. 6, steps 4–13: the pair stopped being a singleton in one
+    /// table of level `level`.
+    fn decr_singleton(&mut self, level: usize, key: FlowKey) {
+        let packed = key.packed();
+        let Some(count) = self.levels[level].singletons.get_mut(&packed) else {
+            debug_assert!(false, "decrement of untracked singleton");
+            return;
+        };
+        *count -= 1;
+        if *count == 0 {
+            self.levels[level].singletons.remove(&packed);
+            let group = self.config().group_by().group_of(key);
+            for l in 0..=level {
+                self.levels[l].heap.adjust(group, -1);
+            }
+        }
+    }
+
+    /// Selects the distinct-sample inference level for the target
+    /// `(1+ε)·s/16` (Fig. 7, steps 1–7), returning
+    /// `(level, cumulative sample size)`.
+    fn select_level(&self, epsilon: f64) -> (u32, usize) {
+        let target = self.config().target_sample_size(epsilon);
+        let mut size = 0usize;
+        for level in (0..self.config().max_levels()).rev() {
+            size += self.levels[level as usize].singletons.len();
+            if size >= target {
+                return (level, size);
+            }
+        }
+        (0, size)
+    }
+
+    /// `TrackTopk` (Fig. 7): returns the approximate top-`k` groups in
+    /// `O(k log m)` time from the maintained heaps.
+    pub fn track_top_k(&self, k: usize, epsilon: f64) -> TopKEstimate {
+        let (level, size) = self.select_level(epsilon);
+        let scale = 1u64 << level;
+        let entries = self.levels[level as usize]
+            .heap
+            .top_k(k)
+            .into_iter()
+            .map(|(group, freq)| TopKEntry {
+                group,
+                estimated_frequency: freq * scale,
+                sample_frequency: freq,
+            })
+            .collect();
+        TopKEstimate {
+            entries,
+            group_by: self.config().group_by(),
+            sample_level: level,
+            sample_size: size,
+            scale,
+        }
+    }
+
+    /// Footnote-3 variant: all groups whose estimate is ≥ `tau`.
+    pub fn track_threshold(&self, tau: u64, epsilon: f64) -> TopKEstimate {
+        let (level, size) = self.select_level(epsilon);
+        let freqs: HashMap<u32, u64> = self.levels[level as usize]
+            .heap
+            .iter()
+            .map(|(&g, f)| (g, f))
+            .collect();
+        threshold_from_frequencies(&freqs, tau, self.config().group_by(), level, size)
+    }
+
+    /// Estimates the distinct-count frequency of a single group in
+    /// `O(log m)` (a heap lookup at the current inference level).
+    pub fn track_group(&self, group: u32, epsilon: f64) -> Option<u64> {
+        let (level, _) = self.select_level(epsilon);
+        self.levels[level as usize]
+            .heap
+            .priority(&group)
+            .map(|f| f << level)
+    }
+
+    /// Estimates the total number of distinct pairs (sample size at the
+    /// inference level × scale).
+    pub fn estimate_distinct_pairs(&self, epsilon: f64) -> u64 {
+        let (level, size) = self.select_level(epsilon);
+        (size as u64) << level
+    }
+
+    /// Rebuilds an estimate via the *basic* scan-everything path — used
+    /// by tests to check tracked state against ground truth.
+    pub fn rescan_top_k(&self, k: usize, epsilon: f64) -> TopKEstimate {
+        let sample = self.sketch.distinct_sample(epsilon);
+        let freqs = crate::estimator::group_frequencies(&sample.keys, self.config().group_by());
+        top_k_from_frequencies(
+            &freqs,
+            k,
+            self.config().group_by(),
+            sample.level,
+            sample.keys.len(),
+        )
+    }
+
+    /// Merges another tracking sketch built with identical configuration.
+    ///
+    /// Counter storage merges linearly; the tracking structures are then
+    /// rebuilt from the merged counters (a merge is a rare, bulk
+    /// operation — `O(r·s·log² m)` rebuild cost matches one basic query).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::IncompatibleMerge`] if configurations
+    /// (including seeds) differ.
+    pub fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        self.sketch.merge_from(&other.sketch)?;
+        self.rebuild_tracking();
+        Ok(())
+    }
+
+    /// Subtracts an earlier snapshot, yielding a tracking sketch over
+    /// exactly the updates that arrived after the snapshot (see
+    /// [`DistinctCountSketch::difference`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::IncompatibleMerge`] if configurations
+    /// (including seeds) differ.
+    pub fn difference(&self, snapshot: &Self) -> Result<Self, SketchError> {
+        Ok(Self::from_sketch(self.sketch.difference(&snapshot.sketch)?))
+    }
+
+    /// Rebuilds `singletons`/heaps from the current counter storage.
+    fn rebuild_tracking(&mut self) {
+        for level in self.levels.iter_mut() {
+            level.singletons.clear();
+            level.heap = IndexedMaxHeap::new();
+        }
+        let num_tables = self.config().num_tables();
+        let buckets = self.config().buckets_per_table();
+        for level in 0..self.config().max_levels() as usize {
+            let mut found: Vec<FlowKey> = Vec::new();
+            for table in 0..num_tables {
+                for bucket in 0..buckets {
+                    if let Some(key) = self
+                        .sketch
+                        .decode_bucket(level, table, bucket)
+                        .singleton_key()
+                    {
+                        found.push(key);
+                    }
+                }
+            }
+            for key in found {
+                self.incr_singleton(level, key);
+            }
+        }
+    }
+
+    /// Heap bytes used: counter storage plus tracking structures.
+    pub fn heap_bytes(&self) -> usize {
+        let tracking: usize = self
+            .levels
+            .iter()
+            .map(|l| {
+                l.singletons.capacity() * (std::mem::size_of::<(u64, u32)>() + 8)
+                    + l.heap.heap_bytes()
+            })
+            .sum();
+        self.sketch.heap_bytes() + tracking
+    }
+
+    /// Verifies the tracking invariants against a fresh scan of the
+    /// counter storage; used by tests and debug assertions.
+    ///
+    /// Checks, per level `b`: `singletons(b)` equals the decoded
+    /// singleton set, and every heap priority at `b` equals the group's
+    /// frequency in `∪_{l ≥ b} singletons(l)`.
+    #[doc(hidden)]
+    pub fn check_tracking_invariants(&self) -> Result<(), String> {
+        let num_tables = self.config().num_tables();
+        let buckets = self.config().buckets_per_table();
+        let max_levels = self.config().max_levels() as usize;
+        let mut cumulative: HashMap<u32, u64> = HashMap::new();
+        // Walk levels top-down, accumulating group frequencies.
+        for level in (0..max_levels).rev() {
+            let mut scanned: HashMap<u64, u32> = HashMap::new();
+            for table in 0..num_tables {
+                for bucket in 0..buckets {
+                    if let Some(key) = self
+                        .sketch
+                        .decode_bucket(level, table, bucket)
+                        .singleton_key()
+                    {
+                        *scanned.entry(key.packed()).or_insert(0) += 1;
+                    }
+                }
+            }
+            if scanned != self.levels[level].singletons {
+                return Err(format!(
+                    "level {level}: singleton sets diverge (scanned {}, tracked {})",
+                    scanned.len(),
+                    self.levels[level].singletons.len()
+                ));
+            }
+            for &packed in scanned.keys() {
+                let group = self
+                    .config()
+                    .group_by()
+                    .group_of(FlowKey::from_packed(packed));
+                *cumulative.entry(group).or_insert(0) += 1;
+            }
+            let heap = &self.levels[level].heap;
+            if heap.len() != cumulative.values().filter(|&&v| v > 0).count() {
+                return Err(format!(
+                    "level {level}: heap has {} entries, expected {}",
+                    heap.len(),
+                    cumulative.len()
+                ));
+            }
+            for (group, &freq) in &cumulative {
+                if heap.priority(group) != Some(freq) {
+                    return Err(format!(
+                        "level {level}: group {group} heap priority {:?} != {freq}",
+                        heap.priority(group)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for TrackingDcs {
+    fn default() -> Self {
+        Self::with_default_config()
+    }
+}
+
+/// Serialized as the underlying basic sketch alone; the tracking
+/// structures (singleton sets, heaps) are derived state and are rebuilt
+/// on deserialization.
+#[cfg(feature = "serde")]
+impl serde::Serialize for TrackingDcs {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.sketch.serialize(serializer)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for TrackingDcs {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let sketch = DistinctCountSketch::deserialize(deserializer)?;
+        Ok(TrackingDcs::from_sketch(sketch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Delta, DestAddr, SourceAddr};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_config(seed: u64) -> SketchConfig {
+        SketchConfig::builder()
+            .num_tables(3)
+            .buckets_per_table(64)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_tracking_sketch() {
+        let t = TrackingDcs::with_default_config();
+        let est = t.track_top_k(5, 0.25);
+        assert!(est.entries.is_empty());
+        assert_eq!(t.estimate_distinct_pairs(0.25), 0);
+        assert_eq!(t.track_group(1, 0.25), None);
+        t.check_tracking_invariants().unwrap();
+    }
+
+    #[test]
+    fn tracking_matches_basic_on_identical_state() {
+        let mut t = TrackingDcs::new(small_config(1));
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..3000 {
+            let src = SourceAddr(rng.gen());
+            let dst = DestAddr(rng.gen_range(0..30));
+            t.insert(src, dst);
+        }
+        for k in [1, 5, 10] {
+            let tracked = t.track_top_k(k, 0.25);
+            let scanned = t.rescan_top_k(k, 0.25);
+            assert_eq!(tracked, scanned, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn invariants_hold_under_inserts_and_deletes() {
+        let mut t = TrackingDcs::new(small_config(2));
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        for step in 0..2000 {
+            if !live.is_empty() && rng.gen_bool(0.35) {
+                let i = rng.gen_range(0..live.len());
+                let (s, d) = live.swap_remove(i);
+                t.delete(SourceAddr(s), DestAddr(d));
+            } else {
+                let s: u32 = rng.gen();
+                let d: u32 = rng.gen_range(0..10);
+                live.push((s, d));
+                t.insert(SourceAddr(s), DestAddr(d));
+            }
+            if step % 500 == 499 {
+                t.check_tracking_invariants().unwrap();
+            }
+        }
+        t.check_tracking_invariants().unwrap();
+    }
+
+    #[test]
+    fn deleting_everything_returns_to_empty_sample() {
+        let mut t = TrackingDcs::new(small_config(3));
+        let pairs: Vec<(u32, u32)> = (0..200).map(|i| (i, i % 5)).collect();
+        for &(s, d) in &pairs {
+            t.insert(SourceAddr(s), DestAddr(d));
+        }
+        assert!(t.estimate_distinct_pairs(0.25) > 0);
+        for &(s, d) in &pairs {
+            t.delete(SourceAddr(s), DestAddr(d));
+        }
+        assert_eq!(t.estimate_distinct_pairs(0.25), 0);
+        assert!(t.track_top_k(5, 0.25).entries.is_empty());
+        t.check_tracking_invariants().unwrap();
+    }
+
+    #[test]
+    fn track_group_matches_top_k_entry() {
+        let mut t = TrackingDcs::new(small_config(4));
+        for s in 0..40u32 {
+            t.insert(SourceAddr(s), DestAddr(6));
+        }
+        let est = t.track_top_k(1, 0.25);
+        assert_eq!(
+            t.track_group(6, 0.25),
+            Some(est.entries[0].estimated_frequency)
+        );
+        assert_eq!(t.track_group(12345, 0.25), None);
+    }
+
+    #[test]
+    fn track_threshold_matches_basic_threshold() {
+        let mut t = TrackingDcs::new(small_config(5));
+        for s in 0..60u32 {
+            t.insert(SourceAddr(s), DestAddr(1));
+        }
+        for s in 0..4u32 {
+            t.insert(SourceAddr(s + 1000), DestAddr(2));
+        }
+        let tracked = t.track_threshold(10, 0.25);
+        let basic = t.sketch().estimate_threshold(10, 0.25);
+        assert_eq!(tracked, basic);
+        assert_eq!(tracked.groups(), vec![1]);
+    }
+
+    #[test]
+    fn merge_rebuilds_tracking_correctly() {
+        let mut a = TrackingDcs::new(small_config(6));
+        let mut b = TrackingDcs::new(small_config(6));
+        let mut combined = TrackingDcs::new(small_config(6));
+        for s in 0..100u32 {
+            a.insert(SourceAddr(s), DestAddr(1));
+            combined.insert(SourceAddr(s), DestAddr(1));
+        }
+        for s in 100..150u32 {
+            b.insert(SourceAddr(s), DestAddr(2));
+            combined.insert(SourceAddr(s), DestAddr(2));
+        }
+        a.merge_from(&b).unwrap();
+        a.check_tracking_invariants().unwrap();
+        assert_eq!(a.track_top_k(2, 0.25), combined.track_top_k(2, 0.25));
+    }
+
+    #[test]
+    fn merge_rejects_incompatible() {
+        let mut a = TrackingDcs::new(small_config(1));
+        let b = TrackingDcs::new(small_config(2));
+        assert!(a.merge_from(&b).is_err());
+    }
+
+    #[test]
+    fn num_singletons_counts_distinct_pairs() {
+        let mut t = TrackingDcs::new(small_config(7));
+        let s = SourceAddr(1);
+        let d = DestAddr(2);
+        t.insert(s, d);
+        let level = t.sketch().level_of(crate::types::FlowKey::new(s, d));
+        // One pair, singleton in (up to) all r tables, counted once.
+        assert_eq!(t.num_singletons(level), 1);
+    }
+
+    #[test]
+    fn update_counters_delegate() {
+        let mut t = TrackingDcs::new(small_config(8));
+        t.extend([
+            FlowUpdate::new(SourceAddr(1), DestAddr(2), Delta::Insert),
+            FlowUpdate::new(SourceAddr(1), DestAddr(2), Delta::Delete),
+        ]);
+        assert_eq!(t.updates_processed(), 2);
+        assert_eq!(t.sketch().net_updates(), 0);
+    }
+
+    #[test]
+    fn heap_bytes_exceed_basic_sketch() {
+        let mut t = TrackingDcs::new(small_config(9));
+        for s in 0..500u32 {
+            t.insert(SourceAddr(s), DestAddr(s % 9));
+        }
+        assert!(t.heap_bytes() > t.sketch().heap_bytes());
+    }
+
+    #[test]
+    fn from_sketch_matches_incremental_tracking() {
+        let mut incremental = TrackingDcs::new(small_config(10));
+        let mut basic = crate::sketch::DistinctCountSketch::new(small_config(10));
+        for s in 0..300u32 {
+            incremental.insert(SourceAddr(s), DestAddr(s % 7));
+            basic.insert(SourceAddr(s), DestAddr(s % 7));
+        }
+        let rebuilt = TrackingDcs::from_sketch(basic);
+        rebuilt.check_tracking_invariants().unwrap();
+        assert_eq!(
+            rebuilt.track_top_k(5, 0.25),
+            incremental.track_top_k(5, 0.25)
+        );
+        // Round-trip through the basic sketch.
+        let back = TrackingDcs::from_sketch(rebuilt.into_sketch());
+        assert_eq!(back.track_top_k(5, 0.25), incremental.track_top_k(5, 0.25));
+    }
+
+    #[test]
+    fn tracking_difference_isolates_suffix() {
+        let mut t = TrackingDcs::new(small_config(11));
+        for s in 0..100u32 {
+            t.insert(SourceAddr(s), DestAddr(1));
+        }
+        let snapshot = t.clone();
+        // 4 suffix pairs: below the sample target, so the difference
+        // resolves exactly.
+        for s in 0..4u32 {
+            t.insert(SourceAddr(9_000 + s), DestAddr(2));
+        }
+        let recent = t.difference(&snapshot).unwrap();
+        recent.check_tracking_invariants().unwrap();
+        assert_eq!(recent.estimate_distinct_pairs(0.25), 4);
+        assert_eq!(recent.track_top_k(1, 0.25).entries[0].group, 2);
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn tracking_serde_roundtrip_rebuilds_state() {
+        let mut t = TrackingDcs::new(small_config(12));
+        for s in 0..500u32 {
+            t.insert(SourceAddr(s), DestAddr(s % 9));
+        }
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TrackingDcs = serde_json::from_str(&json).unwrap();
+        back.check_tracking_invariants().unwrap();
+        assert_eq!(t.track_top_k(9, 0.25), back.track_top_k(9, 0.25));
+        assert_eq!(t.updates_processed(), back.updates_processed());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        #[test]
+        fn invariants_hold_on_random_well_formed_streams(
+            seed in 0u64..1000,
+            ops in proptest::collection::vec((0u32..64, 0u32..8, proptest::bool::ANY), 1..300)
+        ) {
+            let mut t = TrackingDcs::new(small_config(seed));
+            let mut net: HashMap<(u32, u32), i64> = HashMap::new();
+            for (s, d, del) in ops {
+                let entry = net.entry((s, d)).or_insert(0);
+                if del && *entry > 0 {
+                    *entry -= 1;
+                    t.delete(SourceAddr(s), DestAddr(d));
+                } else {
+                    *entry += 1;
+                    t.insert(SourceAddr(s), DestAddr(d));
+                }
+            }
+            t.check_tracking_invariants().map_err(
+                proptest::test_runner::TestCaseError::fail
+            )?;
+            // Tracked and rescanned answers agree.
+            proptest::prop_assert_eq!(t.track_top_k(5, 0.25), t.rescan_top_k(5, 0.25));
+        }
+    }
+}

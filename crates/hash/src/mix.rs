@@ -1,0 +1,134 @@
+//! Invertible 64-bit mixing finalizers.
+//!
+//! These are the workhorse primitives under every hash family in this
+//! crate: a bijective avalanche function on `u64` (so distinct inputs stay
+//! distinct — the paper's requirement that the randomizing function be
+//! *injective* over the pair domain holds exactly, not just with high
+//! probability) whose output bits are empirically indistinguishable from
+//! uniform for structured inputs such as packed IPv4 address pairs.
+//!
+//! The constants are David Stafford's "Mix13" variant of the SplitMix64
+//! finalizer, which improves on the MurmurHash3 finalizer's avalanche
+//! behaviour.
+
+/// Applies the SplitMix64/Stafford-Mix13 finalizer to `x`.
+///
+/// This function is a bijection on `u64`: distinct inputs always produce
+/// distinct outputs.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_hash::mix::stafford_mix13;
+/// assert_ne!(stafford_mix13(0), stafford_mix13(1));
+/// ```
+#[inline]
+pub fn stafford_mix13(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Mixes `key` with `seed` into a uniformly distributed 64-bit value.
+///
+/// Two applications of the finalizer with a golden-ratio seed offset give
+/// enough decorrelation that families keyed by consecutive seeds behave
+/// independently for sketching purposes.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_hash::mix::mix64;
+/// // Same key, different seeds: different streams.
+/// assert_ne!(mix64(42, 1), mix64(42, 2));
+/// // Deterministic for a fixed seed.
+/// assert_eq!(mix64(42, 1), mix64(42, 1));
+/// ```
+#[inline]
+pub fn mix64(key: u64, seed: u64) -> u64 {
+    let golden = 0x9e37_79b9_7f4a_7c15u64;
+    let a = stafford_mix13(key ^ seed.wrapping_mul(golden));
+    stafford_mix13(a.wrapping_add(seed ^ golden))
+}
+
+/// Bijectively scrambles a 32-bit value (odd-multiplier affine plus
+/// xor-shifts — invertible, so distinct inputs stay distinct).
+///
+/// Used by workload generators to turn sequential counters into
+/// plausible-looking, guaranteed-unique IPv4 addresses.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_hash::mix::scramble_u32;
+/// assert_ne!(scramble_u32(0), scramble_u32(1));
+/// ```
+#[inline]
+pub fn scramble_u32(x: u32) -> u32 {
+    let mut v = x.wrapping_mul(0x9E37_79B1); // odd → bijective
+    v ^= v >> 16;
+    v = v.wrapping_mul(0x8576_ebb5 | 1);
+    v ^= v >> 13;
+    v
+}
+
+/// Derives the `index`-th child seed from a parent `seed`.
+///
+/// Used by [`crate::seed::SeedSequence`] to hand independent seeds to the
+/// `r` second-level hash functions of a sketch.
+#[inline]
+pub fn derive_seed(seed: u64, index: u64) -> u64 {
+    mix64(
+        index.wrapping_add(1).wrapping_mul(0xd134_2543_de82_ef95),
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn stafford_mix13_is_injective_on_sample() {
+        let outputs: HashSet<u64> = (0..100_000u64).map(stafford_mix13).collect();
+        assert_eq!(outputs.len(), 100_000);
+    }
+
+    #[test]
+    fn mix64_avalanche_flips_about_half_the_bits() {
+        // Flipping one input bit should flip ~32 output bits on average.
+        let seed = 0xabcdef;
+        let mut total_flips = 0u32;
+        let trials = 1000;
+        for key in 0..trials {
+            let base = mix64(key, seed);
+            let flipped = mix64(key ^ 1, seed);
+            total_flips += (base ^ flipped).count_ones();
+        }
+        let avg = f64::from(total_flips) / trials as f64;
+        assert!((24.0..40.0).contains(&avg), "avg bit flips = {avg}");
+    }
+
+    #[test]
+    fn derive_seed_children_are_distinct() {
+        let children: HashSet<u64> = (0..1000).map(|i| derive_seed(7, i)).collect();
+        assert_eq!(children.len(), 1000);
+    }
+
+    #[test]
+    fn mix64_distributes_low_bit() {
+        // Low output bit should be ~balanced over sequential keys.
+        let ones: u32 = (0..10_000u64).map(|k| (mix64(k, 3) & 1) as u32).sum();
+        assert!((4500..5500).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn scramble_u32_is_bijective_on_sample() {
+        let outputs: HashSet<u32> = (0..200_000u32).map(scramble_u32).collect();
+        assert_eq!(outputs.len(), 200_000);
+    }
+}

@@ -1,0 +1,29 @@
+//! # dcs-metrics — the paper's evaluation metrics as a library
+//!
+//! §6.1 defines two accuracy metrics and one performance metric; this
+//! crate implements them exactly so every experiment binary and test
+//! reports the same quantities:
+//!
+//! * [`accuracy::top_k_recall`] — "the fraction of the true top-k
+//!   destinations in the approximate top-k result".
+//! * [`accuracy::average_relative_error`] — "the average relative error
+//!   in the distinct-source frequency estimates … for the true top-k
+//!   destinations found in the approximate answer" (i.e., over the
+//!   *recall set*).
+//! * [`timing`] — per-update processing time over a mixed
+//!   update/query workload (Fig. 9's metric).
+//! * [`table`] — fixed-width result tables and JSON experiment records
+//!   for `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod stats;
+pub mod table;
+pub mod timing;
+
+pub use accuracy::{average_relative_error, kendall_tau, precision, top_k_recall, AccuracyReport};
+pub use stats::Stats;
+pub use table::{ExperimentRecord, Table};
+pub use timing::{measure_per_update_micros, TimingStats};

@@ -1,0 +1,175 @@
+//! Result tables and experiment records.
+//!
+//! Experiment binaries print fixed-width tables (for eyes) and emit
+//! [`ExperimentRecord`] JSON (for `EXPERIMENTS.md` regeneration).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A fixed-width text table.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_metrics::Table;
+///
+/// let mut t = Table::new(vec!["k".into(), "recall".into()]);
+/// t.row(vec!["5".into(), "1.00".into()]);
+/// let text = t.render();
+/// assert!(text.contains("recall"));
+/// assert!(text.contains("1.00"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with padded columns and a separator line.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// A machine-readable experiment result, one per figure/table run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment identifier, e.g. `"fig8a"`.
+    pub experiment: String,
+    /// Parameter name → value, as strings for stability.
+    pub parameters: BTreeMap<String, String>,
+    /// Series name → data points.
+    pub series: BTreeMap<String, Vec<f64>>,
+}
+
+impl ExperimentRecord {
+    /// Creates an empty record for `experiment`.
+    pub fn new(experiment: impl Into<String>) -> Self {
+        Self {
+            experiment: experiment.into(),
+            parameters: BTreeMap::new(),
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// Sets a parameter.
+    pub fn parameter(mut self, name: impl Into<String>, value: impl ToString) -> Self {
+        self.parameters.insert(name.into(), value.to_string());
+        self
+    }
+
+    /// Adds a data series.
+    pub fn with_series(mut self, name: impl Into<String>, points: Vec<f64>) -> Self {
+        self.series.insert(name.into(), points);
+        self
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("record is always serializable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_pads_and_aligns() {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "12345".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let rec = ExperimentRecord::new("fig8a")
+            .parameter("U", 8_000_000u64)
+            .parameter("z", 1.5f64)
+            .with_series("recall", vec![1.0, 0.9, 0.86]);
+        let json = rec.to_json();
+        let back: ExperimentRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(rec, back);
+        assert_eq!(back.parameters["U"], "8000000");
+        assert_eq!(back.series["recall"].len(), 3);
+    }
+
+    #[test]
+    fn empty_table_renders_headers_only() {
+        let t = Table::new(vec!["x".into()]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! Epoch-based surge detection via sketch differencing.
+//!
+//! The paper's monitor compares current activity "against 'baseline'
+//! profiles of network activity created over longer periods of time"
+//! (§2). Because distinct-count sketches are *linear*, a monitor can
+//! keep one running sketch plus a ring of periodic snapshots: the
+//! difference between now and the snapshot `w` epochs ago is exactly a
+//! sketch of the last `w` epochs' updates — recent distinct-source
+//! activity per destination, queryable with the usual estimators, with
+//! no per-interval sketch maintenance.
+
+use std::collections::VecDeque;
+
+use dcs_core::{FlowUpdate, SketchConfig, SketchError, TopKEstimate, TrackingDcs};
+
+/// A running sketch with a snapshot ring for windowed queries.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_core::{DestAddr, FlowUpdate, SketchConfig, SourceAddr};
+/// use dcs_netsim::epoch::EpochManager;
+///
+/// let mut epochs = EpochManager::new(SketchConfig::paper_default(), 4);
+/// for s in 0..50u32 {
+///     epochs.ingest(FlowUpdate::insert(SourceAddr(s), DestAddr(1)));
+/// }
+/// epochs.rotate();
+/// for s in 50..60u32 {
+///     epochs.ingest(FlowUpdate::insert(SourceAddr(s), DestAddr(2)));
+/// }
+/// // Only destination 2 is active in the current epoch.
+/// let recent = epochs.recent_top_k(1, 1, 0.25)?;
+/// assert_eq!(recent.entries[0].group, 2);
+/// # Ok::<(), dcs_core::SketchError>(())
+/// ```
+#[derive(Debug)]
+pub struct EpochManager {
+    current: TrackingDcs,
+    /// Oldest-first snapshots of the *basic* counter state.
+    snapshots: VecDeque<dcs_core::DistinctCountSketch>,
+    max_snapshots: usize,
+    epochs_rotated: u64,
+}
+
+impl EpochManager {
+    /// Creates a manager keeping up to `max_snapshots` epoch snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_snapshots` is zero.
+    pub fn new(config: SketchConfig, max_snapshots: usize) -> Self {
+        assert!(max_snapshots > 0, "need at least one snapshot slot");
+        Self {
+            current: TrackingDcs::new(config),
+            snapshots: VecDeque::new(),
+            max_snapshots,
+            epochs_rotated: 0,
+        }
+    }
+
+    /// Ingests one flow update into the running sketch.
+    pub fn ingest(&mut self, update: FlowUpdate) {
+        self.current.update(update);
+    }
+
+    /// Ingests a batch.
+    pub fn ingest_all<I: IntoIterator<Item = FlowUpdate>>(&mut self, updates: I) {
+        for u in updates {
+            self.current.update(u);
+        }
+    }
+
+    /// Closes the current epoch: snapshots the counter state. The
+    /// oldest snapshot is dropped once the ring is full.
+    pub fn rotate(&mut self) {
+        self.snapshots.push_back(self.current.sketch().clone());
+        if self.snapshots.len() > self.max_snapshots {
+            self.snapshots.pop_front();
+        }
+        self.epochs_rotated += 1;
+    }
+
+    /// The running (all-time) tracking sketch.
+    pub fn all_time(&self) -> &TrackingDcs {
+        &self.current
+    }
+
+    /// Number of epochs rotated so far.
+    pub fn epochs_rotated(&self) -> u64 {
+        self.epochs_rotated
+    }
+
+    /// Number of snapshots currently held.
+    pub fn snapshots_held(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// A tracking sketch of the activity in the last `window` epochs
+    /// (plus the open epoch): current state minus the snapshot taken
+    /// `window` rotations ago. If fewer snapshots exist, the oldest
+    /// available is used (so early in the run this degrades gracefully
+    /// to all-time).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SketchError`] from the underlying difference (only
+    /// possible if snapshots were built with mismatched configurations,
+    /// which this type prevents).
+    pub fn recent_activity(&self, window: usize) -> Result<TrackingDcs, SketchError> {
+        if self.snapshots.is_empty() || window > self.snapshots.len() {
+            // No old-enough snapshot: everything is "recent".
+            return Ok(self.current.clone());
+        }
+        let snapshot = &self.snapshots[self.snapshots.len() - window];
+        let diff = self.current.sketch().difference(snapshot)?;
+        Ok(TrackingDcs::from_sketch(diff))
+    }
+
+    /// Top-k destinations of the last `window` epochs.
+    ///
+    /// # Errors
+    ///
+    /// See [`recent_activity`](Self::recent_activity).
+    pub fn recent_top_k(
+        &self,
+        window: usize,
+        k: usize,
+        epsilon: f64,
+    ) -> Result<TopKEstimate, SketchError> {
+        Ok(self.recent_activity(window)?.track_top_k(k, epsilon))
+    }
+
+    /// Heap bytes: running sketch plus all snapshots.
+    pub fn heap_bytes(&self) -> usize {
+        self.current.heap_bytes()
+            + self
+                .snapshots
+                .iter()
+                .map(dcs_core::DistinctCountSketch::heap_bytes)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_core::{DestAddr, SourceAddr};
+
+    fn config() -> SketchConfig {
+        SketchConfig::builder()
+            .buckets_per_table(256)
+            .seed(8)
+            .build()
+            .unwrap()
+    }
+
+    fn flood(epochs: &mut EpochManager, dest: u32, from: u32, count: u32) {
+        for s in from..from + count {
+            epochs.ingest(FlowUpdate::insert(SourceAddr(s), DestAddr(dest)));
+        }
+    }
+
+    #[test]
+    fn recent_activity_isolates_new_epoch() {
+        let mut epochs = EpochManager::new(config(), 4);
+        flood(&mut epochs, 1, 0, 200);
+        epochs.rotate();
+        flood(&mut epochs, 2, 1_000, 150);
+        let recent = epochs.recent_top_k(1, 2, 0.25).unwrap();
+        // Destination 1's 200 sources are all in the snapshot; only
+        // destination 2 is recent.
+        assert_eq!(recent.entries[0].group, 2);
+        assert!(recent.frequency_of(1).is_none());
+        // All-time still sees both.
+        let all = epochs.all_time().track_top_k(2, 0.25);
+        assert_eq!(all.entries.len(), 2);
+    }
+
+    #[test]
+    fn window_spans_multiple_epochs() {
+        let mut epochs = EpochManager::new(config(), 8);
+        flood(&mut epochs, 1, 0, 100);
+        epochs.rotate(); // epoch 1 closed
+        flood(&mut epochs, 2, 1_000, 100);
+        epochs.rotate(); // epoch 2 closed
+        flood(&mut epochs, 3, 2_000, 100);
+        // Window 1: only dest 3. Window 2: dests 2 and 3.
+        let w1 = epochs.recent_top_k(1, 3, 0.25).unwrap();
+        assert_eq!(w1.groups(), vec![3]);
+        let w2 = epochs.recent_top_k(2, 3, 0.25).unwrap();
+        let mut groups = w2.groups();
+        groups.sort_unstable();
+        assert_eq!(groups, vec![2, 3]);
+    }
+
+    #[test]
+    fn window_beyond_history_degrades_to_all_time() {
+        let mut epochs = EpochManager::new(config(), 2);
+        flood(&mut epochs, 1, 0, 50);
+        let recent = epochs.recent_top_k(5, 1, 0.25).unwrap();
+        assert_eq!(recent.entries[0].group, 1);
+        assert_eq!(epochs.snapshots_held(), 0);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let mut epochs = EpochManager::new(config(), 3);
+        for i in 0..10u32 {
+            flood(&mut epochs, i, i * 100, 10);
+            epochs.rotate();
+        }
+        assert_eq!(epochs.snapshots_held(), 3);
+        assert_eq!(epochs.epochs_rotated(), 10);
+        assert!(epochs.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn surge_detection_via_epoch_difference() {
+        // A destination with steady low activity suddenly surges; the
+        // all-time view dilutes the surge, the windowed view nails it.
+        let mut epochs = EpochManager::new(config(), 4);
+        // 10 epochs of calm: dest 7 gains 10 sources per epoch, dest 8
+        // gains 30 (8 is the all-time leader).
+        for e in 0..10u32 {
+            flood(&mut epochs, 7, e * 1_000, 10);
+            flood(&mut epochs, 8, 100_000 + e * 1_000, 30);
+            epochs.rotate();
+        }
+        // Surge: dest 7 gains 400 sources in the open epoch.
+        flood(&mut epochs, 7, 500_000, 400);
+        let recent = epochs.recent_top_k(1, 1, 0.25).unwrap();
+        assert_eq!(recent.entries[0].group, 7, "windowed view sees the surge");
+    }
+
+    #[test]
+    fn ingest_all_batches() {
+        let mut epochs = EpochManager::new(config(), 2);
+        let ups: Vec<FlowUpdate> = (0..20)
+            .map(|s| FlowUpdate::insert(SourceAddr(s), DestAddr(1)))
+            .collect();
+        epochs.ingest_all(ups);
+        assert_eq!(epochs.all_time().updates_processed(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot")]
+    fn zero_snapshots_panics() {
+        let _ = EpochManager::new(config(), 0);
+    }
+}

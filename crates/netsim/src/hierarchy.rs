@@ -1,0 +1,213 @@
+//! Multi-granularity victim tracking: host, /24, and /16 views in
+//! lock-step.
+//!
+//! Real attacks pick their granularity: a single server, a hosting
+//! provider's /24, sometimes a whole /16. Per-host counting dilutes a
+//! subnet spray below any threshold; pure prefix counting hides which
+//! host is hit when the attack is focused. Running one sketch per
+//! grouping level — same update stream, different [`GroupBy`] — costs
+//! a small constant factor and answers at every granularity at once.
+
+use dcs_core::{FlowUpdate, GroupBy, SketchConfig, SketchError, TopKEstimate, TrackingDcs};
+
+/// A set of tracking sketches over the same stream at host, /24, and
+/// /16 destination granularity.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_core::{DestAddr, FlowUpdate, SketchConfig, SourceAddr};
+/// use dcs_netsim::hierarchy::HierarchicalTracker;
+///
+/// let mut h = HierarchicalTracker::new(SketchConfig::paper_default())?;
+/// // Spray 16 hosts of 10.0.18.0/24 with 8 sources each.
+/// for host in 0..16u32 {
+///     for s in 0..8u32 {
+///         h.update(FlowUpdate::insert(
+///             SourceAddr(host * 100 + s),
+///             DestAddr(0x0a001200 + host),
+///         ));
+///     }
+/// }
+/// let sprayed = h.prefix24_top_k(1, 0.25);
+/// assert_eq!(sprayed.entries[0].group, 0x0a001200);
+/// # Ok::<(), dcs_core::SketchError>(())
+/// ```
+#[derive(Debug)]
+pub struct HierarchicalTracker {
+    host: TrackingDcs,
+    prefix24: TrackingDcs,
+    prefix16: TrackingDcs,
+}
+
+/// Which granularity an alarm or answer refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// Individual destination host (/32).
+    Host,
+    /// Destination /24.
+    Prefix24,
+    /// Destination /16.
+    Prefix16,
+}
+
+impl HierarchicalTracker {
+    /// Creates the three sketches from one base configuration (the
+    /// grouping orientation of `config` is overridden per level).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SketchError`] if the base configuration is invalid.
+    pub fn new(config: SketchConfig) -> Result<Self, SketchError> {
+        let with_group = |group_by: GroupBy| -> Result<SketchConfig, SketchError> {
+            SketchConfig::builder()
+                .num_tables(config.num_tables())
+                .buckets_per_table(config.buckets_per_table())
+                .max_levels(config.max_levels())
+                .seed(config.seed())
+                .hash_family(config.hash_family())
+                .group_by(group_by)
+                .build()
+        };
+        Ok(Self {
+            host: TrackingDcs::new(with_group(GroupBy::Destination)?),
+            prefix24: TrackingDcs::new(with_group(GroupBy::DestinationPrefix { bits: 24 })?),
+            prefix16: TrackingDcs::new(with_group(GroupBy::DestinationPrefix { bits: 16 })?),
+        })
+    }
+
+    /// Feeds one update to all three granularities.
+    pub fn update(&mut self, update: FlowUpdate) {
+        self.host.update(update);
+        self.prefix24.update(update);
+        self.prefix16.update(update);
+    }
+
+    /// Top-k at host granularity.
+    pub fn host_top_k(&self, k: usize, epsilon: f64) -> TopKEstimate {
+        self.host.track_top_k(k, epsilon)
+    }
+
+    /// Top-k at /24 granularity.
+    pub fn prefix24_top_k(&self, k: usize, epsilon: f64) -> TopKEstimate {
+        self.prefix24.track_top_k(k, epsilon)
+    }
+
+    /// Top-k at /16 granularity.
+    pub fn prefix16_top_k(&self, k: usize, epsilon: f64) -> TopKEstimate {
+        self.prefix16.track_top_k(k, epsilon)
+    }
+
+    /// Locates the attack's granularity: the finest level whose top
+    /// group's estimate reaches `threshold`.
+    ///
+    /// A focused attack crosses the threshold at `Host` (and trivially
+    /// at every coarser level); a spray crosses it only from some
+    /// prefix level up. Returns `(granularity, group, estimate)` of the
+    /// finest crossing level, or `None` if even the /16 view is calm.
+    pub fn locate(&self, threshold: u64, epsilon: f64) -> Option<(Granularity, u32, u64)> {
+        for (granularity, sketch) in [
+            (Granularity::Host, &self.host),
+            (Granularity::Prefix24, &self.prefix24),
+            (Granularity::Prefix16, &self.prefix16),
+        ] {
+            let top = sketch.track_top_k(1, epsilon);
+            if let Some(entry) = top.entries.first() {
+                if entry.estimated_frequency >= threshold {
+                    return Some((granularity, entry.group, entry.estimated_frequency));
+                }
+            }
+        }
+        None
+    }
+
+    /// Total heap bytes across the three sketches.
+    pub fn heap_bytes(&self) -> usize {
+        self.host.heap_bytes() + self.prefix24.heap_bytes() + self.prefix16.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_core::{DestAddr, SourceAddr};
+
+    fn tracker() -> HierarchicalTracker {
+        HierarchicalTracker::new(
+            SketchConfig::builder()
+                .buckets_per_table(1024)
+                .seed(21)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn flood(h: &mut HierarchicalTracker, dest: u32, base: u32, sources: u32) {
+        for s in 0..sources {
+            h.update(FlowUpdate::insert(SourceAddr(base + s), DestAddr(dest)));
+        }
+    }
+
+    #[test]
+    fn focused_attack_locates_at_host_level() {
+        let mut h = tracker();
+        flood(&mut h, 0x0a00_1201, 0, 600);
+        let (granularity, group, est) = h.locate(300, 0.25).expect("attack visible");
+        assert_eq!(granularity, Granularity::Host);
+        assert_eq!(group, 0x0a00_1201);
+        assert!(est >= 300);
+    }
+
+    #[test]
+    fn subnet_spray_locates_at_prefix_level() {
+        let mut h = tracker();
+        // 120 hosts × 6 sources: every host under 300, the /24 at 720.
+        for host in 0..120u32 {
+            flood(&mut h, 0x0a00_1200 + host, host * 1_000, 6);
+        }
+        let (granularity, group, est) = h.locate(300, 0.25).expect("spray visible");
+        assert_eq!(granularity, Granularity::Prefix24);
+        assert_eq!(group, 0x0a00_1200);
+        assert!(est >= 300, "estimate {est}");
+        // The host view's leader is far below threshold.
+        let host_top = h.host_top_k(1, 0.25);
+        assert!(host_top.entries[0].estimated_frequency < 300);
+    }
+
+    #[test]
+    fn wide_spray_locates_at_prefix16() {
+        let mut h = tracker();
+        // 4 sources to each of 300 hosts spread over many /24s of one
+        // /16: each /24 stays under the threshold.
+        for i in 0..300u32 {
+            let dest = 0x0a00_0000 | ((i % 100) << 8) | (i / 100);
+            flood(&mut h, dest, i * 100, 4);
+        }
+        let located = h.locate(600, 0.25).expect("wide spray visible");
+        assert_eq!(located.0, Granularity::Prefix16);
+        assert_eq!(located.1, 0x0a00_0000);
+    }
+
+    #[test]
+    fn calm_network_locates_nothing() {
+        let mut h = tracker();
+        flood(&mut h, 0x0a00_0001, 0, 20);
+        assert!(h.locate(100, 0.25).is_none());
+        assert!(h.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn deletions_flow_through_all_levels() {
+        let mut h = tracker();
+        for s in 0..400u32 {
+            h.update(FlowUpdate::insert(SourceAddr(s), DestAddr(0x0a00_1201)));
+        }
+        for s in 0..400u32 {
+            h.update(FlowUpdate::delete(SourceAddr(s), DestAddr(0x0a00_1201)));
+        }
+        assert!(h.locate(50, 0.25).is_none());
+        assert!(h.host_top_k(1, 0.25).entries.is_empty());
+        assert!(h.prefix16_top_k(1, 0.25).entries.is_empty());
+    }
+}

@@ -1,0 +1,211 @@
+//! Network impairment: loss, duplication, and reordering injected into
+//! packet feeds.
+//!
+//! Real monitoring taps miss packets, see duplicates (retransmissions,
+//! multiple observation points), and deliver slightly out of order.
+//! The handshake tracker and sketches must degrade *gracefully* under
+//! these conditions — half-open counts may drift by the lost ACKs, but
+//! nothing double-counts, goes negative, or corrupts the synopsis. The
+//! failure-injection tests in this module and in the integration suite
+//! pin that behaviour down.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::packet::TcpSegment;
+
+/// An impairment profile applied to a segment stream.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_netsim::impair::Impairment;
+/// use dcs_netsim::{TcpSegment, TrafficDriver};
+/// use dcs_core::DestAddr;
+///
+/// let mut driver = TrafficDriver::new(1);
+/// driver.legitimate_sessions(DestAddr(1), 50);
+/// let clean = driver.into_segments();
+/// let impaired = Impairment::new(7).loss(0.05).apply(&clean);
+/// assert!(impaired.len() < clean.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Impairment {
+    seed: u64,
+    loss_rate: f64,
+    duplicate_rate: f64,
+    /// Maximum displacement (in positions) for reordering; 0 disables.
+    reorder_window: usize,
+}
+
+impl Impairment {
+    /// Creates a no-op impairment with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            loss_rate: 0.0,
+            duplicate_rate: 0.0,
+            reorder_window: 0,
+        }
+    }
+
+    /// Drops each segment independently with probability `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1)`.
+    pub fn loss(mut self, rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "loss rate must be in [0, 1)");
+        self.loss_rate = rate;
+        self
+    }
+
+    /// Duplicates each surviving segment with probability `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1)`.
+    pub fn duplication(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "duplication rate must be in [0, 1)"
+        );
+        self.duplicate_rate = rate;
+        self
+    }
+
+    /// Displaces segments by up to `window` positions (a bounded random
+    /// jitter on delivery order).
+    pub fn reordering(mut self, window: usize) -> Self {
+        self.reorder_window = window;
+        self
+    }
+
+    /// Applies the profile to a segment stream, returning the impaired
+    /// stream. Deterministic for a fixed seed.
+    pub fn apply(&self, segments: &[TcpSegment]) -> Vec<TcpSegment> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out: Vec<(u64, TcpSegment)> = Vec::with_capacity(segments.len());
+        for (index, segment) in segments.iter().enumerate() {
+            if self.loss_rate > 0.0 && rng.gen_bool(self.loss_rate) {
+                continue;
+            }
+            // Sort key: original index plus bounded jitter.
+            let jitter = if self.reorder_window > 0 {
+                rng.gen_range(0..=self.reorder_window as u64)
+            } else {
+                0
+            };
+            out.push((index as u64 + jitter, *segment));
+            if self.duplicate_rate > 0.0 && rng.gen_bool(self.duplicate_rate) {
+                let dup_jitter = if self.reorder_window > 0 {
+                    rng.gen_range(0..=self.reorder_window as u64)
+                } else {
+                    1
+                };
+                out.push((index as u64 + dup_jitter, *segment));
+            }
+        }
+        out.sort_by_key(|&(k, _)| k);
+        out.into_iter().map(|(_, s)| s).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::HandshakeTracker;
+    use crate::traffic::TrafficDriver;
+    use dcs_core::DestAddr;
+
+    fn sessions(n: u32, seed: u64) -> Vec<TcpSegment> {
+        let mut driver = TrafficDriver::new(seed);
+        driver.legitimate_sessions(DestAddr(1), n);
+        driver.into_segments()
+    }
+
+    #[test]
+    fn noop_impairment_is_identity() {
+        let clean = sessions(30, 1);
+        assert_eq!(Impairment::new(1).apply(&clean), clean);
+    }
+
+    #[test]
+    fn loss_drops_roughly_the_requested_fraction() {
+        let clean = sessions(200, 2);
+        let impaired = Impairment::new(2).loss(0.2).apply(&clean);
+        let kept = impaired.len() as f64 / clean.len() as f64;
+        assert!((0.74..0.86).contains(&kept), "kept = {kept}");
+    }
+
+    #[test]
+    fn duplication_grows_the_stream() {
+        let clean = sessions(200, 3);
+        let impaired = Impairment::new(3).duplication(0.3).apply(&clean);
+        let ratio = impaired.len() as f64 / clean.len() as f64;
+        assert!((1.24..1.36).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn reordering_preserves_multiset() {
+        let clean = sessions(100, 4);
+        let impaired = Impairment::new(4).reordering(5).apply(&clean);
+        assert_eq!(impaired.len(), clean.len());
+        let mut a = clean.clone();
+        let mut b = impaired.clone();
+        let key = |s: &TcpSegment| (s.timestamp, s.src.0, s.dst.0, s.payload_len);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+        assert_ne!(impaired, clean, "window 5 should move something");
+    }
+
+    #[test]
+    fn duplicates_never_double_count_half_open() {
+        // Duplicated SYNs hit the tracker's retransmission path; net
+        // counts stay exact.
+        let clean = sessions(100, 5);
+        let impaired = Impairment::new(5).duplication(0.5).apply(&clean);
+        let mut tracker = HandshakeTracker::new(None);
+        let mut net = 0i64;
+        for seg in &impaired {
+            if let Some(u) = tracker.observe(seg) {
+                net += u.delta.signum();
+            }
+        }
+        assert_eq!(net as usize, tracker.half_open_flows());
+        assert_eq!(net, 0, "all sessions complete; duplicates change nothing");
+    }
+
+    #[test]
+    fn loss_never_drives_counts_negative() {
+        let clean = sessions(300, 6);
+        let impaired = Impairment::new(6).loss(0.3).apply(&clean);
+        let mut tracker = HandshakeTracker::new(None);
+        let mut net = 0i64;
+        for seg in &impaired {
+            if let Some(u) = tracker.observe(seg) {
+                net += u.delta.signum();
+                assert!(net >= 0, "net went negative");
+            }
+        }
+        // Residual half-open = sessions whose ACK was lost but SYN kept.
+        assert_eq!(net as usize, tracker.half_open_flows());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let clean = sessions(50, 7);
+        let a = Impairment::new(9).loss(0.1).duplication(0.1).apply(&clean);
+        let b = Impairment::new(9).loss(0.1).duplication(0.1).apply(&clean);
+        assert_eq!(a, b);
+        let c = Impairment::new(10).loss(0.1).duplication(0.1).apply(&clean);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn bad_loss_rate_panics() {
+        let _ = Impairment::new(1).loss(1.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! # dcs-netsim — the network substrate under the DDoS monitor
+//!
+//! The paper assumes flow-update streams arrive from network
+//! instrumentation ("e.g., by deploying Cisco's NetFlow tool or AT&T's
+//! GigaScope probe to monitor egress-flow traffic (and corresponding TCP
+//! flags) for routers at the edge of the ISP network", §2). This crate
+//! builds that instrumentation:
+//!
+//! * [`packet`] — TCP segments with SYN/ACK/FIN/RST flags and timestamps.
+//! * [`conn`] — the handshake state machine that turns raw segments into
+//!   the paper's `(source, dest, ±1)` updates: a new SYN emits `+1`
+//!   (potentially-malicious half-open connection), the completing ACK
+//!   emits `-1` (flow established as legitimate), and RST/FIN/timeout
+//!   discount flows that stop being half-open.
+//! * [`traffic`] — packet-level drivers: legitimate handshakes, SYN
+//!   floods (SYN only, spoofed sources), flash crowds (complete
+//!   handshakes), port scans.
+//! * [`router`] — edge routers batching exported flow updates.
+//! * [`monitor`] — the DDoS MONITOR of Fig. 1: a Tracking
+//!   Distinct-Count Sketch plus EWMA baseline profiles and alarm logic.
+//! * [`epoch`] — windowed surge detection built on sketch linearity:
+//!   snapshot rings and epoch differences.
+//! * [`topology`] — prefix-partitioned edge routers feeding one
+//!   central monitor.
+//! * [`pipeline`] — a multi-threaded router → monitor pipeline over
+//!   crossbeam channels, demonstrating deployment shape.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod epoch;
+pub mod hierarchy;
+pub mod impair;
+pub mod monitor;
+pub mod netflow;
+pub mod packet;
+pub mod pipeline;
+pub mod router;
+pub mod sharded;
+pub mod simulation;
+pub mod topology;
+pub mod traffic;
+pub mod udp;
+
+pub use conn::{ConnectionState, HandshakeTracker};
+pub use epoch::EpochManager;
+pub use hierarchy::HierarchicalTracker;
+pub use impair::Impairment;
+pub use monitor::{Alarm, AlarmEvent, AlarmPolicy, DdosMonitor};
+pub use netflow::{FlowAggregator, FlowRecord, RecordConverter};
+pub use packet::{TcpFlags, TcpSegment};
+pub use pipeline::{run_pipeline, DetectionReport, PipelineConfig};
+pub use router::EdgeRouter;
+pub use sharded::ingest_sharded;
+pub use simulation::{run_simulation, SimulationConfig, SimulationOutcome};
+pub use topology::IspTopology;
+pub use traffic::TrafficDriver;
+pub use udp::{Datagram, UdpTracker};

@@ -1,0 +1,408 @@
+//! The DDoS MONITOR of Fig. 1: sketch-backed tracking plus alarm logic.
+//!
+//! The paper's monitor "can readily identify (in real time) signs of
+//! potential DDoS activity in the network (e.g., by comparing against
+//! 'baseline' profiles of network activity created over longer periods
+//! of time)" (§2). This module supplies both halves: a
+//! [`dcs_core::TrackingDcs`] consuming the flow-update
+//! streams, and per-destination EWMA baselines with absolute and
+//! relative alarm thresholds.
+
+use std::collections::HashMap;
+
+use dcs_core::{FlowUpdate, SketchConfig, TopKEstimate, TrackingDcs};
+
+/// Alarm thresholds and baseline smoothing.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AlarmPolicy {
+    /// Estimated distinct-source frequency that always raises an alarm.
+    pub absolute_threshold: u64,
+    /// Alarm when the estimate exceeds `ratio × baseline` (and the
+    /// baseline has warmed up).
+    pub ratio_over_baseline: f64,
+    /// The ratio rule only applies to estimates at least this large —
+    /// a floor that keeps statistical noise around tiny baselines from
+    /// raising alarms.
+    pub min_frequency_for_ratio: u64,
+    /// EWMA smoothing factor `α ∈ (0, 1]` for baseline updates.
+    pub ewma_alpha: f64,
+    /// How many of the top destinations each evaluation inspects.
+    pub watch_top_k: usize,
+    /// Relative-accuracy parameter handed to the sketch's estimator.
+    pub epsilon: f64,
+    /// Hysteresis: a raised alarm clears only once the estimate drops
+    /// below `clear_fraction × absolute_threshold` (prevents flapping
+    /// when an estimate oscillates around the threshold).
+    pub clear_fraction: f64,
+}
+
+impl Default for AlarmPolicy {
+    fn default() -> Self {
+        Self {
+            absolute_threshold: 1_000,
+            ratio_over_baseline: 8.0,
+            min_frequency_for_ratio: 50,
+            ewma_alpha: 0.2,
+            watch_top_k: 10,
+            epsilon: 0.25,
+            clear_fraction: 0.5,
+        }
+    }
+}
+
+/// A raised alarm for one destination.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Alarm {
+    /// The destination address under suspected attack.
+    pub dest: u32,
+    /// The sketch's estimated distinct-source (half-open) frequency.
+    pub estimated_frequency: u64,
+    /// The destination's EWMA baseline at evaluation time.
+    pub baseline: f64,
+    /// Why the alarm fired.
+    pub reason: AlarmReason,
+    /// Evaluation sequence number (monotone per monitor).
+    pub evaluation: u64,
+}
+
+/// Which rule fired an alarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum AlarmReason {
+    /// The estimate crossed the absolute threshold.
+    AbsoluteThreshold,
+    /// The estimate exceeded `ratio × baseline`.
+    BaselineRatio,
+}
+
+/// A transition in a destination's alarm state.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum AlarmEvent {
+    /// The destination entered the alarmed state.
+    Raised(Alarm),
+    /// A previously-alarmed destination dropped below the clear level.
+    Cleared {
+        /// The destination whose alarm cleared.
+        dest: u32,
+        /// Its estimate at clear time.
+        estimated_frequency: u64,
+        /// Evaluation sequence number.
+        evaluation: u64,
+    },
+}
+
+/// The sketch-backed DDoS monitor.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_core::{DestAddr, SketchConfig, SourceAddr};
+/// use dcs_netsim::{AlarmPolicy, DdosMonitor};
+///
+/// let policy = AlarmPolicy {
+///     absolute_threshold: 100,
+///     ..AlarmPolicy::default()
+/// };
+/// let mut monitor = DdosMonitor::new(SketchConfig::paper_default(), policy);
+/// for s in 0..500u32 {
+///     monitor.ingest_one(dcs_core::FlowUpdate::insert(SourceAddr(s), DestAddr(80)));
+/// }
+/// let alarms = monitor.evaluate();
+/// assert!(alarms.iter().any(|a| a.dest == 80));
+/// ```
+#[derive(Debug)]
+pub struct DdosMonitor {
+    sketch: TrackingDcs,
+    policy: AlarmPolicy,
+    baselines: HashMap<u32, f64>,
+    /// Destinations currently in the alarmed state (for hysteresis).
+    active_alarms: std::collections::HashSet<u32>,
+    evaluations: u64,
+}
+
+impl DdosMonitor {
+    /// Creates a monitor with the given sketch configuration and policy.
+    pub fn new(config: SketchConfig, policy: AlarmPolicy) -> Self {
+        Self {
+            sketch: TrackingDcs::new(config),
+            policy,
+            baselines: HashMap::new(),
+            active_alarms: std::collections::HashSet::new(),
+            evaluations: 0,
+        }
+    }
+
+    /// Ingests one flow update.
+    pub fn ingest_one(&mut self, update: FlowUpdate) {
+        self.sketch.update(update);
+    }
+
+    /// Ingests a batch of flow updates.
+    pub fn ingest<I: IntoIterator<Item = FlowUpdate>>(&mut self, updates: I) {
+        for u in updates {
+            self.sketch.update(u);
+        }
+    }
+
+    /// The current top-k view (without alarm evaluation).
+    pub fn top_k(&self, k: usize) -> TopKEstimate {
+        self.sketch.track_top_k(k, self.policy.epsilon)
+    }
+
+    /// Evaluates the alarm rules against the current top destinations,
+    /// updating baselines, and returns any alarms raised.
+    ///
+    /// Destinations are judged *before* their baseline absorbs the new
+    /// observation, so a sudden surge is compared against the calm
+    /// profile that preceded it.
+    pub fn evaluate(&mut self) -> Vec<Alarm> {
+        self.evaluations += 1;
+        let top = self
+            .sketch
+            .track_top_k(self.policy.watch_top_k, self.policy.epsilon);
+        let mut alarms = Vec::new();
+        for entry in &top.entries {
+            let baseline = self.baselines.get(&entry.group).copied().unwrap_or(0.0);
+            let estimate = entry.estimated_frequency;
+            let reason = if estimate >= self.policy.absolute_threshold {
+                Some(AlarmReason::AbsoluteThreshold)
+            } else if baseline > 0.0
+                && estimate >= self.policy.min_frequency_for_ratio
+                && estimate as f64 >= self.policy.ratio_over_baseline * baseline
+            {
+                Some(AlarmReason::BaselineRatio)
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                alarms.push(Alarm {
+                    dest: entry.group,
+                    estimated_frequency: estimate,
+                    baseline,
+                    reason,
+                    evaluation: self.evaluations,
+                });
+            }
+            // EWMA update after judgment.
+            let alpha = self.policy.ewma_alpha;
+            let next = alpha * estimate as f64 + (1.0 - alpha) * baseline;
+            self.baselines.insert(entry.group, next);
+        }
+        alarms
+    }
+
+    /// Evaluates with raise/clear hysteresis, returning state
+    /// *transitions* instead of repeating active alarms.
+    ///
+    /// A destination raises once (when an alarm rule fires) and stays
+    /// silently alarmed until its estimate drops below
+    /// `clear_fraction × absolute_threshold`, at which point a
+    /// [`AlarmEvent::Cleared`] is emitted. Operators see one event per
+    /// attack edge rather than one per evaluation.
+    pub fn evaluate_events(&mut self) -> Vec<AlarmEvent> {
+        let raised_now = self.evaluate();
+        let mut events = Vec::new();
+        for alarm in raised_now {
+            if self.active_alarms.insert(alarm.dest) {
+                events.push(AlarmEvent::Raised(alarm));
+            }
+        }
+        // Check active alarms for clearance.
+        let clear_level =
+            (self.policy.absolute_threshold as f64 * self.policy.clear_fraction) as u64;
+        let evaluation = self.evaluations;
+        let epsilon = self.policy.epsilon;
+        let mut cleared = Vec::new();
+        for &dest in &self.active_alarms {
+            let estimate = self.sketch.track_group(dest, epsilon).unwrap_or(0);
+            if estimate < clear_level {
+                cleared.push((dest, estimate));
+            }
+        }
+        for (dest, estimated_frequency) in cleared {
+            self.active_alarms.remove(&dest);
+            events.push(AlarmEvent::Cleared {
+                dest,
+                estimated_frequency,
+                evaluation,
+            });
+        }
+        events
+    }
+
+    /// Destinations currently in the alarmed state.
+    pub fn active_alarms(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.active_alarms.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The baseline currently held for `dest`, if any.
+    pub fn baseline(&self, dest: u32) -> Option<f64> {
+        self.baselines.get(&dest).copied()
+    }
+
+    /// The monitor's sketch (read-only).
+    pub fn sketch(&self) -> &TrackingDcs {
+        &self.sketch
+    }
+
+    /// The alarm policy.
+    pub fn policy(&self) -> &AlarmPolicy {
+        &self.policy
+    }
+
+    /// Number of evaluations performed.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_core::{DestAddr, SourceAddr};
+
+    fn monitor(absolute: u64) -> DdosMonitor {
+        let config = SketchConfig::builder()
+            .buckets_per_table(256)
+            .seed(5)
+            .build()
+            .unwrap();
+        DdosMonitor::new(
+            config,
+            AlarmPolicy {
+                absolute_threshold: absolute,
+                ..AlarmPolicy::default()
+            },
+        )
+    }
+
+    #[test]
+    fn quiet_network_raises_no_alarms() {
+        let mut m = monitor(100);
+        for s in 0..10u32 {
+            m.ingest_one(FlowUpdate::insert(SourceAddr(s), DestAddr(1)));
+        }
+        assert!(m.evaluate().is_empty());
+        assert_eq!(m.evaluations(), 1);
+    }
+
+    #[test]
+    fn flood_crosses_absolute_threshold() {
+        let mut m = monitor(100);
+        for s in 0..400u32 {
+            m.ingest_one(FlowUpdate::insert(SourceAddr(s), DestAddr(80)));
+        }
+        let alarms = m.evaluate();
+        let alarm = alarms.iter().find(|a| a.dest == 80).expect("alarm for 80");
+        assert_eq!(alarm.reason, AlarmReason::AbsoluteThreshold);
+        assert!(alarm.estimated_frequency >= 100);
+    }
+
+    #[test]
+    fn completed_handshakes_suppress_alarms() {
+        let mut m = monitor(100);
+        for s in 0..400u32 {
+            m.ingest_one(FlowUpdate::insert(SourceAddr(s), DestAddr(443)));
+            m.ingest_one(FlowUpdate::delete(SourceAddr(s), DestAddr(443)));
+        }
+        assert!(m.evaluate().is_empty());
+    }
+
+    #[test]
+    fn baseline_ratio_fires_on_surge_after_warmup() {
+        let mut m = DdosMonitor::new(
+            SketchConfig::builder()
+                .buckets_per_table(256)
+                .seed(6)
+                .build()
+                .unwrap(),
+            AlarmPolicy {
+                absolute_threshold: u64::MAX, // isolate the ratio rule
+                ratio_over_baseline: 4.0,
+                min_frequency_for_ratio: 50,
+                ewma_alpha: 1.0, // baseline = last observation
+                watch_top_k: 5,
+                epsilon: 0.25,
+                clear_fraction: 0.5,
+            },
+        );
+        // Warm-up: modest steady state for destination 9.
+        for s in 0..20u32 {
+            m.ingest_one(FlowUpdate::insert(SourceAddr(s), DestAddr(9)));
+        }
+        assert!(m.evaluate().is_empty());
+        let warm = m.baseline(9).expect("baseline recorded");
+        assert!(warm > 0.0);
+        // Surge: 20 → 600 half-open sources.
+        for s in 20..600u32 {
+            m.ingest_one(FlowUpdate::insert(SourceAddr(s), DestAddr(9)));
+        }
+        let alarms = m.evaluate();
+        let alarm = alarms.iter().find(|a| a.dest == 9).expect("surge alarm");
+        assert_eq!(alarm.reason, AlarmReason::BaselineRatio);
+        assert_eq!(alarm.evaluation, 2);
+    }
+
+    #[test]
+    fn top_k_view_matches_sketch() {
+        let mut m = monitor(1_000_000);
+        for s in 0..50u32 {
+            m.ingest_one(FlowUpdate::insert(SourceAddr(s), DestAddr(3)));
+        }
+        let view = m.top_k(1);
+        assert_eq!(view.entries[0].group, 3);
+        assert_eq!(m.sketch().updates_processed(), 50);
+        assert_eq!(m.policy().watch_top_k, 10);
+    }
+
+    #[test]
+    fn ingest_batch() {
+        let mut m = monitor(10);
+        let ups: Vec<FlowUpdate> = (0..30)
+            .map(|s| FlowUpdate::insert(SourceAddr(s), DestAddr(2)))
+            .collect();
+        m.ingest(ups);
+        assert_eq!(m.sketch().updates_processed(), 30);
+    }
+
+    #[test]
+    fn hysteresis_raises_once_and_clears_once() {
+        let mut m = monitor(100);
+        for s in 0..400u32 {
+            m.ingest_one(FlowUpdate::insert(SourceAddr(s), DestAddr(80)));
+        }
+        let first = m.evaluate_events();
+        assert!(matches!(first.as_slice(), [AlarmEvent::Raised(a)] if a.dest == 80));
+        assert_eq!(m.active_alarms(), vec![80]);
+        // Still attacked: no repeated Raised event.
+        assert!(m.evaluate_events().is_empty());
+        // Attack subsides below clear level (50% of 100 = 50).
+        for s in 0..380u32 {
+            m.ingest_one(FlowUpdate::delete(SourceAddr(s), DestAddr(80)));
+        }
+        let cleared = m.evaluate_events();
+        assert!(matches!(
+            cleared.as_slice(),
+            [AlarmEvent::Cleared { dest: 80, .. }]
+        ));
+        assert!(m.active_alarms().is_empty());
+    }
+
+    #[test]
+    fn hysteresis_holds_between_thresholds() {
+        // Estimate between clear level and threshold: alarm neither
+        // re-raises nor clears.
+        let mut m = monitor(100);
+        for s in 0..400u32 {
+            m.ingest_one(FlowUpdate::insert(SourceAddr(s), DestAddr(80)));
+        }
+        assert_eq!(m.evaluate_events().len(), 1);
+        // Drop to ~75: above 50 (clear), below 100 (raise).
+        for s in 0..325u32 {
+            m.ingest_one(FlowUpdate::delete(SourceAddr(s), DestAddr(80)));
+        }
+        assert!(m.evaluate_events().is_empty());
+        assert_eq!(m.active_alarms(), vec![80]);
+    }
+}

@@ -1,0 +1,243 @@
+//! A concurrent router → monitor pipeline.
+//!
+//! Deployment shape for the architecture of Fig. 1: several edge
+//! routers, each on its own thread, convert their packet feeds into
+//! flow updates and ship them over a bounded crossbeam channel to one
+//! central monitor thread that maintains the Tracking Distinct-Count
+//! Sketch and evaluates alarms periodically. The monitor state is
+//! shared behind a `parking_lot::Mutex` so callers can inspect the
+//! final sketch after the run.
+
+use std::sync::Arc;
+use std::thread;
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+use dcs_core::{FlowUpdate, SketchConfig};
+
+use crate::monitor::{Alarm, AlarmPolicy, DdosMonitor};
+use crate::packet::TcpSegment;
+use crate::router::EdgeRouter;
+
+/// Pipeline tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Sketch configuration for the central monitor.
+    pub sketch: SketchConfig,
+    /// Alarm policy for the central monitor.
+    pub policy: AlarmPolicy,
+    /// Updates per export batch from each router.
+    pub batch_size: usize,
+    /// Evaluate alarms every this many ingested updates.
+    pub evaluate_every: u64,
+    /// Router half-open timeout in ticks (`None` disables).
+    pub half_open_timeout: Option<u64>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            sketch: SketchConfig::paper_default(),
+            policy: AlarmPolicy::default(),
+            batch_size: 1024,
+            evaluate_every: 10_000,
+            half_open_timeout: None,
+        }
+    }
+}
+
+/// The outcome of a pipeline run.
+#[derive(Debug)]
+pub struct DetectionReport {
+    /// Every alarm raised during the run, in evaluation order.
+    pub alarms: Vec<Alarm>,
+    /// Total flow updates the monitor ingested.
+    pub updates_ingested: u64,
+    /// Total segments observed across all routers.
+    pub segments_observed: u64,
+    /// The final monitor state (sketch + baselines).
+    pub monitor: DdosMonitor,
+}
+
+impl DetectionReport {
+    /// The set of destinations that raised at least one alarm.
+    pub fn alarmed_destinations(&self) -> Vec<u32> {
+        let mut dests: Vec<u32> = self.alarms.iter().map(|a| a.dest).collect();
+        dests.sort_unstable();
+        dests.dedup();
+        dests
+    }
+}
+
+/// Runs the pipeline: one thread per router feed, one monitor thread.
+///
+/// Each element of `router_feeds` is the time-ordered packet feed of one
+/// edge router. Returns after all feeds are exhausted, the channel has
+/// drained, and a final alarm evaluation has run.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_core::DestAddr;
+/// use dcs_netsim::{run_pipeline, PipelineConfig, TrafficDriver};
+///
+/// let mut driver = TrafficDriver::new(1);
+/// driver.syn_flood(DestAddr(0x0a000001), 2_000);
+/// let report = run_pipeline(vec![driver.into_segments()], PipelineConfig::default());
+/// assert!(report.alarmed_destinations().contains(&0x0a000001));
+/// ```
+pub fn run_pipeline(router_feeds: Vec<Vec<TcpSegment>>, config: PipelineConfig) -> DetectionReport {
+    let (update_tx, update_rx) = channel::bounded::<Vec<FlowUpdate>>(64);
+    let segments_total = Arc::new(Mutex::new(0u64));
+
+    let mut router_handles = Vec::new();
+    for (index, feed) in router_feeds.into_iter().enumerate() {
+        let tx = update_tx.clone();
+        let segments_total = Arc::clone(&segments_total);
+        let batch_size = config.batch_size.max(1);
+        let timeout = config.half_open_timeout;
+        router_handles.push(thread::spawn(move || {
+            let mut router = EdgeRouter::new(index as u32, timeout);
+            let last_ts = feed.last().map_or(0, |s| s.timestamp);
+            for segment in &feed {
+                router.observe(segment);
+                if router.pending_exports() >= batch_size {
+                    let batch = router.drain_exports();
+                    if tx.send(batch).is_err() {
+                        return;
+                    }
+                }
+            }
+            router.flush_expired(last_ts.saturating_add(1_000_000));
+            let tail = router.drain_exports();
+            if !tail.is_empty() {
+                let _ = tx.send(tail);
+            }
+            *segments_total.lock() += router.segments_observed();
+        }));
+    }
+    drop(update_tx);
+
+    let monitor_handle = {
+        let sketch = config.sketch.clone();
+        let policy = config.policy.clone();
+        let evaluate_every = config.evaluate_every.max(1);
+        thread::spawn(move || {
+            let mut monitor = DdosMonitor::new(sketch, policy);
+            let mut alarms = Vec::new();
+            let mut ingested = 0u64;
+            let mut next_eval = evaluate_every;
+            for batch in update_rx {
+                for update in batch {
+                    monitor.ingest_one(update);
+                    ingested += 1;
+                    if ingested >= next_eval {
+                        alarms.extend(monitor.evaluate());
+                        next_eval += evaluate_every;
+                    }
+                }
+            }
+            alarms.extend(monitor.evaluate());
+            (monitor, alarms, ingested)
+        })
+    };
+
+    for handle in router_handles {
+        handle.join().expect("router thread panicked");
+    }
+    let (monitor, alarms, updates_ingested) =
+        monitor_handle.join().expect("monitor thread panicked");
+    let segments_observed = *segments_total.lock();
+    DetectionReport {
+        alarms,
+        updates_ingested,
+        segments_observed,
+        monitor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::TrafficDriver;
+    use dcs_core::DestAddr;
+
+    fn config(absolute: u64) -> PipelineConfig {
+        PipelineConfig {
+            sketch: SketchConfig::builder()
+                .buckets_per_table(256)
+                .seed(3)
+                .build()
+                .unwrap(),
+            policy: AlarmPolicy {
+                absolute_threshold: absolute,
+                ..AlarmPolicy::default()
+            },
+            batch_size: 64,
+            evaluate_every: 500,
+            half_open_timeout: None,
+        }
+    }
+
+    #[test]
+    fn single_router_flood_is_detected() {
+        let mut driver = TrafficDriver::new(1);
+        driver.legitimate_sessions(DestAddr(0x0a000001), 100);
+        driver.syn_flood(DestAddr(0x0a000002), 1_000);
+        let report = run_pipeline(vec![driver.into_segments()], config(300));
+        assert!(report.alarmed_destinations().contains(&0x0a00_0002));
+        assert!(!report.alarmed_destinations().contains(&0x0a00_0001));
+        assert!(report.updates_ingested > 1_000);
+        assert!(report.segments_observed > 1_000);
+    }
+
+    #[test]
+    fn distributed_flood_across_routers_is_aggregated() {
+        // Each router alone sees 200 attack sources (below threshold
+        // 450); the central monitor sees all 600. s = 1024 keeps the
+        // estimator's sampling error well under the 150-source margin.
+        let mut cfg = config(450);
+        cfg.sketch = SketchConfig::builder()
+            .buckets_per_table(1024)
+            .seed(3)
+            .build()
+            .unwrap();
+        let feeds: Vec<_> = (0..3u32)
+            .map(|i| {
+                let mut driver = TrafficDriver::new(100 + u64::from(i))
+                    .with_source_base(0x2000_0000 + i * 0x0100_0000);
+                driver.syn_flood(DestAddr(0x0a000009), 200);
+                driver.into_segments()
+            })
+            .collect();
+        let report = run_pipeline(feeds, cfg);
+        assert!(report.alarmed_destinations().contains(&0x0a00_0009));
+        assert_eq!(report.updates_ingested, 600);
+    }
+
+    #[test]
+    fn flash_crowd_alone_is_not_alarmed() {
+        let mut driver = TrafficDriver::new(2);
+        driver.flash_crowd(DestAddr(0x0a000003), 1_000);
+        let report = run_pipeline(vec![driver.into_segments()], config(300));
+        assert!(report.alarmed_destinations().is_empty());
+    }
+
+    #[test]
+    fn empty_feeds_produce_empty_report() {
+        let report = run_pipeline(vec![], config(10));
+        assert!(report.alarms.is_empty());
+        assert_eq!(report.updates_ingested, 0);
+        assert_eq!(report.monitor.sketch().updates_processed(), 0);
+    }
+
+    #[test]
+    fn final_monitor_state_is_inspectable() {
+        let mut driver = TrafficDriver::new(3);
+        driver.syn_flood(DestAddr(0x0a000004), 500);
+        let report = run_pipeline(vec![driver.into_segments()], config(100));
+        let top = report.monitor.top_k(1);
+        assert_eq!(top.entries[0].group, 0x0a00_0004);
+    }
+}

@@ -1,0 +1,151 @@
+//! Sharded parallel ingestion.
+//!
+//! Sketch linearity buys more than multi-router merging: a single
+//! monitor saturating one core can split its update stream across `n`
+//! worker threads, each feeding a private sketch built from the *same
+//! seed*, and merge on query. Any partition works — no key-based
+//! routing needed — because merge equals the union stream exactly.
+
+use std::thread;
+
+use crossbeam::channel;
+
+use dcs_core::{DistinctCountSketch, FlowUpdate, SketchConfig, SketchError, TrackingDcs};
+
+/// Ingests a stream across `shards` worker threads and returns the
+/// merged tracking sketch.
+///
+/// Updates are dealt round-robin in batches; each worker owns a
+/// private [`DistinctCountSketch`]; the results merge into one
+/// [`TrackingDcs`]. The answer is *identical* (not just statistically
+/// equivalent) to single-threaded ingestion, because counters are
+/// linear and all shards share hash functions.
+///
+/// # Errors
+///
+/// Propagates [`SketchError`] from the final merge (unreachable when
+/// all shards share `config`, which this function guarantees).
+///
+/// # Panics
+///
+/// Panics if `shards` is zero or a worker thread panics.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_core::{DestAddr, FlowUpdate, SketchConfig, SourceAddr};
+/// use dcs_netsim::sharded::ingest_sharded;
+///
+/// let updates: Vec<FlowUpdate> = (0..1000u32)
+///     .map(|s| FlowUpdate::insert(SourceAddr(s), DestAddr(7)))
+///     .collect();
+/// let sketch = ingest_sharded(&updates, SketchConfig::paper_default(), 4)?;
+/// assert_eq!(sketch.track_top_k(1, 0.25).entries[0].group, 7);
+/// # Ok::<(), dcs_core::SketchError>(())
+/// ```
+pub fn ingest_sharded(
+    updates: &[FlowUpdate],
+    config: SketchConfig,
+    shards: usize,
+) -> Result<TrackingDcs, SketchError> {
+    assert!(shards > 0, "need at least one shard");
+    const BATCH: usize = 4096;
+
+    let mut senders = Vec::with_capacity(shards);
+    let mut handles = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = channel::bounded::<Vec<FlowUpdate>>(8);
+        let shard_config = config.clone();
+        handles.push(thread::spawn(move || {
+            let mut sketch = DistinctCountSketch::new(shard_config);
+            for batch in rx {
+                for update in batch {
+                    sketch.update(update);
+                }
+            }
+            sketch
+        }));
+        senders.push(tx);
+    }
+    for (i, chunk) in updates.chunks(BATCH).enumerate() {
+        senders[i % shards]
+            .send(chunk.to_vec())
+            .expect("worker alive");
+    }
+    drop(senders);
+
+    let mut merged: Option<DistinctCountSketch> = None;
+    for handle in handles {
+        let shard = handle.join().expect("worker thread panicked");
+        match merged.as_mut() {
+            None => merged = Some(shard),
+            Some(m) => m.merge_from(&shard)?,
+        }
+    }
+    Ok(TrackingDcs::from_sketch(
+        merged.expect("at least one shard"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_core::{DestAddr, SourceAddr};
+    use dcs_streamgen::{PaperWorkload, WorkloadConfig};
+
+    fn config() -> SketchConfig {
+        SketchConfig::builder()
+            .buckets_per_table(256)
+            .seed(13)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sharded_equals_sequential_exactly() {
+        let updates = PaperWorkload::generate(WorkloadConfig {
+            distinct_pairs: 30_000,
+            num_destinations: 200,
+            skew: 1.2,
+            seed: 5,
+        })
+        .into_updates();
+        let mut sequential = TrackingDcs::new(config());
+        for u in &updates {
+            sequential.update(*u);
+        }
+        for shards in [1, 2, 4, 7] {
+            let sharded = ingest_sharded(&updates, config(), shards).unwrap();
+            assert_eq!(
+                sharded.track_top_k(10, 0.25),
+                sequential.track_top_k(10, 0.25),
+                "shards = {shards}"
+            );
+            assert_eq!(sharded.updates_processed(), updates.len() as u64);
+        }
+    }
+
+    #[test]
+    fn sharded_handles_deletions() {
+        let mut updates: Vec<FlowUpdate> = (0..5_000u32)
+            .map(|s| FlowUpdate::insert(SourceAddr(s), DestAddr(s % 3)))
+            .collect();
+        updates.extend((0..2_500u32).map(|s| FlowUpdate::delete(SourceAddr(s), DestAddr(s % 3))));
+        let sketch = ingest_sharded(&updates, config(), 3).unwrap();
+        let est = sketch.estimate_distinct_pairs(0.25) as f64;
+        assert!((est - 2_500.0).abs() / 2_500.0 < 0.4, "estimate {est}");
+        sketch.check_tracking_invariants().unwrap();
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let sketch = ingest_sharded(&[], config(), 4).unwrap();
+        assert!(sketch.track_top_k(5, 0.25).entries.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard")]
+    fn zero_shards_panics() {
+        let _ = ingest_sharded(&[], config(), 0);
+    }
+}

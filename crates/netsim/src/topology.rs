@@ -1,0 +1,219 @@
+//! A minimal ISP topology: prefix-owned edge routers feeding one
+//! central monitor.
+//!
+//! The paper's deployment picture (Fig. 1) has flow-update streams
+//! arriving "from various elements in the underlying ISP network", with
+//! egress-flow monitoring "for routers at the edge of the ISP network".
+//! This module provides that shape: destination address space is
+//! partitioned into prefixes, each owned by one edge router; a segment
+//! is observed by the router owning its (forward-direction) server
+//! side, so every flow is metered exactly once and the per-router
+//! update streams can be merged or shipped centrally.
+
+use std::collections::HashMap;
+
+use dcs_core::FlowUpdate;
+
+use crate::packet::TcpSegment;
+use crate::router::EdgeRouter;
+
+/// A static prefix → router assignment with per-router flow export.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_core::{DestAddr, SourceAddr};
+/// use dcs_netsim::topology::IspTopology;
+/// use dcs_netsim::TcpSegment;
+///
+/// // 4 routers, each owning a /10's worth of destinations (top 2 bits).
+/// let mut isp = IspTopology::new(2, None);
+/// isp.observe(&TcpSegment::syn(SourceAddr(1), DestAddr(0x4000_0000), 0));
+/// assert_eq!(isp.router_for(0x4000_0000), 1);
+/// let per_router = isp.drain_all();
+/// assert_eq!(per_router[&1].len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct IspTopology {
+    routers: Vec<EdgeRouter>,
+    prefix_bits: u32,
+}
+
+impl IspTopology {
+    /// Creates a topology with `2^prefix_bits` edge routers, each
+    /// owning one destination prefix. `half_open_timeout` is applied at
+    /// every router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix_bits` exceeds 16 (65 536 routers ought to be
+    /// enough for anybody's simulation).
+    pub fn new(prefix_bits: u32, half_open_timeout: Option<u64>) -> Self {
+        assert!(prefix_bits <= 16, "prefix_bits must be at most 16");
+        let routers = (0..(1u32 << prefix_bits))
+            .map(|id| EdgeRouter::new(id, half_open_timeout))
+            .collect();
+        Self {
+            routers,
+            prefix_bits,
+        }
+    }
+
+    /// Number of edge routers.
+    pub fn num_routers(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// The router id owning destination address `dest` (its top
+    /// `prefix_bits` bits).
+    pub fn router_for(&self, dest: u32) -> u32 {
+        if self.prefix_bits == 0 {
+            0
+        } else {
+            dest >> (32 - self.prefix_bits)
+        }
+    }
+
+    /// Routes one segment to the edge router owning the *server* side.
+    ///
+    /// Forward segments (client → server) are owned by the router of
+    /// `dst`; reverse segments (e.g., SYN-ACKs) by the router of `src`,
+    /// so both directions of a flow are seen by the same router and
+    /// handshake tracking works.
+    pub fn observe(&mut self, segment: &TcpSegment) {
+        let owner = if segment.flags.is_syn_ack() {
+            // Server speaking: server address is the source.
+            self.router_for(segment.src.0)
+        } else {
+            self.router_for(segment.dst.0)
+        };
+        self.routers[owner as usize].observe(segment);
+    }
+
+    /// Routes a batch of segments.
+    pub fn observe_all<'a, I: IntoIterator<Item = &'a TcpSegment>>(&mut self, segments: I) {
+        for s in segments {
+            self.observe(s);
+        }
+    }
+
+    /// Drains every router's export buffer, keyed by router id.
+    pub fn drain_all(&mut self) -> HashMap<u32, Vec<FlowUpdate>> {
+        self.routers
+            .iter_mut()
+            .map(|r| (r.id(), r.drain_exports()))
+            .collect()
+    }
+
+    /// Drains every router into one merged, router-ordered stream.
+    pub fn drain_merged(&mut self) -> Vec<FlowUpdate> {
+        let mut out = Vec::new();
+        for router in &mut self.routers {
+            out.extend(router.drain_exports());
+        }
+        out
+    }
+
+    /// Read access to a router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn router(&self, id: u32) -> &EdgeRouter {
+        &self.routers[id as usize]
+    }
+
+    /// Total segments observed across all routers.
+    pub fn segments_observed(&self) -> u64 {
+        self.routers.iter().map(EdgeRouter::segments_observed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::TrafficDriver;
+    use dcs_core::{DestAddr, SketchConfig, SourceAddr, TrackingDcs};
+
+    #[test]
+    fn prefixes_partition_destinations() {
+        let isp = IspTopology::new(2, None);
+        assert_eq!(isp.num_routers(), 4);
+        assert_eq!(isp.router_for(0x0000_0001), 0);
+        assert_eq!(isp.router_for(0x4000_0000), 1);
+        assert_eq!(isp.router_for(0x8000_0000), 2);
+        assert_eq!(isp.router_for(0xffff_ffff), 3);
+    }
+
+    #[test]
+    fn zero_prefix_bits_is_single_router() {
+        let isp = IspTopology::new(0, None);
+        assert_eq!(isp.num_routers(), 1);
+        assert_eq!(isp.router_for(0xdead_beef), 0);
+    }
+
+    #[test]
+    fn each_flow_is_metered_exactly_once() {
+        let mut isp = IspTopology::new(2, None);
+        // Handshakes to servers in all four prefixes.
+        let mut driver = TrafficDriver::new(1);
+        for prefix in 0..4u32 {
+            driver.legitimate_sessions(DestAddr(prefix << 30 | 0x0100), 25);
+        }
+        let segments = driver.into_segments();
+        isp.observe_all(&segments);
+        let merged = isp.drain_merged();
+        // Every flow: one +1 and one −1 → net zero, 200 updates total.
+        assert_eq!(merged.len(), 200);
+        assert_eq!(merged.iter().map(|u| u.delta.signum()).sum::<i64>(), 0);
+    }
+
+    #[test]
+    fn syn_ack_reaches_the_server_side_router() {
+        let mut isp = IspTopology::new(1, None);
+        let client = SourceAddr(0x0000_0001); // prefix 0
+        let server = DestAddr(0x8000_0001); // prefix 1
+        isp.observe(&TcpSegment::syn(client, server, 0));
+        isp.observe(&TcpSegment::syn_ack(server, client, 1));
+        isp.observe(&TcpSegment::ack(client, server, 2));
+        let all = isp.drain_all();
+        // Router 1 (server side) saw the whole handshake.
+        assert_eq!(all[&1].len(), 2);
+        assert!(all[&0].is_empty());
+        assert_eq!(isp.router(1).segments_observed(), 3);
+        assert_eq!(isp.segments_observed(), 3);
+    }
+
+    #[test]
+    fn central_sketch_over_topology_finds_distributed_victim() {
+        let mut isp = IspTopology::new(2, None);
+        let victim = DestAddr(0x8000_0042);
+        let mut driver = TrafficDriver::new(2);
+        driver.syn_flood(victim, 800);
+        for prefix in [0u32, 1, 3] {
+            driver.legitimate_sessions(DestAddr(prefix << 30 | 0x99), 100);
+        }
+        let segments = driver.into_segments();
+        isp.observe_all(&segments);
+
+        let mut central = TrackingDcs::new(
+            SketchConfig::builder()
+                .buckets_per_table(512)
+                .seed(2)
+                .build()
+                .unwrap(),
+        );
+        for (_, updates) in isp.drain_all() {
+            for u in updates {
+                central.update(u);
+            }
+        }
+        assert_eq!(central.track_top_k(1, 0.25).entries[0].group, victim.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix_bits")]
+    fn too_many_routers_panics() {
+        let _ = IspTopology::new(17, None);
+    }
+}

@@ -1,0 +1,27 @@
+//! # dcs-streamgen — synthetic flow-update streams
+//!
+//! The workload side of the reproduction. The paper's evaluation (§6.1)
+//! drives its sketches with synthetic streams "characterized by three
+//! key parameters: the total number of distinct source-destination
+//! IP-address pairs `U`, the number of distinct destinations `d`, and
+//! the Zipfian skew parameter `z`". This crate generates exactly those
+//! streams ([`workload`]), plus richer attack/flash-crowd/port-scan
+//! timelines for the end-to-end examples ([`scenario`]), and a compact
+//! binary trace format for replay ([`trace`]).
+//!
+//! All generation is deterministic in an explicit seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenario;
+pub mod timeline;
+pub mod trace;
+pub mod workload;
+pub mod zipf;
+
+pub use scenario::{Scenario, ScenarioBuilder};
+pub use timeline::{TimedUpdate, Timeline, TimelineBuilder};
+pub use trace::{decode_timed_trace, decode_trace, encode_timed_trace, encode_trace, TraceError};
+pub use workload::{PaperWorkload, WorkloadConfig};
+pub use zipf::Zipf;

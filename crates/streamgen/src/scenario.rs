@@ -1,0 +1,371 @@
+//! Attack-scenario timelines: SYN floods, flash crowds, port scans and
+//! legitimate background traffic, composed into one interleaved
+//! flow-update stream with exact ground truth.
+//!
+//! The semantics follow the paper's SYN-flood framing: a connection
+//! attempt is a `+1` update; a *completed* handshake (client ACK) is a
+//! subsequent `-1` for the same pair. Spoofed attack sources never
+//! complete, so they accumulate; flash-crowd clients are legitimate and
+//! (mostly) complete, so they cancel out.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use dcs_core::{DestAddr, FlowUpdate, SourceAddr};
+
+/// One traffic component of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+enum Component {
+    /// Legitimate flows: distinct sources, each completing its handshake
+    /// with probability `completion_rate`.
+    Background {
+        flows: u32,
+        destinations: u32,
+        completion_rate: f64,
+    },
+    /// A SYN flood: `sources` distinct spoofed sources at one victim,
+    /// none completing.
+    SynFlood { victim: u32, sources: u32 },
+    /// A flash crowd: `clients` distinct legitimate sources at one
+    /// destination, completing with probability `completion_rate`
+    /// (high, but stragglers are realistic).
+    FlashCrowd {
+        dest: u32,
+        clients: u32,
+        completion_rate: f64,
+    },
+    /// A port scan: one source probing `targets` distinct destinations,
+    /// never completing.
+    PortScan { scanner: u32, targets: u32 },
+}
+
+/// Builder for composite attack scenarios.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_streamgen::ScenarioBuilder;
+///
+/// let scenario = ScenarioBuilder::new(42)
+///     .background(1_000, 50, 0.9)
+///     .syn_flood(0x0a000001, 500)
+///     .flash_crowd(0x0a000002, 800, 0.95)
+///     .build();
+/// // The flood's victim has ~500 half-open flows; the flash crowd ~40.
+/// assert!(scenario.half_open(0x0a000001) > scenario.half_open(0x0a000002));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    seed: u64,
+    source_base: u32,
+    components: Vec<Component>,
+}
+
+impl ScenarioBuilder {
+    /// Creates an empty scenario with the RNG `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            source_base: 0x6400_0000,
+            components: Vec::new(),
+        }
+    }
+
+    /// Moves the generated-source address space to start at `base`.
+    ///
+    /// Scenarios meant to be *combined* (e.g., one per point of
+    /// presence) must use disjoint bases, otherwise their generated
+    /// sources coincide and distinct-count semantics deduplicate them.
+    pub fn source_base(mut self, base: u32) -> Self {
+        self.source_base = base;
+        self
+    }
+
+    /// Adds legitimate background traffic: `flows` distinct
+    /// source-destination flows spread uniformly over `destinations`
+    /// destinations, each completing (insert followed by delete) with
+    /// probability `completion_rate`.
+    pub fn background(mut self, flows: u32, destinations: u32, completion_rate: f64) -> Self {
+        self.components.push(Component::Background {
+            flows,
+            destinations,
+            completion_rate,
+        });
+        self
+    }
+
+    /// Adds a SYN flood of `sources` distinct spoofed sources against
+    /// `victim`; no handshake ever completes.
+    pub fn syn_flood(mut self, victim: u32, sources: u32) -> Self {
+        self.components
+            .push(Component::SynFlood { victim, sources });
+        self
+    }
+
+    /// Adds a flash crowd of `clients` distinct legitimate sources at
+    /// `dest`, completing with probability `completion_rate`.
+    pub fn flash_crowd(mut self, dest: u32, clients: u32, completion_rate: f64) -> Self {
+        self.components.push(Component::FlashCrowd {
+            dest,
+            clients,
+            completion_rate,
+        });
+        self
+    }
+
+    /// Adds a port scan from `scanner` against `targets` distinct
+    /// destinations.
+    pub fn port_scan(mut self, scanner: u32, targets: u32) -> Self {
+        self.components
+            .push(Component::PortScan { scanner, targets });
+        self
+    }
+
+    /// Generates the interleaved update stream and ground truth.
+    ///
+    /// Completed flows emit their `-1` *after* their `+1` (positions are
+    /// randomized but order within a pair is preserved), so the stream
+    /// is well-formed for sketch consumption at every prefix.
+    pub fn build(self) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // (key-insert, completes) staged flows.
+        let mut flows: Vec<(FlowUpdate, bool)> = Vec::new();
+        let mut source_counter = self.source_base; // generated-source space
+        for component in &self.components {
+            match *component {
+                Component::Background {
+                    flows: n,
+                    destinations,
+                    completion_rate,
+                } => {
+                    for i in 0..n {
+                        let dest = DestAddr(0x0b00_0000 + (i % destinations.max(1)));
+                        let source = SourceAddr(source_counter);
+                        source_counter = source_counter.wrapping_add(1);
+                        flows.push((
+                            FlowUpdate::insert(source, dest),
+                            rng.gen_bool(completion_rate),
+                        ));
+                    }
+                }
+                Component::SynFlood { victim, sources } => {
+                    for _ in 0..sources {
+                        let source = SourceAddr(source_counter);
+                        source_counter = source_counter.wrapping_add(1);
+                        flows.push((FlowUpdate::insert(source, DestAddr(victim)), false));
+                    }
+                }
+                Component::FlashCrowd {
+                    dest,
+                    clients,
+                    completion_rate,
+                } => {
+                    for _ in 0..clients {
+                        let source = SourceAddr(source_counter);
+                        source_counter = source_counter.wrapping_add(1);
+                        flows.push((
+                            FlowUpdate::insert(source, DestAddr(dest)),
+                            rng.gen_bool(completion_rate),
+                        ));
+                    }
+                }
+                Component::PortScan { scanner, targets } => {
+                    for t in 0..targets {
+                        flows.push((
+                            FlowUpdate::insert(SourceAddr(scanner), DestAddr(0x0c00_0000 + t)),
+                            false,
+                        ));
+                    }
+                }
+            }
+        }
+        // Interleave: shuffle inserts; completions are appended at a
+        // random later position by a second shuffled pass.
+        flows.shuffle(&mut rng);
+        let mut updates: Vec<FlowUpdate> = Vec::with_capacity(flows.len() * 2);
+        let mut pending_deletes: Vec<(usize, FlowUpdate)> = Vec::new();
+        for (i, (insert, completes)) in flows.iter().enumerate() {
+            updates.push(*insert);
+            if *completes {
+                // Schedule the delete at a random position after i.
+                let at = rng.gen_range(i..flows.len());
+                pending_deletes.push((at, insert.inverted()));
+            }
+        }
+        // Stable merge of deletes after their scheduled insert index.
+        pending_deletes.sort_by_key(|&(at, _)| at);
+        let mut merged = Vec::with_capacity(updates.len() + pending_deletes.len());
+        let mut delete_iter = pending_deletes.into_iter().peekable();
+        for (i, update) in updates.into_iter().enumerate() {
+            merged.push(update);
+            while delete_iter.peek().is_some_and(|&(at, _)| at == i) {
+                merged.push(delete_iter.next().expect("peeked").1);
+            }
+        }
+        merged.extend(delete_iter.map(|(_, d)| d));
+
+        // Ground truth: net half-open count per destination and per
+        // source (for the port-scan orientation).
+        let mut half_open_by_dest = std::collections::HashMap::new();
+        let mut half_open_by_source = std::collections::HashMap::new();
+        for (insert, completes) in &flows {
+            if !completes {
+                *half_open_by_dest.entry(insert.key.dest().0).or_insert(0u64) += 1;
+                *half_open_by_source
+                    .entry(insert.key.source().0)
+                    .or_insert(0u64) += 1;
+            }
+        }
+        Scenario {
+            updates: merged,
+            half_open_by_dest,
+            half_open_by_source,
+        }
+    }
+}
+
+/// A generated scenario: the update stream plus exact half-open ground
+/// truth.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    updates: Vec<FlowUpdate>,
+    half_open_by_dest: std::collections::HashMap<u32, u64>,
+    half_open_by_source: std::collections::HashMap<u32, u64>,
+}
+
+impl Scenario {
+    /// The interleaved update stream (well-formed at every prefix).
+    pub fn updates(&self) -> &[FlowUpdate] {
+        &self.updates
+    }
+
+    /// Consumes the scenario, returning the update stream.
+    pub fn into_updates(self) -> Vec<FlowUpdate> {
+        self.updates
+    }
+
+    /// The exact number of half-open (never-completed) flows at `dest`
+    /// once the whole stream has been consumed.
+    pub fn half_open(&self, dest: u32) -> u64 {
+        self.half_open_by_dest.get(&dest).copied().unwrap_or(0)
+    }
+
+    /// The exact number of half-open flows originated by `source`.
+    pub fn half_open_by_source(&self, source: u32) -> u64 {
+        self.half_open_by_source.get(&source).copied().unwrap_or(0)
+    }
+
+    /// The exact top-`k` destinations by final half-open count.
+    pub fn exact_top_k(&self, k: usize) -> Vec<(u32, u64)> {
+        let mut ranked: Vec<(u64, u32)> = self
+            .half_open_by_dest
+            .iter()
+            .map(|(&d, &f)| (f, d))
+            .collect();
+        ranked.sort_unstable_by(|a, b| b.cmp(a));
+        ranked.truncate(k);
+        ranked.into_iter().map(|(f, d)| (d, f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn empty_scenario_is_empty() {
+        let s = ScenarioBuilder::new(1).build();
+        assert!(s.updates().is_empty());
+        assert_eq!(s.half_open(1), 0);
+        assert!(s.exact_top_k(5).is_empty());
+    }
+
+    #[test]
+    fn stream_is_well_formed_at_every_prefix() {
+        let s = ScenarioBuilder::new(2)
+            .background(500, 20, 0.8)
+            .syn_flood(0x0a000001, 200)
+            .flash_crowd(0x0a000002, 300, 0.95)
+            .port_scan(0x01020304, 100)
+            .build();
+        let mut net: HashMap<u64, i64> = HashMap::new();
+        for u in s.updates() {
+            let c = net.entry(u.key.packed()).or_insert(0);
+            *c += u.delta.signum();
+            assert!(*c >= 0, "prefix went negative for {:?}", u.key);
+        }
+    }
+
+    #[test]
+    fn syn_flood_victim_has_exact_half_open_count() {
+        let s = ScenarioBuilder::new(3).syn_flood(0x0a000001, 250).build();
+        assert_eq!(s.half_open(0x0a000001), 250);
+        assert_eq!(s.updates().len(), 250); // no deletes
+        assert_eq!(s.exact_top_k(1), vec![(0x0a000001, 250)]);
+    }
+
+    #[test]
+    fn flash_crowd_mostly_cancels() {
+        let s = ScenarioBuilder::new(4)
+            .flash_crowd(0x0a000002, 1000, 0.9)
+            .build();
+        let residual = s.half_open(0x0a000002);
+        // ~10% stragglers.
+        assert!((50..200).contains(&residual), "residual = {residual}");
+        // Stream contains inserts + deletes.
+        assert!(s.updates().len() > 1800);
+    }
+
+    #[test]
+    fn ground_truth_matches_stream_replay() {
+        let s = ScenarioBuilder::new(5)
+            .background(300, 10, 0.7)
+            .syn_flood(0x0a000009, 150)
+            .build();
+        let mut net: HashMap<u64, i64> = HashMap::new();
+        for u in s.updates() {
+            *net.entry(u.key.packed()).or_insert(0) += u.delta.signum();
+        }
+        let mut by_dest: HashMap<u32, u64> = HashMap::new();
+        for (&packed, &c) in &net {
+            if c > 0 {
+                *by_dest
+                    .entry(dcs_core::FlowKey::from_packed(packed).dest().0)
+                    .or_insert(0) += 1;
+            }
+        }
+        for (&dest, &count) in &by_dest {
+            assert_eq!(s.half_open(dest), count, "dest {dest:#x}");
+        }
+        assert_eq!(s.half_open(0x0a000009), 150);
+    }
+
+    #[test]
+    fn port_scan_is_tracked_by_source() {
+        let s = ScenarioBuilder::new(6).port_scan(0xdead, 77).build();
+        assert_eq!(s.half_open_by_source(0xdead), 77);
+        assert_eq!(s.half_open_by_source(0xbeef), 0);
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_per_seed() {
+        let a = ScenarioBuilder::new(7).background(100, 5, 0.5).build();
+        let b = ScenarioBuilder::new(7).background(100, 5, 0.5).build();
+        assert_eq!(a.updates(), b.updates());
+        let c = ScenarioBuilder::new(8).background(100, 5, 0.5).build();
+        assert_ne!(a.updates(), c.updates());
+    }
+
+    #[test]
+    fn sources_are_distinct_across_components() {
+        let s = ScenarioBuilder::new(9)
+            .syn_flood(1, 100)
+            .flash_crowd(2, 100, 1.0)
+            .build();
+        let sources: std::collections::HashSet<u32> =
+            s.updates().iter().map(|u| u.key.source().0).collect();
+        assert_eq!(sources.len(), 200);
+    }
+}

@@ -1,0 +1,382 @@
+//! Time-annotated workload phases: ramping floods, low-rate pulse
+//! attacks, steady background — the inputs for change-detection and
+//! epoch-differencing experiments.
+//!
+//! Where [`crate::scenario`] produces one unordered batch,
+//! a [`Timeline`] attaches a tick to every update and composes *phases*
+//! (ramp-up, plateau, pulses in the Kuzmanovic–Knightly low-rate style
+//! \[24\]), so detectors that operate on intervals — CUSUM over SYN−FIN
+//! counts, epoch-differenced sketches — have something meaningful to
+//! chew on. Exact per-interval half-open series are provided as ground
+//! truth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dcs_core::{Delta, DestAddr, FlowUpdate, SourceAddr};
+
+/// A flow update stamped with its arrival tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedUpdate {
+    /// Arrival time, in abstract ticks.
+    pub at: u64,
+    /// The flow update.
+    pub update: FlowUpdate,
+}
+
+/// Builder for phased, time-annotated workloads.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_streamgen::timeline::TimelineBuilder;
+///
+/// let timeline = TimelineBuilder::new(7)
+///     .steady_background(100, 20, 5, 0.9) // 100 ticks of calm
+///     .ramp_flood(0x0a000001, 50, 40)     // flood ramps to 40 src/tick
+///     .build();
+/// assert!(!timeline.updates().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct TimelineBuilder {
+    rng: StdRng,
+    clock: u64,
+    next_source: u32,
+    updates: Vec<TimedUpdate>,
+}
+
+impl TimelineBuilder {
+    /// Creates an empty timeline with an RNG `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            clock: 0,
+            next_source: 0x7100_0000,
+            updates: Vec::new(),
+        }
+    }
+
+    fn fresh_source(&mut self) -> SourceAddr {
+        let s = SourceAddr(self.next_source);
+        self.next_source = self.next_source.wrapping_add(1);
+        s
+    }
+
+    /// Current end-of-timeline tick.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Adds `ticks` of steady legitimate traffic: each tick,
+    /// `flows_per_tick` fresh flows spread over `destinations`
+    /// destinations, completing within a few ticks with probability
+    /// `completion_rate`.
+    pub fn steady_background(
+        mut self,
+        ticks: u64,
+        flows_per_tick: u32,
+        destinations: u32,
+        completion_rate: f64,
+    ) -> Self {
+        for _ in 0..ticks {
+            for _ in 0..flows_per_tick {
+                let source = self.fresh_source();
+                let dest = DestAddr(0x0b00_0000 + self.rng.gen_range(0..destinations.max(1)));
+                let at = self.clock;
+                self.updates.push(TimedUpdate {
+                    at,
+                    update: FlowUpdate::insert(source, dest),
+                });
+                if self.rng.gen_bool(completion_rate) {
+                    let lag = self.rng.gen_range(1..4);
+                    self.updates.push(TimedUpdate {
+                        at: at + lag,
+                        update: FlowUpdate::delete(source, dest),
+                    });
+                }
+            }
+            self.clock += 1;
+        }
+        self
+    }
+
+    /// Adds a flood against `victim` ramping linearly from 0 to
+    /// `peak_sources_per_tick` over `ticks` ticks (spoofed sources,
+    /// never completing).
+    pub fn ramp_flood(mut self, victim: u32, ticks: u64, peak_sources_per_tick: u32) -> Self {
+        for t in 0..ticks {
+            let rate = if ticks <= 1 {
+                peak_sources_per_tick
+            } else {
+                (u64::from(peak_sources_per_tick) * t / (ticks - 1)) as u32
+            };
+            for _ in 0..rate {
+                let source = self.fresh_source();
+                let at = self.clock;
+                self.updates.push(TimedUpdate {
+                    at,
+                    update: FlowUpdate::insert(source, DestAddr(victim)),
+                });
+            }
+            self.clock += 1;
+        }
+        self
+    }
+
+    /// Adds a sustained flood at a flat `sources_per_tick` for `ticks`.
+    pub fn plateau_flood(mut self, victim: u32, ticks: u64, sources_per_tick: u32) -> Self {
+        for _ in 0..ticks {
+            for _ in 0..sources_per_tick {
+                let source = self.fresh_source();
+                let at = self.clock;
+                self.updates.push(TimedUpdate {
+                    at,
+                    update: FlowUpdate::insert(source, DestAddr(victim)),
+                });
+            }
+            self.clock += 1;
+        }
+        self
+    }
+
+    /// Adds a low-rate *pulse* attack (Kuzmanovic–Knightly style): for
+    /// `periods` periods of `period_ticks` each, a burst of
+    /// `burst_sources` hits in the first `burst_ticks` ticks, then
+    /// silence; burst flows are torn down (RST-like `-1`) at the end of
+    /// each period, keeping the long-run average low.
+    pub fn pulse_attack(
+        mut self,
+        victim: u32,
+        periods: u32,
+        period_ticks: u64,
+        burst_ticks: u64,
+        burst_sources: u32,
+    ) -> Self {
+        for _ in 0..periods {
+            let period_start = self.clock;
+            let mut burst: Vec<SourceAddr> = Vec::with_capacity(burst_sources as usize);
+            for _ in 0..burst_sources {
+                let source = self.fresh_source();
+                let at = period_start + self.rng.gen_range(0..burst_ticks.max(1));
+                self.updates.push(TimedUpdate {
+                    at,
+                    update: FlowUpdate::insert(source, DestAddr(victim)),
+                });
+                burst.push(source);
+            }
+            // Teardown at period end.
+            for source in burst {
+                self.updates.push(TimedUpdate {
+                    at: period_start + period_ticks - 1,
+                    update: FlowUpdate::delete(source, DestAddr(victim)),
+                });
+            }
+            self.clock += period_ticks;
+        }
+        self
+    }
+
+    /// Inserts `ticks` of silence.
+    pub fn quiet(mut self, ticks: u64) -> Self {
+        self.clock += ticks;
+        self
+    }
+
+    /// Finalizes: sorts by tick (stable, preserving per-flow +1/−1
+    /// order) and returns the timeline.
+    pub fn build(mut self) -> Timeline {
+        self.updates.sort_by_key(|t| t.at);
+        Timeline {
+            updates: self.updates,
+            end: self.clock,
+        }
+    }
+}
+
+/// A finished time-annotated workload.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    updates: Vec<TimedUpdate>,
+    end: u64,
+}
+
+impl Timeline {
+    /// The timed updates, sorted by tick.
+    pub fn updates(&self) -> &[TimedUpdate] {
+        &self.updates
+    }
+
+    /// The timeline's end tick.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Splits the updates into consecutive intervals of `interval`
+    /// ticks, returning the updates per interval.
+    pub fn intervals(&self, interval: u64) -> Vec<Vec<FlowUpdate>> {
+        assert!(interval > 0, "interval must be positive");
+        let buckets = self.end.max(1).div_ceil(interval);
+        let mut out: Vec<Vec<FlowUpdate>> = vec![Vec::new(); buckets as usize];
+        for t in &self.updates {
+            let slot = (t.at / interval).min(buckets - 1) as usize;
+            out[slot].push(t.update);
+        }
+        out
+    }
+
+    /// Exact half-open count of `dest` at the end of each `interval`
+    /// (inclusive prefix semantics).
+    pub fn half_open_series(&self, dest: u32, interval: u64) -> Vec<i64> {
+        let mut series = Vec::new();
+        let mut net = 0i64;
+        for chunk in self.intervals(interval) {
+            for u in chunk {
+                if u.update_dest() == dest {
+                    net += u.delta.signum();
+                }
+            }
+            series.push(net);
+        }
+        series
+    }
+
+    /// Exact half-open count of `dest` after the whole timeline.
+    pub fn final_half_open(&self, dest: u32) -> i64 {
+        self.updates
+            .iter()
+            .filter(|t| t.update.update_dest() == dest)
+            .map(|t| t.update.delta.signum())
+            .sum()
+    }
+
+    /// Per-interval (SYN count, FIN/teardown count) pairs — the input a
+    /// SYN−FIN difference detector sees.
+    pub fn syn_fin_series(&self, interval: u64) -> Vec<(u64, u64)> {
+        self.intervals(interval)
+            .into_iter()
+            .map(|chunk| {
+                let syns = chunk.iter().filter(|u| u.delta == Delta::Insert).count() as u64;
+                let fins = chunk.iter().filter(|u| u.delta == Delta::Delete).count() as u64;
+                (syns, fins)
+            })
+            .collect()
+    }
+}
+
+/// Small helper: the destination address of an update.
+trait UpdateDest {
+    fn update_dest(&self) -> u32;
+}
+
+impl UpdateDest for FlowUpdate {
+    fn update_dest(&self) -> u32 {
+        self.key.dest().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn updates_are_time_sorted() {
+        let tl = TimelineBuilder::new(1)
+            .steady_background(50, 10, 5, 0.8)
+            .ramp_flood(1, 20, 30)
+            .build();
+        for w in tl.updates().windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert_eq!(tl.end(), 70);
+    }
+
+    #[test]
+    fn ramp_flood_grows_over_time() {
+        let victim = 0x0a00_0001;
+        let tl = TimelineBuilder::new(2).ramp_flood(victim, 100, 50).build();
+        let series = tl.half_open_series(victim, 10);
+        assert_eq!(series.len(), 10);
+        // Monotone growth with an accelerating slope.
+        for w in series.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        let first_half = series[4];
+        let total = *series.last().unwrap();
+        assert!(total > first_half * 2, "series = {series:?}");
+        assert_eq!(tl.final_half_open(victim), total);
+    }
+
+    #[test]
+    fn pulse_attack_has_low_average_but_high_peaks() {
+        let victim = 0x0a00_0002;
+        let tl = TimelineBuilder::new(3)
+            .pulse_attack(victim, 10, 100, 5, 200)
+            .build();
+        // At the end of every period the burst is torn down.
+        assert_eq!(tl.final_half_open(victim), 0);
+        // But within a period the half-open count peaks high.
+        let fine = tl.half_open_series(victim, 10);
+        let peak = fine.iter().copied().max().unwrap();
+        assert!(peak >= 150, "peak = {peak}");
+        // And at period boundaries it returns to ~0.
+        let coarse = tl.half_open_series(victim, 100);
+        assert!(coarse.iter().all(|&v| v == 0), "coarse = {coarse:?}");
+    }
+
+    #[test]
+    fn background_mostly_cancels() {
+        let tl = TimelineBuilder::new(4)
+            .steady_background(100, 20, 5, 0.95)
+            .quiet(10)
+            .build();
+        let total_net: i64 = (0..5).map(|d| tl.final_half_open(0x0b00_0000 + d)).sum();
+        // 2000 flows, ~5% stragglers.
+        assert!((20..300).contains(&total_net), "net = {total_net}");
+    }
+
+    #[test]
+    fn syn_fin_series_reflects_attack_phases() {
+        let victim = 0x0a00_0003;
+        let tl = TimelineBuilder::new(5)
+            .steady_background(50, 20, 5, 1.0)
+            .plateau_flood(victim, 50, 100)
+            .build();
+        let series = tl.syn_fin_series(10);
+        assert_eq!(series.len(), 10);
+        // Calm phase: SYNs ≈ FINs. Attack phase: SYNs ≫ FINs.
+        let (calm_syn, calm_fin) = series[2];
+        assert!(calm_syn as i64 - calm_fin as i64 <= 60);
+        let (attack_syn, attack_fin) = series[7];
+        assert!(attack_syn > attack_fin + 500, "{series:?}");
+    }
+
+    #[test]
+    fn intervals_partition_all_updates() {
+        let tl = TimelineBuilder::new(6)
+            .steady_background(30, 10, 3, 0.5)
+            .build();
+        let total: usize = tl.intervals(7).iter().map(Vec::len).sum();
+        assert_eq!(total, tl.updates().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_interval_panics() {
+        let tl = TimelineBuilder::new(7).quiet(5).build();
+        let _ = tl.intervals(0);
+    }
+
+    #[test]
+    fn streams_are_well_formed_per_prefix() {
+        let tl = TimelineBuilder::new(8)
+            .steady_background(40, 15, 4, 0.9)
+            .pulse_attack(9, 3, 50, 5, 50)
+            .build();
+        let mut net: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
+        for t in tl.updates() {
+            let c = net.entry(t.update.key.packed()).or_insert(0);
+            *c += t.update.delta.signum();
+            assert!(*c >= 0, "prefix negative at tick {}", t.at);
+        }
+    }
+}

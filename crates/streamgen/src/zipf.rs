@@ -1,0 +1,187 @@
+//! Zipfian rank sampling.
+//!
+//! The paper's workloads spread `U` distinct sources over `d`
+//! destinations with Zipfian skew `z ∈ [1.0, 2.5]`: rank `i`
+//! (1-indexed) receives probability proportional to `i^-z`. This module
+//! samples ranks by inverse-CDF lookup over a precomputed table —
+//! `O(log d)` per draw, exact for any finite `d`.
+
+use rand::Rng;
+
+/// A Zipfian distribution over ranks `0..d` (rank 0 is the heaviest).
+///
+/// # Examples
+///
+/// ```
+/// use dcs_streamgen::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = Zipf::new(1000, 1.5);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// `cdf[i]` = P(rank ≤ i); last entry is 1.0.
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipfian distribution over `d` ranks with exponent
+    /// `z ≥ 0` (`z = 0` is uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero or `z` is negative or non-finite.
+    pub fn new(d: usize, z: f64) -> Self {
+        assert!(d > 0, "need at least one rank");
+        assert!(
+            z >= 0.0 && z.is_finite(),
+            "exponent must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(d);
+        let mut acc = 0.0;
+        for i in 0..d {
+            acc += ((i + 1) as f64).powf(-z);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point drift at the top end.
+        *cdf.last_mut().expect("d > 0") = 1.0;
+        Self { cdf, exponent: z }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is degenerate (single rank).
+    pub fn is_empty(&self) -> bool {
+        false // d > 0 is enforced at construction
+    }
+
+    /// The exponent `z`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// The probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Samples a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The expected number of occurrences of each rank among `n` draws.
+    pub fn expected_counts(&self, n: u64) -> Vec<f64> {
+        (0..self.len()).map(|i| self.pmf(i) * n as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let zipf = Zipf::new(100, 1.2);
+        let total: f64 = (0..100).map(|i| zipf.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(zipf.pmf(100), 0.0);
+        assert_eq!(zipf.len(), 100);
+        assert!(!zipf.is_empty());
+        assert_eq!(zipf.exponent(), 1.2);
+    }
+
+    #[test]
+    fn uniform_when_z_is_zero() {
+        let zipf = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((zipf.pmf(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn heavier_skew_concentrates_mass() {
+        let mild = Zipf::new(1000, 1.0);
+        let extreme = Zipf::new(1000, 2.5);
+        let top5_mild: f64 = (0..5).map(|i| mild.pmf(i)).sum();
+        let top5_extreme: f64 = (0..5).map(|i| extreme.pmf(i)).sum();
+        assert!(top5_extreme > top5_mild);
+        // §6.2: at z = 2.5, >95% of the mass sits in the top-5.
+        assert!(top5_extreme > 0.95, "top-5 mass = {top5_extreme}");
+    }
+
+    #[test]
+    fn sample_frequencies_match_pmf() {
+        let zipf = Zipf::new(50, 1.5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 200_000;
+        let mut counts = vec![0u64; 50];
+        for _ in 0..n {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for (rank, &count) in counts.iter().enumerate().take(5) {
+            let expected = zipf.pmf(rank) * n as f64;
+            let got = count as f64;
+            assert!(
+                (got - expected).abs() < expected * 0.05,
+                "rank {rank}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_counts_scale_with_n() {
+        let zipf = Zipf::new(10, 1.0);
+        let counts = zipf.expected_counts(1000);
+        assert_eq!(counts.len(), 10);
+        assert!((counts.iter().sum::<f64>() - 1000.0).abs() < 1e-6);
+        assert!(counts[0] > counts[9]);
+    }
+
+    #[test]
+    fn sample_is_deterministic_for_seed() {
+        let zipf = Zipf::new(100, 1.0);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..100).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..100).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn negative_exponent_panics() {
+        let _ = Zipf::new(10, -1.0);
+    }
+}

@@ -1,0 +1,459 @@
+//! `dcsmon` — command-line front end for the Distinct-Count Sketch
+//! toolkit.
+//!
+//! ```console
+//! $ dcsmon generate --output flows.dcs --pairs 100000 --dests 500 --skew 1.5
+//! $ dcsmon attack   --output attack.dcs --victim 10.0.0.9 --sources 2000 --background 5000
+//! $ dcsmon topk     --input attack.dcs --k 5
+//! $ dcsmon monitor  --input attack.dcs --threshold 500
+//! $ dcsmon stats    --input attack.dcs
+//! ```
+//!
+//! Traces use the 9-byte binary format of `dcs-streamgen::trace`.
+
+use std::net::Ipv4Addr;
+use std::process::ExitCode;
+
+use ddos_streams::baselines::ExactDistinctTracker;
+use ddos_streams::streamgen::{decode_trace, encode_trace};
+use ddos_streams::{
+    AlarmPolicy, DdosMonitor, DestAddr, GroupBy, PaperWorkload, ScenarioBuilder, SketchConfig,
+    TrackingDcs, WorkloadConfig,
+};
+
+/// Minimal `--flag value` argument extraction.
+struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    fn parse() -> (Option<String>, Args) {
+        let mut raw: Vec<String> = std::env::args().skip(1).collect();
+        let command = if raw.first().is_some_and(|a| !a.starts_with("--")) {
+            Some(raw.remove(0))
+        } else {
+            None
+        };
+        (command, Args { raw })
+    }
+
+    fn value(&self, flag: &str) -> Option<&str> {
+        self.raw
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn number<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String> {
+        match self.value(flag) {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| format!("{flag}: cannot parse {text:?}")),
+        }
+    }
+
+    fn ipv4(&self, flag: &str, default: Ipv4Addr) -> Result<Ipv4Addr, String> {
+        match self.value(flag) {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| format!("{flag}: {text:?} is not an IPv4 address")),
+        }
+    }
+
+    fn required(&self, flag: &str) -> Result<&str, String> {
+        self.value(flag).ok_or_else(|| format!("missing {flag}"))
+    }
+}
+
+const USAGE: &str = "\
+dcsmon — distinct-count sketch DDoS monitoring toolkit
+
+USAGE:
+  dcsmon generate --output <file> [--pairs N] [--dests N] [--skew Z] [--seed S]
+      Write a Zipfian flow-update trace (the paper's synthetic workload).
+
+  dcsmon attack --output <file> [--victim IP] [--sources N] [--background N]
+                [--flash IP] [--clients N] [--seed S]
+      Write an attack scenario: background + SYN flood (+ optional flash crowd).
+
+  dcsmon topk --input <file> [--k N] [--buckets S] [--seed S] [--by-source]
+      Replay a trace into a Tracking Distinct-Count Sketch; print the top-k
+      groups with Poisson error bars.
+
+  dcsmon monitor --input <file> [--threshold N] [--every N] [--buckets S]
+      Replay with periodic alarm evaluation; print raised alarms.
+
+  dcsmon stats --input <file> [--buckets S]
+      Trace statistics: updates, net count, exact vs sketch-estimated
+      distinct pairs and top destination.
+
+  dcsmon hierarchy --input <file> [--k N] [--buckets S]
+      Top-k at host, /24, and /16 destination granularity, plus the
+      finest granularity crossing --threshold (default 500).
+
+  dcsmon compare --input <file> [--k N]
+      Run the Distinct-Count Sketch, an insert-only per-destination FM
+      baseline, and the exact tracker over the trace; print their
+      top-k side by side.
+
+  dcsmon timeline --output <file> [--victim IP] [--peak N] [--seed S]
+      Write a *timed* trace: calm background, then a flood ramping to
+      --peak sources/tick, plus a low-rate pulse attack.
+
+  dcsmon replay --input <timed-file> [--threshold N] [--every TICKS]
+      Replay a timed trace against the monitor, evaluating every
+      --every ticks; print the time-stamped alarm timeline.
+";
+
+fn main() -> ExitCode {
+    let (command, args) = Args::parse();
+    let result = match command.as_deref() {
+        Some("generate") => cmd_generate(&args),
+        Some("attack") => cmd_attack(&args),
+        Some("topk") => cmd_topk(&args),
+        Some("monitor") => cmd_monitor(&args),
+        Some("stats") => cmd_stats(&args),
+        Some("hierarchy") => cmd_hierarchy(&args),
+        Some("timeline") => cmd_timeline(&args),
+        Some("replay") => cmd_replay(&args),
+        Some("compare") => cmd_compare(&args),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_trace(args: &Args) -> Result<Vec<ddos_streams::FlowUpdate>, String> {
+    let path = args.required("--input")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    decode_trace(&bytes).map_err(|e| format!("decoding {path}: {e}"))
+}
+
+fn sketch_config(args: &Args, group_by: GroupBy) -> Result<SketchConfig, String> {
+    SketchConfig::builder()
+        .buckets_per_table(args.number("--buckets", 1024usize)?)
+        .seed(args.number("--seed", 0u64)?)
+        .group_by(group_by)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let output = args.required("--output")?;
+    let config = WorkloadConfig {
+        distinct_pairs: args.number("--pairs", 100_000u64)?,
+        num_destinations: args.number("--dests", 1_000u32)?,
+        skew: args.number("--skew", 1.0f64)?,
+        seed: args.number("--seed", 0u64)?,
+    };
+    let workload = PaperWorkload::generate(config.clone());
+    let bytes = encode_trace(workload.updates());
+    std::fs::write(output, &bytes).map_err(|e| format!("writing {output}: {e}"))?;
+    println!(
+        "wrote {output}: {} updates ({} distinct pairs, {} destinations, z = {}), {:.2} MB",
+        workload.updates().len(),
+        config.distinct_pairs,
+        config.num_destinations,
+        config.skew,
+        bytes.len() as f64 / 1e6
+    );
+    Ok(())
+}
+
+fn cmd_attack(args: &Args) -> Result<(), String> {
+    let output = args.required("--output")?;
+    let victim = args.ipv4("--victim", Ipv4Addr::new(10, 0, 0, 9))?;
+    let sources = args.number("--sources", 2_000u32)?;
+    let background = args.number("--background", 5_000u32)?;
+    let seed = args.number("--seed", 0u64)?;
+    let mut builder = ScenarioBuilder::new(seed)
+        .background(background, 100, 0.9)
+        .syn_flood(u32::from(victim), sources);
+    if let Some(flash) = args.value("--flash") {
+        let flash: Ipv4Addr = flash
+            .parse()
+            .map_err(|_| format!("--flash: {flash:?} is not an IPv4 address"))?;
+        let clients = args.number("--clients", 3_000u32)?;
+        builder = builder.flash_crowd(u32::from(flash), clients, 0.97);
+    }
+    let scenario = builder.build();
+    let bytes = encode_trace(scenario.updates());
+    std::fs::write(output, &bytes).map_err(|e| format!("writing {output}: {e}"))?;
+    println!(
+        "wrote {output}: {} updates; victim {victim} has {} half-open sources at end of trace",
+        scenario.updates().len(),
+        scenario.half_open(u32::from(victim))
+    );
+    Ok(())
+}
+
+fn cmd_topk(args: &Args) -> Result<(), String> {
+    let updates = read_trace(args)?;
+    let k = args.number("--k", 10usize)?;
+    let group_by =
+        if args.value("--by-source").is_some() || args.raw.iter().any(|a| a == "--by-source") {
+            GroupBy::Source
+        } else {
+            GroupBy::Destination
+        };
+    let mut sketch = TrackingDcs::new(sketch_config(args, group_by)?);
+    for u in &updates {
+        sketch.update(*u);
+    }
+    let top = sketch.track_top_k(k, 0.25);
+    println!(
+        "top-{k} {}s by distinct half-open {} (sample {} at level {}):",
+        group_by,
+        match group_by {
+            GroupBy::Destination => "sources",
+            _ => "peers",
+        },
+        top.sample_size,
+        top.sample_level
+    );
+    for (group, estimate, sigma) in top.with_error_bars() {
+        println!("  {:<15}  ≈ {estimate} ± {sigma:.0}", Ipv4Addr::from(group));
+    }
+    Ok(())
+}
+
+fn cmd_monitor(args: &Args) -> Result<(), String> {
+    let updates = read_trace(args)?;
+    let threshold = args.number("--threshold", 1_000u64)?;
+    let every = args.number("--every", 10_000u64)?.max(1);
+    let mut monitor = DdosMonitor::new(
+        sketch_config(args, GroupBy::Destination)?,
+        AlarmPolicy {
+            absolute_threshold: threshold,
+            ..AlarmPolicy::default()
+        },
+    );
+    let mut alarms_total = 0usize;
+    for (i, u) in updates.iter().enumerate() {
+        monitor.ingest_one(*u);
+        if (i as u64 + 1).is_multiple_of(every) {
+            for alarm in monitor.evaluate() {
+                alarms_total += 1;
+                println!(
+                    "ALARM after {} updates: {} ≈ {} distinct half-open sources ({:?})",
+                    i + 1,
+                    DestAddr(alarm.dest),
+                    alarm.estimated_frequency,
+                    alarm.reason
+                );
+            }
+        }
+    }
+    for alarm in monitor.evaluate() {
+        alarms_total += 1;
+        println!(
+            "ALARM at end of trace: {} ≈ {} ({:?})",
+            DestAddr(alarm.dest),
+            alarm.estimated_frequency,
+            alarm.reason
+        );
+    }
+    println!(
+        "processed {} updates, {} alarms (threshold {threshold})",
+        updates.len(),
+        alarms_total
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let updates = read_trace(args)?;
+    let inserts = updates
+        .iter()
+        .filter(|u| u.delta == ddos_streams::Delta::Insert)
+        .count();
+    let mut exact = ExactDistinctTracker::new(GroupBy::Destination);
+    let mut sketch = TrackingDcs::new(sketch_config(args, GroupBy::Destination)?);
+    for u in &updates {
+        exact.update(*u);
+        sketch.update(*u);
+    }
+    println!("updates:            {}", updates.len());
+    println!(
+        "inserts / deletes:  {} / {}",
+        inserts,
+        updates.len() - inserts
+    );
+    println!("distinct pairs:     {} (exact)", exact.distinct_pairs());
+    println!(
+        "                    {} (sketch estimate)",
+        sketch.estimate_distinct_pairs(0.25)
+    );
+    println!("active groups:      {}", exact.num_groups());
+    if let Some(&(dest, freq)) = exact.top_k(1).first() {
+        let est = sketch
+            .track_top_k(1, 0.25)
+            .frequency_of(dest)
+            .unwrap_or_else(|| sketch.track_top_k(1, 0.25).entries[0].estimated_frequency);
+        println!(
+            "top destination:    {} — {} distinct sources exact, ≈{} sketch",
+            DestAddr(dest),
+            freq,
+            est
+        );
+    }
+    println!(
+        "sketch memory:      {:.2} MB (exact tracker: {:.2} MB)",
+        sketch.heap_bytes() as f64 / 1e6,
+        exact.heap_bytes() as f64 / 1e6
+    );
+    Ok(())
+}
+
+fn cmd_hierarchy(args: &Args) -> Result<(), String> {
+    use ddos_streams::netsim::hierarchy::HierarchicalTracker;
+    let updates = read_trace(args)?;
+    let k = args.number("--k", 5usize)?;
+    let threshold = args.number("--threshold", 500u64)?;
+    let mut tracker = HierarchicalTracker::new(sketch_config(args, GroupBy::Destination)?)
+        .map_err(|e| e.to_string())?;
+    for u in &updates {
+        tracker.update(*u);
+    }
+    println!("host view:\n{}", tracker.host_top_k(k, 0.25));
+    println!("/24 view:\n{}", tracker.prefix24_top_k(k, 0.25));
+    println!("/16 view:\n{}", tracker.prefix16_top_k(k, 0.25));
+    match tracker.locate(threshold, 0.25) {
+        Some((granularity, group, estimate)) => println!(
+            "finest granularity over {threshold}: {granularity:?} {} ≈ {estimate}",
+            Ipv4Addr::from(group)
+        ),
+        None => println!("no granularity crosses {threshold}"),
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    use ddos_streams::baselines::PerGroupFm;
+    let updates = read_trace(args)?;
+    let k = args.number("--k", 5usize)?;
+    let mut sketch = TrackingDcs::new(sketch_config(args, GroupBy::Destination)?);
+    let mut fm = PerGroupFm::new(32, args.number("--seed", 0u64)?);
+    let mut exact = ExactDistinctTracker::new(GroupBy::Destination);
+    for u in &updates {
+        sketch.update(*u);
+        fm.add(u.key.dest().0, u.key.packed());
+        exact.update(*u);
+    }
+    println!("exact (net half-open):");
+    for (dest, freq) in exact.top_k(k) {
+        println!("  {:<15} {freq}", Ipv4Addr::from(dest));
+    }
+    println!("\ndistinct-count sketch (handles deletions):");
+    print!("{}", sketch.track_top_k(k, 0.25));
+    println!("\ninsert-only per-destination FM (cannot discount):");
+    for (dest, est) in fm.top_k(k) {
+        println!("  {:<15} ≈ {est:.0}", Ipv4Addr::from(dest));
+    }
+    println!(
+        "\nmemory: sketch {:.2} MB, FM {:.2} MB, exact {:.2} MB",
+        sketch.heap_bytes() as f64 / 1e6,
+        fm.heap_bytes() as f64 / 1e6,
+        exact.heap_bytes() as f64 / 1e6
+    );
+    Ok(())
+}
+
+fn cmd_timeline(args: &Args) -> Result<(), String> {
+    use ddos_streams::streamgen::encode_timed_trace;
+    use ddos_streams::streamgen::timeline::TimelineBuilder;
+    let output = args.required("--output")?;
+    let victim = args.ipv4("--victim", Ipv4Addr::new(10, 0, 0, 9))?;
+    let peak = args.number("--peak", 30u32)?;
+    let seed = args.number("--seed", 0u64)?;
+    let timeline = TimelineBuilder::new(seed)
+        .steady_background(500, 15, 8, 0.92)
+        .ramp_flood(u32::from(victim), 200, peak)
+        .pulse_attack(u32::from(victim).wrapping_add(1), 3, 100, 5, 150)
+        .build();
+    let bytes = encode_timed_trace(timeline.updates());
+    std::fs::write(output, &bytes).map_err(|e| format!("writing {output}: {e}"))?;
+    println!(
+        "wrote {output}: {} timed updates over {} ticks (flood ramps to {peak}/tick at {victim})",
+        timeline.updates().len(),
+        timeline.end()
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    use ddos_streams::streamgen::decode_timed_trace;
+    let path = args.required("--input")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let timed = decode_timed_trace(&bytes).map_err(|e| format!("decoding {path}: {e}"))?;
+    let threshold = args.number("--threshold", 500u64)?;
+    let every = args.number("--every", 50u64)?.max(1);
+    let mut monitor = DdosMonitor::new(
+        sketch_config(args, GroupBy::Destination)?,
+        AlarmPolicy {
+            absolute_threshold: threshold,
+            ..AlarmPolicy::default()
+        },
+    );
+    let mut next_eval = every;
+    let mut events_total = 0usize;
+    for t in &timed {
+        while t.at >= next_eval {
+            for event in monitor.evaluate_events() {
+                events_total += 1;
+                match event {
+                    ddos_streams::netsim::AlarmEvent::Raised(alarm) => println!(
+                        "[t={next_eval}] RAISED  {} ≈ {} ({:?})",
+                        DestAddr(alarm.dest),
+                        alarm.estimated_frequency,
+                        alarm.reason
+                    ),
+                    ddos_streams::netsim::AlarmEvent::Cleared {
+                        dest,
+                        estimated_frequency,
+                        ..
+                    } => println!(
+                        "[t={next_eval}] CLEARED {} ≈ {estimated_frequency}",
+                        DestAddr(dest)
+                    ),
+                }
+            }
+            next_eval += every;
+        }
+        monitor.ingest_one(t.update);
+    }
+    for event in monitor.evaluate_events() {
+        events_total += 1;
+        if let ddos_streams::netsim::AlarmEvent::Raised(alarm) = event {
+            println!(
+                "[end] RAISED  {} ≈ {} ({:?})",
+                DestAddr(alarm.dest),
+                alarm.estimated_frequency,
+                alarm.reason
+            );
+        }
+    }
+    println!(
+        "replayed {} updates; {} alarm events; currently alarmed: {:?}",
+        timed.len(),
+        events_total,
+        monitor
+            .active_alarms()
+            .into_iter()
+            .map(|d| DestAddr(d).to_string())
+            .collect::<Vec<_>>()
+    );
+    Ok(())
+}

@@ -1,0 +1,167 @@
+//! Accuracy floors on the paper's synthetic workload (scaled down),
+//! with fixed seeds: recall and average relative error for both
+//! estimators, plus ground-truth consistency with the exact tracker.
+
+use ddos_streams::baselines::ExactDistinctTracker;
+use ddos_streams::metrics::{average_relative_error, top_k_recall};
+use ddos_streams::{
+    DistinctCountSketch, GroupBy, PaperWorkload, SketchConfig, TrackingDcs, WorkloadConfig,
+};
+
+fn workload(z: f64, seed: u64) -> PaperWorkload {
+    PaperWorkload::generate(WorkloadConfig {
+        distinct_pairs: 100_000,
+        num_destinations: 625, // paper's U/d ratio of 160
+        skew: z,
+        seed,
+    })
+}
+
+fn config(s: usize, seed: u64) -> SketchConfig {
+    SketchConfig::builder()
+        .buckets_per_table(s)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn exact_tracker_matches_workload_ground_truth() {
+    let w = workload(1.5, 3);
+    let mut exact = ExactDistinctTracker::new(GroupBy::Destination);
+    exact.extend(w.updates().iter().copied());
+    assert_eq!(exact.distinct_pairs(), w.distinct_pairs());
+    assert_eq!(exact.top_k(10), w.exact_top_k(10));
+}
+
+#[test]
+fn calibrated_sketch_reaches_paper_accuracy_bands_at_z15() {
+    // z = 1.5, k ≤ 10, large-sample configuration (s = 4096 → ~320
+    // sample pairs): recall and ARE should sit in the bands Fig. 8
+    // plots for moderate skew.
+    let mut recall_sum = 0.0;
+    let mut are_sum = 0.0;
+    let seeds = [5u64, 6, 7];
+    for &seed in &seeds {
+        let w = workload(1.5, seed);
+        let mut sketch = TrackingDcs::new(config(4096, seed));
+        for u in w.updates() {
+            sketch.update(*u);
+        }
+        let exact = w.exact_top_k(10);
+        let est = sketch.track_top_k(10, 0.25);
+        let approx: Vec<(u32, u64)> = est
+            .entries
+            .iter()
+            .map(|e| (e.group, e.estimated_frequency))
+            .collect();
+        recall_sum += top_k_recall(&exact, &est.groups());
+        are_sum += average_relative_error(&exact, &approx);
+    }
+    let recall = recall_sum / seeds.len() as f64;
+    let are = are_sum / seeds.len() as f64;
+    assert!(recall >= 0.8, "recall@10 = {recall}");
+    assert!(are <= 0.30, "ARE@10 = {are}");
+}
+
+#[test]
+fn top_1_is_found_at_every_skew() {
+    for (i, z) in [1.0, 1.5, 2.0, 2.5].into_iter().enumerate() {
+        let w = workload(z, 10 + i as u64);
+        let mut sketch = TrackingDcs::new(config(2048, 10 + i as u64));
+        for u in w.updates() {
+            sketch.update(*u);
+        }
+        let est = sketch.track_top_k(1, 0.25);
+        assert_eq!(
+            est.entries[0].group,
+            w.exact_top_k(1)[0].0,
+            "top-1 missed at z = {z}"
+        );
+    }
+}
+
+#[test]
+fn basic_and_tracking_agree_on_identical_streams() {
+    let w = workload(2.0, 20);
+    let mut basic = DistinctCountSketch::new(config(1024, 20));
+    let mut tracking = TrackingDcs::new(config(1024, 20));
+    for u in w.updates() {
+        basic.update(*u);
+        tracking.update(*u);
+    }
+    for k in [1, 5, 10] {
+        assert_eq!(
+            basic.estimate_top_k(k, 0.25),
+            tracking.track_top_k(k, 0.25),
+            "estimators disagree at k = {k}"
+        );
+    }
+    assert_eq!(
+        basic.estimate_distinct_pairs(0.25),
+        tracking.estimate_distinct_pairs(0.25)
+    );
+}
+
+#[test]
+fn distinct_pair_estimate_within_20_percent() {
+    let w = workload(1.0, 30);
+    let mut sketch = DistinctCountSketch::new(config(2048, 30));
+    for u in w.updates() {
+        sketch.update(*u);
+    }
+    let est = sketch.estimate_distinct_pairs(0.25) as f64;
+    let truth = w.distinct_pairs() as f64;
+    assert!(
+        (est - truth).abs() / truth < 0.2,
+        "U estimate {est} vs {truth}"
+    );
+}
+
+#[test]
+fn threshold_tracking_finds_all_heavy_destinations() {
+    // Footnote-3 variant: every destination with f ≥ τ is reported for
+    // a τ well below the top frequencies.
+    let w = workload(2.0, 40);
+    let mut sketch = TrackingDcs::new(config(2048, 40));
+    for u in w.updates() {
+        sketch.update(*u);
+    }
+    let tau = w.frequency_of_rank(2); // third-heaviest frequency
+    let reported = sketch.track_threshold(tau / 2, 0.25);
+    for rank in 0..3 {
+        let dest = w.dest_of_rank(rank).0;
+        assert!(
+            reported.groups().contains(&dest),
+            "rank-{rank} destination missing from threshold answer"
+        );
+    }
+}
+
+#[test]
+fn deletion_heavy_stream_stays_accurate() {
+    // Insert the workload, delete every pair of the even-ranked
+    // destinations; top-k must come from odd ranks only.
+    let w = workload(1.5, 50);
+    let mut sketch = TrackingDcs::new(config(2048, 50));
+    let mut exact = ExactDistinctTracker::new(GroupBy::Destination);
+    for u in w.updates() {
+        sketch.update(*u);
+        exact.update(*u);
+    }
+    for u in w.updates() {
+        let rank = u.key.dest().0 - ddos_streams::streamgen::workload::DEST_BASE;
+        if rank.is_multiple_of(2) {
+            sketch.update(u.inverted());
+            exact.update(u.inverted());
+        }
+    }
+    let est = sketch.track_top_k(5, 0.25);
+    let truth = exact.top_k(5);
+    let recall = top_k_recall(&truth, &est.groups());
+    assert!(recall >= 0.6, "post-deletion recall@5 = {recall}");
+    for g in est.groups() {
+        let rank = g - ddos_streams::streamgen::workload::DEST_BASE;
+        assert_eq!(rank % 2, 1, "deleted destination {g} resurfaced");
+    }
+}

@@ -1,0 +1,262 @@
+//! End-to-end tests of the `dcsmon` command-line tool.
+
+use std::process::Command;
+
+fn dcsmon() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dcsmon"))
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("dcsmon-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = dcsmon().arg("help").output().expect("run dcsmon");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("generate"));
+    assert!(text.contains("monitor"));
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let out = dcsmon().output().expect("run dcsmon");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = dcsmon().arg("frobnicate").output().expect("run dcsmon");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn missing_input_fails_cleanly() {
+    let out = dcsmon().args(["topk"]).output().expect("run dcsmon");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
+}
+
+#[test]
+fn generate_topk_stats_pipeline() {
+    let trace = temp_path("pipeline.dcs");
+    let out = dcsmon()
+        .args([
+            "generate",
+            "--output",
+            trace.to_str().unwrap(),
+            "--pairs",
+            "20000",
+            "--dests",
+            "200",
+            "--skew",
+            "1.5",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("20000 updates"));
+
+    let out = dcsmon()
+        .args(["topk", "--input", trace.to_str().unwrap(), "--k", "3"])
+        .output()
+        .expect("topk");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("top-3"), "{text}");
+    assert!(text.contains('±'), "error bars shown: {text}");
+
+    let out = dcsmon()
+        .args(["stats", "--input", trace.to_str().unwrap()])
+        .output()
+        .expect("stats");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("distinct pairs:     20000 (exact)"), "{text}");
+
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn attack_and_monitor_raise_alarm() {
+    let trace = temp_path("attack.dcs");
+    let out = dcsmon()
+        .args([
+            "attack",
+            "--output",
+            trace.to_str().unwrap(),
+            "--victim",
+            "10.0.0.9",
+            "--sources",
+            "1500",
+            "--background",
+            "2000",
+            "--seed",
+            "5",
+        ])
+        .output()
+        .expect("attack");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("1500 half-open"));
+
+    let out = dcsmon()
+        .args([
+            "monitor",
+            "--input",
+            trace.to_str().unwrap(),
+            "--threshold",
+            "700",
+        ])
+        .output()
+        .expect("monitor");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ALARM"), "{text}");
+    assert!(text.contains("10.0.0.9"), "{text}");
+
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn corrupt_trace_fails_cleanly() {
+    let trace = temp_path("corrupt.dcs");
+    std::fs::write(&trace, b"not a trace at all").unwrap();
+    let out = dcsmon()
+        .args(["topk", "--input", trace.to_str().unwrap()])
+        .output()
+        .expect("topk");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("magic"));
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn hierarchy_and_compare_commands() {
+    let trace = temp_path("hier.dcs");
+    let out = dcsmon()
+        .args([
+            "attack",
+            "--output",
+            trace.to_str().unwrap(),
+            "--victim",
+            "10.0.0.9",
+            "--sources",
+            "1000",
+            "--background",
+            "1000",
+        ])
+        .output()
+        .expect("attack");
+    assert!(out.status.success());
+
+    let out = dcsmon()
+        .args([
+            "hierarchy",
+            "--input",
+            trace.to_str().unwrap(),
+            "--threshold",
+            "500",
+        ])
+        .output()
+        .expect("hierarchy");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("host view:"), "{text}");
+    assert!(text.contains("/24 view:"), "{text}");
+    assert!(
+        text.contains("finest granularity over 500: Host 10.0.0.9"),
+        "{text}"
+    );
+
+    let out = dcsmon()
+        .args(["compare", "--input", trace.to_str().unwrap(), "--k", "2"])
+        .output()
+        .expect("compare");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("exact (net half-open):"), "{text}");
+    assert!(text.contains("insert-only"), "{text}");
+
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn timeline_and_replay_commands() {
+    let trace = temp_path("timeline.dct");
+    let out = dcsmon()
+        .args([
+            "timeline",
+            "--output",
+            trace.to_str().unwrap(),
+            "--victim",
+            "10.0.0.9",
+            "--peak",
+            "40",
+        ])
+        .output()
+        .expect("timeline");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("timed updates"));
+
+    let out = dcsmon()
+        .args([
+            "replay",
+            "--input",
+            trace.to_str().unwrap(),
+            "--threshold",
+            "400",
+            "--every",
+            "50",
+        ])
+        .output()
+        .expect("replay");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("RAISED  10.0.0.9"), "{text}");
+    assert!(text.contains("currently alarmed"), "{text}");
+
+    // A plain trace is rejected by replay (wrong magic).
+    let plain = temp_path("plain.dcs");
+    let out = dcsmon()
+        .args([
+            "attack",
+            "--output",
+            plain.to_str().unwrap(),
+            "--sources",
+            "10",
+            "--background",
+            "10",
+        ])
+        .output()
+        .expect("attack");
+    assert!(out.status.success());
+    let out = dcsmon()
+        .args(["replay", "--input", plain.to_str().unwrap()])
+        .output()
+        .expect("replay plain");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("magic"));
+
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&plain).ok();
+}

@@ -1,0 +1,144 @@
+//! End-to-end detection tests: packets → handshake tracking → sketch →
+//! monitor alarms, across crates.
+
+use ddos_streams::netsim::{run_pipeline, PipelineConfig, TrafficDriver};
+use ddos_streams::{
+    AlarmPolicy, DdosMonitor, DestAddr, ScenarioBuilder, SketchConfig, TrackingDcs,
+};
+
+fn sketch_config(seed: u64) -> SketchConfig {
+    SketchConfig::builder()
+        .buckets_per_table(512)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn scenario_flood_dominates_tracked_top_k() {
+    let victim = 0x0a00_0001u32;
+    let scenario = ScenarioBuilder::new(1)
+        .background(3_000, 100, 0.9)
+        .syn_flood(victim, 2_000)
+        .flash_crowd(0x0a00_0002, 2_500, 0.97)
+        .build();
+    let mut sketch = TrackingDcs::new(sketch_config(1));
+    for u in scenario.updates() {
+        sketch.update(*u);
+    }
+    let top = sketch.track_top_k(1, 0.25);
+    assert_eq!(top.entries[0].group, victim);
+    // Estimate within 40% of exact half-open truth.
+    let truth = scenario.half_open(victim) as f64;
+    let got = top.entries[0].estimated_frequency as f64;
+    assert!(
+        (got - truth).abs() / truth < 0.4,
+        "estimate {got} vs truth {truth}"
+    );
+}
+
+#[test]
+fn monitor_alarms_on_flood_but_not_crowd() {
+    let victim = 0x0a00_0003u32;
+    let crowd = 0x0a00_0004u32;
+    let scenario = ScenarioBuilder::new(2)
+        .syn_flood(victim, 1_500)
+        .flash_crowd(crowd, 3_000, 0.98)
+        .build();
+    let mut monitor = DdosMonitor::new(
+        sketch_config(2),
+        AlarmPolicy {
+            absolute_threshold: 600,
+            ..AlarmPolicy::default()
+        },
+    );
+    monitor.ingest(scenario.updates().iter().copied());
+    let alarms = monitor.evaluate();
+    assert!(alarms.iter().any(|a| a.dest == victim), "flood missed");
+    assert!(
+        !alarms.iter().any(|a| a.dest == crowd),
+        "flash crowd falsely flagged"
+    );
+}
+
+#[test]
+fn pipeline_detects_distributed_attack_single_routers_do_not() {
+    let victim = DestAddr(0x0a00_0007);
+    let per_router = 400u32;
+    let threshold = 900u64; // above any single router's slice
+    let feeds: Vec<_> = (0..4u32)
+        .map(|i| {
+            let mut d =
+                TrafficDriver::new(u64::from(i)).with_source_base(0x2000_0000 + i * 0x0200_0000);
+            d.legitimate_sessions(DestAddr(0x0a00_0008), 200)
+                .syn_flood(victim, per_router);
+            d.into_segments()
+        })
+        .collect();
+    let config = PipelineConfig {
+        sketch: SketchConfig::builder()
+            .buckets_per_table(1024)
+            .seed(3)
+            .build()
+            .unwrap(),
+        policy: AlarmPolicy {
+            absolute_threshold: threshold,
+            ..AlarmPolicy::default()
+        },
+        batch_size: 128,
+        evaluate_every: 1_000,
+        half_open_timeout: None,
+    };
+    let report = run_pipeline(feeds, config);
+    assert!(report.alarmed_destinations().contains(&victim.0));
+    // Sanity: one router's slice alone is under the threshold.
+    assert!(u64::from(per_router) < threshold);
+}
+
+#[test]
+fn attack_that_subsides_stops_dominating() {
+    // Flood, then completion of all attack handshakes (e.g., a SYN
+    // proxy validating clients): the victim drops out of the top-k.
+    let victim = 0x0a00_000au32;
+    let steady = 0x0a00_000bu32;
+    let mut sketch = TrackingDcs::new(sketch_config(4));
+    // Steady background: 300 half-open at another destination.
+    for s in 0..300u32 {
+        sketch.insert(ddos_streams::SourceAddr(0x7000_0000 + s), DestAddr(steady));
+    }
+    // Flood arrives…
+    for s in 0..2_000u32 {
+        sketch.insert(ddos_streams::SourceAddr(s), DestAddr(victim));
+    }
+    assert_eq!(sketch.track_top_k(1, 0.25).entries[0].group, victim);
+    // …and is fully discounted.
+    for s in 0..2_000u32 {
+        sketch.delete(ddos_streams::SourceAddr(s), DestAddr(victim));
+    }
+    let top = sketch.track_top_k(1, 0.25);
+    assert_eq!(top.entries[0].group, steady);
+}
+
+#[test]
+fn timeout_based_discounting_keeps_long_streams_bounded() {
+    // With a half-open timeout at the router, stale attack state decays:
+    // the tracker's live-flow table stays bounded by attack rate ×
+    // timeout, not by total attack volume.
+    let victim = DestAddr(0x0a00_000c);
+    let mut router = ddos_streams::EdgeRouter::new(1, Some(50));
+    for wave in 0..20u32 {
+        for s in 0..100u32 {
+            let src = ddos_streams::SourceAddr(wave * 1_000 + s);
+            router.observe(&ddos_streams::TcpSegment::syn(
+                src,
+                victim,
+                u64::from(wave) * 100,
+            ));
+        }
+    }
+    // Live flows bounded well below the 2000 total observed.
+    assert!(router.tracker().live_flows() <= 300);
+    let updates = router.drain_exports();
+    let net: i64 = updates.iter().map(|u| u.delta.signum()).sum();
+    assert_eq!(net as usize, router.tracker().half_open_flows());
+}

@@ -1,0 +1,211 @@
+//! Robustness integration tests: impaired packet feeds, timeout-based
+//! discounting, epoch windows over phased timelines, and the ISP
+//! topology end to end.
+
+use ddos_streams::netsim::epoch::EpochManager;
+use ddos_streams::netsim::impair::Impairment;
+use ddos_streams::netsim::topology::IspTopology;
+use ddos_streams::netsim::{HandshakeTracker, TrafficDriver};
+use ddos_streams::streamgen::timeline::TimelineBuilder;
+use ddos_streams::{DestAddr, SketchConfig, TrackingDcs};
+
+fn config(seed: u64) -> SketchConfig {
+    SketchConfig::builder()
+        .buckets_per_table(512)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn detection_survives_packet_loss() {
+    // 10% loss: some attack SYNs are missed (undercount) and some
+    // legitimate ACKs are missed (overcount of the crowd). The flood
+    // must still rank first by a wide margin.
+    let victim = DestAddr(0x0a00_0001);
+    let crowd = DestAddr(0x0a00_0002);
+    let mut driver = TrafficDriver::new(1);
+    driver.syn_flood(victim, 3_000).flash_crowd(crowd, 3_000);
+    let impaired = Impairment::new(1).loss(0.1).apply(&driver.into_segments());
+
+    let mut tracker = HandshakeTracker::new(None);
+    let mut sketch = TrackingDcs::new(config(1));
+    for seg in &impaired {
+        if let Some(u) = tracker.observe(seg) {
+            sketch.update(u);
+        }
+    }
+    let top = sketch.track_top_k(2, 0.25);
+    assert_eq!(top.entries[0].group, victim.0);
+    let flood_est = top.entries[0].estimated_frequency;
+    let crowd_est = top.frequency_of(crowd.0).unwrap_or(0);
+    // The flood lost ~10% of its SYNs; the crowd kept ~10% of its
+    // flows half-open (lost ACKs). Still ≥ 4x separation.
+    assert!(
+        flood_est > crowd_est * 4,
+        "flood {flood_est} vs crowd {crowd_est}"
+    );
+}
+
+#[test]
+fn detection_survives_duplication_and_reordering() {
+    let victim = DestAddr(0x0a00_0003);
+    let mut driver = TrafficDriver::new(2);
+    driver
+        .legitimate_sessions(DestAddr(0x0a00_0004), 800)
+        .syn_flood(victim, 1_500);
+    let impaired = Impairment::new(2)
+        .duplication(0.3)
+        .reordering(3)
+        .apply(&driver.into_segments());
+
+    let mut tracker = HandshakeTracker::new(None);
+    let mut sketch = TrackingDcs::new(config(2));
+    let mut net = 0i64;
+    for seg in &impaired {
+        if let Some(u) = tracker.observe(seg) {
+            net += u.delta.signum();
+            assert!(net >= 0, "stream became ill-formed");
+            sketch.update(u);
+        }
+    }
+    let top = sketch.track_top_k(1, 0.25);
+    assert_eq!(top.entries[0].group, victim.0);
+    // Duplicates must not inflate: estimate within 40% of 1500.
+    let est = top.entries[0].estimated_frequency as f64;
+    assert!(
+        (est - 1_500.0).abs() / 1_500.0 < 0.4,
+        "estimate {est} inflated by duplicates"
+    );
+}
+
+#[test]
+fn lost_acks_decay_via_half_open_timeout() {
+    // With loss, completed flows whose ACK was dropped linger as
+    // half-open; the router's timeout reclaims them, so the long-run
+    // view converges back to the true attack set.
+    let victim = DestAddr(0x0a00_0005);
+    let mut driver = TrafficDriver::new(3);
+    driver.flash_crowd(DestAddr(0x0a00_0006), 2_000);
+    driver.advance_clock(1_000);
+    driver.syn_flood(victim, 500);
+    let impaired = Impairment::new(3).loss(0.15).apply(&driver.into_segments());
+
+    let mut router = ddos_streams::EdgeRouter::new(0, Some(200));
+    let mut sketch = TrackingDcs::new(config(3));
+    for seg in &impaired {
+        router.observe(seg);
+        for u in router.drain_exports() {
+            sketch.update(u);
+        }
+    }
+    // At the end of the attack phase, the crowd's lost-ACK stragglers
+    // (≈15% of 2000 = ~300) have been expired by the timeout (their
+    // SYNs are ~1000 ticks old), so the attack dominates cleanly.
+    let top = sketch.track_top_k(2, 0.25);
+    assert_eq!(top.entries[0].group, victim.0);
+    let crowd_residue = top.frequency_of(0x0a00_0006).unwrap_or(0);
+    assert!(
+        crowd_residue < top.entries[0].estimated_frequency / 2,
+        "crowd residue {crowd_residue} not decayed"
+    );
+    // A final flush far in the future expires everything, and the
+    // exported deletes drain the sketch back to empty.
+    router.flush_expired(1_000_000);
+    for u in router.drain_exports() {
+        sketch.update(u);
+    }
+    assert_eq!(router.tracker().half_open_flows(), 0);
+    assert!(sketch.track_top_k(1, 0.25).entries.is_empty());
+}
+
+#[test]
+fn epoch_windows_catch_ramp_attacks_early() {
+    // A slow ramp: absolute counts stay small for a while, but the
+    // per-epoch delta is visible almost immediately.
+    let victim = 0x0a00_0007u32;
+    let timeline = TimelineBuilder::new(4)
+        .steady_background(200, 30, 10, 0.95)
+        .ramp_flood(victim, 300, 20)
+        .build();
+    let mut epochs = EpochManager::new(config(4), 8);
+    let epoch_ticks = 50u64;
+    let mut next_rotation = epoch_ticks;
+    let mut first_window_hit = None;
+    for t in timeline.updates() {
+        while t.at >= next_rotation {
+            let recent = epochs.recent_top_k(1, 1, 0.25).unwrap();
+            if first_window_hit.is_none() && recent.frequency_of(victim).is_some_and(|f| f >= 100) {
+                first_window_hit = Some(next_rotation);
+            }
+            epochs.rotate();
+            next_rotation += epoch_ticks;
+        }
+        epochs.ingest(t.update);
+    }
+    let hit = first_window_hit.expect("ramp never crossed 100/epoch");
+    // The ramp reaches 100 fresh sources/epoch well before its peak
+    // (20/tick × 50 ticks = 1000/epoch at full rate).
+    assert!(hit < 200 + 300, "window hit too late: tick {hit}");
+}
+
+#[test]
+fn topology_plus_impairment_end_to_end() {
+    // Four-prefix ISP, impaired feeds, central merge of per-router
+    // sketches: the distributed victim still surfaces.
+    let victim = DestAddr(0xc000_0042);
+    let mut isp = IspTopology::new(2, Some(500));
+    for round in 0..4u32 {
+        let mut driver = TrafficDriver::new(u64::from(round) + 10)
+            .with_source_base(0x3000_0000 + round * 0x0100_0000);
+        driver
+            .legitimate_sessions(DestAddr((round % 4) << 30 | 0x123), 300)
+            .syn_flood(victim, 400);
+        let impaired = Impairment::new(u64::from(round))
+            .loss(0.05)
+            .duplication(0.05)
+            .apply(&driver.into_segments());
+        isp.observe_all(&impaired);
+    }
+    let mut central = TrackingDcs::new(config(5));
+    for (_, updates) in isp.drain_all() {
+        for u in updates {
+            central.update(u);
+        }
+    }
+    let top = central.track_top_k(1, 0.25);
+    assert_eq!(top.entries[0].group, victim.0);
+    // ~1600 attack sources minus ~5% loss: estimate in a sane band.
+    let est = top.entries[0].estimated_frequency as f64;
+    assert!(
+        (900.0..2_300.0).contains(&est),
+        "estimate {est} out of band"
+    );
+}
+
+#[test]
+fn pulse_attack_invisible_to_coarse_syn_fin_counts() {
+    // A low-rate pulse attack balances its SYNs with teardowns within
+    // each period: per-period SYN−FIN counts look calm, while the
+    // sketch's within-epoch view sees every burst (surge_detection
+    // example shows the positive side; this pins the negative).
+    let victim = 0x0a00_0008u32;
+    let timeline = TimelineBuilder::new(6)
+        .pulse_attack(victim, 8, 100, 5, 250)
+        .build();
+    let series = timeline.syn_fin_series(100);
+    for (syns, fins) in &series {
+        let diff = *syns as i64 - *fins as i64;
+        assert!(
+            diff.abs() <= 5,
+            "period-aligned counts should balance, got {syns} vs {fins}"
+        );
+    }
+    // Fine-grained truth: the burst is real.
+    let peak = timeline
+        .half_open_series(victim, 10)
+        .into_iter()
+        .max()
+        .unwrap();
+    assert!(peak >= 200, "peak = {peak}");
+}

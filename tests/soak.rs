@@ -1,0 +1,125 @@
+//! Differential soak testing: the tracking sketch against the exact
+//! tracker over long randomized churn, plus no-panic guarantees on
+//! ill-formed input.
+//!
+//! The long soak is `#[ignore]`d by default; run it with
+//! `cargo test --release --test soak -- --ignored`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ddos_streams::baselines::ExactDistinctTracker;
+use ddos_streams::metrics::top_k_recall;
+use ddos_streams::{
+    Delta, DestAddr, DistinctCountSketch, FlowUpdate, GroupBy, SketchConfig, SourceAddr,
+    TrackingDcs,
+};
+
+fn churn_run(steps: u32, seed: u64, check_every: u32) {
+    let config = SketchConfig::builder()
+        .buckets_per_table(2048)
+        .seed(seed)
+        .build()
+        .unwrap();
+    let mut sketch = TrackingDcs::new(config);
+    let mut exact = ExactDistinctTracker::new(GroupBy::Destination);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<FlowUpdate> = Vec::new();
+
+    for step in 0..steps {
+        // 60% insert / 40% delete of a random live flow. Destinations
+        // are drawn with a heavy skew (cubed uniform) so the top-5 is
+        // well separated from the tail and recall is meaningful.
+        if live.is_empty() || rng.gen_bool(0.6) {
+            let dest = (rng.gen::<f64>().powi(3) * 40.0) as u32;
+            let update = FlowUpdate::insert(SourceAddr(rng.gen()), DestAddr(dest));
+            live.push(update);
+            sketch.update(update);
+            exact.update(update);
+        } else {
+            let index = rng.gen_range(0..live.len());
+            let victim = live.swap_remove(index);
+            sketch.update(victim.inverted());
+            exact.update(victim.inverted());
+        }
+        if step % check_every == check_every - 1 {
+            // Structural invariants hold...
+            sketch.check_tracking_invariants().unwrap();
+            // ...and accuracy stays in band whenever there is enough
+            // mass for the top-5 to be meaningful.
+            let truth = exact.top_k(5);
+            if truth.first().is_some_and(|&(_, f)| f >= 50) {
+                let est = sketch.track_top_k(5, 0.25);
+                let recall = top_k_recall(&truth, &est.groups());
+                assert!(
+                    recall >= 0.6,
+                    "step {step}: recall collapsed to {recall} (truth {truth:?})"
+                );
+            }
+            // Distinct-pair estimates track the churn.
+            let u_true = exact.distinct_pairs() as f64;
+            if u_true > 500.0 {
+                let u_est = sketch.estimate_distinct_pairs(0.25) as f64;
+                assert!(
+                    (u_est - u_true).abs() / u_true < 0.5,
+                    "step {step}: U estimate {u_est} vs {u_true}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn churn_soak_short() {
+    churn_run(20_000, 1, 5_000);
+}
+
+#[test]
+#[ignore = "long soak; run with --ignored"]
+fn churn_soak_long() {
+    for seed in 1..=3 {
+        churn_run(500_000, seed, 50_000);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary — possibly ill-formed — update streams never panic,
+    /// and the estimator always returns something structurally sane.
+    #[test]
+    fn ill_formed_streams_never_panic(
+        seed in 0u64..50,
+        ops in proptest::collection::vec((any::<u32>(), 0u32..16, any::<bool>()), 1..400),
+    ) {
+        let config = SketchConfig::builder()
+            .buckets_per_table(64)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut basic = DistinctCountSketch::new(config.clone());
+        let mut tracking = TrackingDcs::new(config);
+        for (s, d, del) in ops {
+            let update = FlowUpdate::new(
+                SourceAddr(s),
+                DestAddr(d),
+                if del { Delta::Delete } else { Delta::Insert },
+            );
+            basic.update(update);
+            tracking.update(update);
+        }
+        let est = basic.estimate_top_k(5, 0.25);
+        prop_assert!(est.entries.len() <= 5);
+        for w in est.entries.windows(2) {
+            prop_assert!(w[0].estimated_frequency >= w[1].estimated_frequency);
+        }
+        let tracked = tracking.track_top_k(5, 0.25);
+        prop_assert!(tracked.entries.len() <= 5);
+        // Queries never panic even when the stream was nonsense.
+        let _ = basic.estimate_distinct_pairs(0.25);
+        let _ = basic.estimate_threshold(3, 0.25);
+        let _ = tracking.track_threshold(3, 0.25);
+        let _ = basic.singletons();
+    }
+}
