@@ -1,7 +1,7 @@
 //! Per-update latency of the Basic and Tracking sketches (the
 //! update-cost half of Fig. 9 / Table 2), across `r`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 
 use dcs_core::{DistinctCountSketch, SketchConfig, TrackingDcs};
 use dcs_streamgen::{PaperWorkload, WorkloadConfig};
@@ -68,5 +68,92 @@ fn bench_deletions(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_updates, bench_deletions);
+fn bench_screen(c: &mut Criterion) {
+    // Screened hot path (TrackingDcs::update) vs the unscreened
+    // reference path (decode-before / decode-after with the exhaustive
+    // 65-counter decode) on the same insert+delete stream. This is the
+    // before/after comparison for the O(1) singleton screen.
+    //
+    // The stream is repeat-heavy: each source-destination pair carries
+    // many packets (SYN retries, long-lived flows), as in real flow
+    // traces. Repeated hits on a singleton or empty bucket are exactly
+    // where the screen pays — the skip rule avoids both 65-counter
+    // decodes that the reference path performs per table per update.
+    use dcs_core::{DestAddr, FlowUpdate, SourceAddr};
+    use rand::prelude::*;
+
+    const PAIRS: u32 = 256;
+    const PACKETS_PER_FLOW: usize = 32;
+    let mut rng = StdRng::seed_from_u64(7);
+    let pairs: Vec<(u32, u32)> = (0..PAIRS).map(|i| (rng.gen(), i % 32)).collect();
+    let mut stream: Vec<FlowUpdate> = pairs
+        .iter()
+        .flat_map(|&(s, d)| {
+            std::iter::repeat_n(
+                FlowUpdate::insert(SourceAddr(s), DestAddr(d)),
+                PACKETS_PER_FLOW,
+            )
+        })
+        .collect();
+    stream.shuffle(&mut rng);
+    // Half the flows then close: every one of their packets is deleted
+    // (still well-formed — deletes follow all matching inserts).
+    let mut deletes: Vec<FlowUpdate> = pairs
+        .iter()
+        .step_by(2)
+        .flat_map(|&(s, d)| {
+            std::iter::repeat_n(
+                FlowUpdate::delete(SourceAddr(s), DestAddr(d)),
+                PACKETS_PER_FLOW,
+            )
+        })
+        .collect();
+    deletes.shuffle(&mut rng);
+    stream.extend(deletes);
+    let config = SketchConfig::builder().seed(3).build().expect("valid");
+    let mut group = c.benchmark_group("tracking_screen");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    // `iter_batched` excludes sketch construction (zeroing every
+    // level's counter arrays) from the timing, so the comparison
+    // isolates the update path itself.
+    group.bench_function("screened", |b| {
+        b.iter_batched(
+            || TrackingDcs::new(config.clone()),
+            |mut sketch| {
+                for u in &stream {
+                    sketch.update(*u);
+                }
+                sketch
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("reference", |b| {
+        b.iter_batched(
+            || TrackingDcs::new(config.clone()),
+            |mut sketch| {
+                for u in &stream {
+                    sketch.update_reference(*u);
+                }
+                sketch
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("floor_basic", |b| {
+        b.iter_batched(
+            || DistinctCountSketch::new(config.clone()),
+            |mut sketch| {
+                for u in &stream {
+                    sketch.update(*u);
+                }
+                sketch
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_deletions, bench_screen);
 criterion_main!(benches);

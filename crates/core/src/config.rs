@@ -178,10 +178,11 @@ impl SketchConfig {
         (((1.0 + epsilon) * self.buckets_per_table as f64) / 16.0).ceil() as usize
     }
 
-    /// Bytes used by one count signature (one total counter plus
-    /// [`KEY_BITS`] bit-location counters, 8 bytes each).
+    /// Bytes used by one count signature: one total counter plus
+    /// [`KEY_BITS`] bit-location counters, plus the two linear screening
+    /// counters (key sum and fingerprint sum), 8 bytes each.
     pub fn signature_bytes() -> usize {
-        (KEY_BITS as usize + 1) * std::mem::size_of::<i64>()
+        (KEY_BITS as usize + 1 + 2) * std::mem::size_of::<i64>()
     }
 
     /// Bytes of counter storage for one fully allocated level:
@@ -317,10 +318,11 @@ mod tests {
     }
 
     #[test]
-    fn signature_bytes_matches_paper_layout() {
-        // 65 counters: the paper's §6.1 counts 65 four-byte counters; we
-        // use 8-byte counters (Θ(log n) with n up to 2^63).
-        assert_eq!(SketchConfig::signature_bytes(), 65 * 8);
+    fn signature_bytes_matches_paper_layout_plus_screen() {
+        // The paper's §6.1 counts 65 four-byte counters; we use 8-byte
+        // counters (Θ(log n) with n up to 2^63) and add two screening
+        // sums (key sum + fingerprint sum).
+        assert_eq!(SketchConfig::signature_bytes(), 67 * 8);
     }
 
     #[test]
@@ -376,7 +378,7 @@ mod tests {
             .unwrap();
         assert_eq!(small.level_bytes(), 2 * SketchConfig::signature_bytes());
         let paper = SketchConfig::paper_default();
-        assert_eq!(paper.level_bytes(), 3 * 128 * 65 * 8);
+        assert_eq!(paper.level_bytes(), 3 * 128 * 67 * 8);
     }
 
     #[cfg(feature = "serde")]

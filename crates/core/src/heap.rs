@@ -38,6 +38,10 @@ pub struct IndexedMaxHeap<K> {
     slots: Vec<(u64, K)>,
     /// Key → slot index.
     positions: HashMap<K, usize>,
+    /// Number of [`adjust`](Self::adjust) calls that would have driven a
+    /// priority below zero. Never increments on well-formed streams;
+    /// see [`underflow_count`](Self::underflow_count).
+    underflows: u64,
 }
 
 impl<K: Ord + Hash + Clone> IndexedMaxHeap<K> {
@@ -46,6 +50,7 @@ impl<K: Ord + Hash + Clone> IndexedMaxHeap<K> {
         Self {
             slots: Vec::new(),
             positions: HashMap::new(),
+            underflows: 0,
         }
     }
 
@@ -89,14 +94,31 @@ impl<K: Ord + Hash + Clone> IndexedMaxHeap<K> {
     /// if absent. Entries whose priority reaches zero are removed, which
     /// matches the Tracking DCS semantics: a destination with no
     /// singleton occurrences left contributes nothing to the sample.
+    ///
+    /// An adjustment that would take the priority *below* zero is
+    /// clamped — but counted in [`underflow_count`](Self::underflow_count)
+    /// rather than silently swallowed, so the tracking layer's invariant
+    /// check can surface it.
     pub fn adjust(&mut self, key: K, delta: i64) {
         let current = self.priority(&key).unwrap_or(0) as i64;
-        let next = (current + delta).max(0) as u64;
+        let next = current + delta;
+        if next < 0 {
+            self.underflows += 1;
+        }
+        let next = next.max(0) as u64;
         if next == 0 {
             self.remove(&key);
         } else {
             self.set(key, next);
         }
+    }
+
+    /// Number of [`adjust`](Self::adjust) calls that tried to push a
+    /// priority below zero (and were clamped). On well-formed streams a
+    /// Tracking DCS never decrements a group past zero, so a nonzero
+    /// count is evidence of an ill-formed stream or a bookkeeping bug.
+    pub fn underflow_count(&self) -> u64 {
+        self.underflows
     }
 
     /// Removes `key`, returning its priority if it was present.
@@ -263,6 +285,22 @@ mod tests {
         let mut h = IndexedMaxHeap::new();
         h.adjust(5u32, -3);
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn underflowing_adjust_is_clamped_and_counted() {
+        let mut h = IndexedMaxHeap::new();
+        h.set(1u32, 2);
+        assert_eq!(h.underflow_count(), 0);
+        h.adjust(1u32, -5);
+        assert_eq!(h.priority(&1), None, "clamped to zero and removed");
+        assert_eq!(h.underflow_count(), 1);
+        h.adjust(9u32, -1);
+        assert_eq!(h.underflow_count(), 2, "missing key counts too");
+        // An exact-to-zero adjustment is legitimate, not an underflow.
+        h.set(2u32, 3);
+        h.adjust(2u32, -3);
+        assert_eq!(h.underflow_count(), 2);
     }
 
     #[test]

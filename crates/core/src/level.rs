@@ -26,25 +26,60 @@ impl LevelState {
         }
     }
 
-    /// Applies an update to bucket `bucket` of table `table`.
+    /// Applies an update to bucket `bucket` of table `table` (hashes the
+    /// key's fingerprint itself; the sketch's hot paths use
+    /// [`apply_with_fp`](Self::apply_with_fp) instead).
+    #[cfg_attr(not(test), allow(dead_code))]
     #[inline]
     pub(crate) fn apply(&mut self, table: usize, bucket: usize, key: FlowKey, delta: Delta) {
         self.tables[table][bucket].apply(key, delta);
     }
 
-    /// Decodes bucket `bucket` of table `table`.
+    /// [`apply`](Self::apply) with the key's fingerprint precomputed, so
+    /// the sketch hashes the key once per update instead of once per
+    /// table.
+    #[inline]
+    pub(crate) fn apply_with_fp(
+        &mut self,
+        table: usize,
+        bucket: usize,
+        key: FlowKey,
+        delta: Delta,
+        fp: u64,
+    ) {
+        self.tables[table][bucket].apply_with_fp(key, delta, fp);
+    }
+
+    /// Decodes bucket `bucket` of table `table` exhaustively (all 65
+    /// counters, no screen).
     #[inline]
     pub(crate) fn decode(&self, table: usize, bucket: usize) -> BucketState {
         self.tables[table][bucket].decode()
     }
 
+    /// Screened decode of bucket `bucket` of table `table` — `O(1)` for
+    /// empty and colliding buckets.
+    #[inline]
+    pub(crate) fn decode_fast(&self, table: usize, bucket: usize) -> BucketState {
+        self.tables[table][bucket].decode_fast()
+    }
+
+    /// Borrows the signature of bucket `bucket` of table `table` (the
+    /// tracking hot path screens it before deciding whether to decode).
+    #[inline]
+    pub(crate) fn signature(&self, table: usize, bucket: usize) -> &CountSignature {
+        &self.tables[table][bucket]
+    }
+
     /// The paper's `GetdSample(X, b)` (Fig. 4): scans every second-level
     /// bucket, decoding singletons; distinct recovered keys are pushed
-    /// into `out` (deduplicated by the caller's set semantics).
+    /// into `out` (deduplicated by the caller's set semantics). Uses the
+    /// screened decode — most buckets in a scan are empty or colliding,
+    /// and both are dispatched in `O(1)`.
     pub(crate) fn collect_singletons(&self, out: &mut std::collections::HashSet<FlowKey>) {
         for table in &self.tables {
             for sig in table {
-                if let BucketState::Singleton { key, .. } = sig.decode() {
+                if let BucketState::Singleton { key, .. } = sig.decode_fast() {
                     out.insert(key);
                 }
             }
@@ -150,6 +185,6 @@ mod tests {
     #[test]
     fn heap_bytes_counts_all_signatures() {
         let level = LevelState::new(2, 3);
-        assert_eq!(level.heap_bytes(), 2 * 3 * 65 * 8);
+        assert_eq!(level.heap_bytes(), 2 * 3 * 67 * 8);
     }
 }

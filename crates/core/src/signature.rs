@@ -10,6 +10,16 @@
 //! of the same pair leaves the signature exactly as if the pair had never
 //! been seen, which is the delete-resilience property everything else in
 //! the sketch rests on.
+//!
+//! On top of the paper's counters, each signature carries two extra
+//! *linear screening counters* — a wrapping key sum `Σ ±key` and a
+//! wrapping fingerprint sum `Σ ±fingerprint64(key)` — that let
+//! [`CountSignature::decode_fast`] reject non-singleton buckets in
+//! `O(1)` instead of scanning all 65 counters, falling back to the full
+//! bit verification only when the screen passes. See the documentation
+//! of the crate-internal `ScreenClass` for the exact guarantees.
+
+use dcs_hash::mix::fingerprint64;
 
 use crate::config::KEY_BITS;
 use crate::types::{Delta, FlowKey};
@@ -67,6 +77,55 @@ pub struct CountSignature {
     /// `counts[0]` is the total element count; `counts[1 + j]` is the
     /// bit-location count for bit `j` of the packed pair.
     counts: Vec<i64>,
+    /// Wrapping key sum `Σ ±key` over every update applied so far.
+    ///
+    /// For any state this sum is determined by the bit-location counts
+    /// (`key_sum ≡ Σ_j 2^j · counts[1+j] (mod 2^64)`); keeping it
+    /// explicitly makes the singleton screen a constant-time read.
+    key_sum: u64,
+    /// Wrapping fingerprint sum `Σ ±fingerprint64(key)`. Unlike the key
+    /// sum this is *not* determined by the bit counts, which is exactly
+    /// what lets it reject colliding buckets that happen to satisfy the
+    /// key-sum equation.
+    fp_sum: u64,
+}
+
+/// What the `O(1)` linear screen can tell about a signature.
+///
+/// The classification reads only the total count, the key sum, and the
+/// fingerprint sum (plus at most `z = trailing_zeros(total)` bit
+/// counters to complete the candidate). On well-formed streams:
+///
+/// * [`Empty`](ScreenClass::Empty) and [`Fail`](ScreenClass::Fail) are
+///   *certain*: the bucket decodes to `Empty`/`Collision` respectively —
+///   a true singleton always satisfies both sum equations, so failing
+///   either rules it out without touching the 64 bit counters;
+/// * [`Candidate`](ScreenClass::Candidate) is *one-sided*: if the
+///   bucket really is a singleton, its key equals the recovered
+///   candidate, but a collision can masquerade as a candidate (with
+///   probability ≈ `2^-64` per state), so candidates must be confirmed
+///   by the full bit verification before being reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ScreenClass {
+    /// Total and both sums are zero: an empty bucket.
+    Empty,
+    /// The screen proves the bucket is not a singleton.
+    Fail,
+    /// The screen passes; if the bucket is a singleton, this is its key.
+    Candidate(u64),
+}
+
+/// Multiplicative inverse of odd `q` modulo `2^64` (Newton iteration —
+/// each step doubles the number of correct low bits, and `q·q ≡ 1
+/// (mod 8)` seeds three of them).
+#[inline]
+fn inverse_mod_pow2(q: u64) -> u64 {
+    debug_assert!(q & 1 == 1, "inverse exists only for odd values");
+    let mut inv = q;
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(q.wrapping_mul(inv)));
+    }
+    inv
 }
 
 impl CountSignature {
@@ -74,16 +133,34 @@ impl CountSignature {
     pub fn new() -> Self {
         Self {
             counts: vec![0; SIGNATURE_LEN],
+            key_sum: 0,
+            fp_sum: 0,
         }
     }
 
     /// Applies an update for `key` to the signature: the total count and
-    /// every bit-location count where `key` has a 1-bit move by ±1.
+    /// every bit-location count where `key` has a 1-bit move by ±1, and
+    /// the two screening sums move by `±key` / `±fingerprint64(key)`.
     #[inline]
     pub fn apply(&mut self, key: FlowKey, delta: Delta) {
+        self.apply_with_fp(key, delta, fingerprint64(key.packed()));
+    }
+
+    /// [`apply`](Self::apply) with the key's fingerprint precomputed —
+    /// the sketch hands one fingerprint to all `r` tables of an update.
+    #[inline]
+    pub(crate) fn apply_with_fp(&mut self, key: FlowKey, delta: Delta, fp: u64) {
         let sign = delta.signum();
+        let packed = key.packed();
         self.counts[0] += sign;
-        let mut bits = key.packed();
+        if sign >= 0 {
+            self.key_sum = self.key_sum.wrapping_add(packed);
+            self.fp_sum = self.fp_sum.wrapping_add(fp);
+        } else {
+            self.key_sum = self.key_sum.wrapping_sub(packed);
+            self.fp_sum = self.fp_sum.wrapping_sub(fp);
+        }
+        let mut bits = packed;
         while bits != 0 {
             let j = bits.trailing_zeros();
             self.counts[1 + j as usize] += sign;
@@ -99,7 +176,189 @@ impl CountSignature {
 
     /// Whether the signature is identically zero.
     pub fn is_zero(&self) -> bool {
-        self.counts.iter().all(|&c| c == 0)
+        self.counts.iter().all(|&c| c == 0) && self.key_sum == 0 && self.fp_sum == 0
+    }
+
+    /// Classifies `(total, key_sum, fp_sum)` in `O(1)`; `bit_count(j)`
+    /// supplies the `j`-th bit-location count, consulted only for the
+    /// `trailing_zeros(total)` topmost bits an even total leaves
+    /// undetermined.
+    fn classify(
+        total: i64,
+        key_sum: u64,
+        fp_sum: u64,
+        bit_count: impl Fn(u32) -> i64,
+    ) -> ScreenClass {
+        if total <= 0 {
+            // A negative total, or a zero total with sum residue, can
+            // only arise from ill-formed streams; neither is a
+            // singleton.
+            return if total == 0 && key_sum == 0 && fp_sum == 0 {
+                ScreenClass::Empty
+            } else {
+                ScreenClass::Fail
+            };
+        }
+        let t = total as u64;
+        // Fail-fast prefix: a singleton's bit counters are all 0 or
+        // `total`, while a bucket colliding random keys has a counter
+        // strictly in between almost immediately (probability ≥ 1/2 per
+        // counter for two keys). Probing a short constant prefix
+        // dispatches dense collisions in a load or two, well before the
+        // modular-inverse candidate recovery below.
+        for j in 0..8 {
+            let c = bit_count(j);
+            if c != 0 && c != total {
+                return ScreenClass::Fail;
+            }
+        }
+        // Write t = 2^z · q with q odd. A singleton holding `key` has
+        // key_sum = t·key (mod 2^64), whose low z bits are zero.
+        let z = t.trailing_zeros();
+        if key_sum.trailing_zeros() < z {
+            return ScreenClass::Fail;
+        }
+        let q = t >> z;
+        // q == 1 (power-of-two totals, including the ubiquitous t = 1)
+        // needs no modular inverse.
+        let mut candidate = if q == 1 {
+            key_sum >> z
+        } else {
+            (key_sum >> z).wrapping_mul(inverse_mod_pow2(q))
+        };
+        if z > 0 {
+            // Only the low 64 − z candidate bits are determined by the
+            // key sum; a true singleton's top bits are read off the bit
+            // counters (counter == total exactly where the key has a
+            // 1-bit). The fingerprint check below vouches for them.
+            candidate &= u64::MAX >> z;
+            for j in (KEY_BITS - z)..KEY_BITS {
+                if bit_count(j) == total {
+                    candidate |= 1 << j;
+                }
+            }
+        }
+        if t.wrapping_mul(fingerprint64(candidate)) != fp_sum {
+            return ScreenClass::Fail;
+        }
+        ScreenClass::Candidate(candidate)
+    }
+
+    /// The screen class of the current state.
+    #[inline]
+    pub(crate) fn screen_class(&self) -> ScreenClass {
+        Self::classify(self.counts[0], self.key_sum, self.fp_sum, |j| {
+            self.counts[1 + j as usize]
+        })
+    }
+
+    /// The screen class the signature *would* have after applying
+    /// `(key, delta)`, computed without mutating anything — the tracking
+    /// hot path compares this against [`screen_class`](Self::screen_class)
+    /// to prove most updates cause no decode transition.
+    #[inline]
+    pub(crate) fn screen_class_after(&self, key: FlowKey, delta: Delta, fp: u64) -> ScreenClass {
+        let sign = delta.signum();
+        let packed = key.packed();
+        let (key_sum, fp_sum) = if sign >= 0 {
+            (
+                self.key_sum.wrapping_add(packed),
+                self.fp_sum.wrapping_add(fp),
+            )
+        } else {
+            (
+                self.key_sum.wrapping_sub(packed),
+                self.fp_sum.wrapping_sub(fp),
+            )
+        };
+        Self::classify(self.counts[0] + sign, key_sum, fp_sum, |j| {
+            self.counts[1 + j as usize] + if packed >> j & 1 == 1 { sign } else { 0 }
+        })
+    }
+
+    /// Whether both the current and the post-`(key, delta)` screen
+    /// class are provably `Candidate(key)` — the dominant hot-path
+    /// case of a repeated packet on a flow that (apparently) owns its
+    /// bucket. Costs sixteen counter reads and two multiplies; no
+    /// modular inverse and no fingerprint mixing, because the caller
+    /// already holds both `key` and its fingerprint.
+    ///
+    /// Sound for the tracking skip rule: a `true` here implies
+    /// [`screen_class`](Self::screen_class) and
+    /// [`screen_class_after`](Self::screen_class_after) both return
+    /// `Candidate(key.packed())` — the sums pin the candidate's low
+    /// bits to `key`'s, and the verified top-byte counters pin the
+    /// rest. Totals of 256 or more fall back to the general pair
+    /// (their trailing-zero count could exceed the verified top byte),
+    /// as does a delete that would empty the bucket.
+    #[inline]
+    pub(crate) fn skips_as_own_singleton(&self, key: FlowKey, delta: Delta, fp: u64) -> bool {
+        let total = self.counts[0];
+        let sign = delta.signum();
+        if !(1..256).contains(&total) || total + sign < 1 {
+            return false;
+        }
+        let packed = key.packed();
+        let t = total as u64;
+        if self.key_sum != t.wrapping_mul(packed) || self.fp_sum != t.wrapping_mul(fp) {
+            return false;
+        }
+        // counter == total exactly where `key` has a 1-bit, over the
+        // probe prefix (0..8) and the top byte — everything `classify`
+        // consults, on both sides of the update, for totals below 256.
+        for j in (0..8).chain(KEY_BITS - 8..KEY_BITS) {
+            let expected = if packed >> j & 1 == 1 { total } else { 0 };
+            if self.counts[1 + j as usize] != expected {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Screened decode: `O(1)` for empty and (with overwhelming
+    /// probability) colliding buckets, falling back to the full
+    /// 65-counter bit verification only when the screen passes.
+    ///
+    /// On well-formed streams this returns exactly what
+    /// [`decode`](Self::decode) returns — the screen never rejects a
+    /// true singleton (both sum equations hold identically for it), and
+    /// a candidate is only reported after the bit verification decode
+    /// would have performed anyway. On ill-formed streams `decode_fast`
+    /// is at least as conservative: states whose sums betray residue
+    /// are classified `Collision` even when the bit counters alone
+    /// would spell out a phantom singleton.
+    #[inline]
+    pub fn decode_fast(&self) -> BucketState {
+        self.decode_class(self.screen_class())
+    }
+
+    /// Materializes an already-computed screen class of *this* state
+    /// into a [`BucketState`] — lets callers that classified the
+    /// signature themselves (the tracking hot path) skip
+    /// re-classification.
+    #[inline]
+    pub(crate) fn decode_class(&self, class: ScreenClass) -> BucketState {
+        match class {
+            ScreenClass::Empty => BucketState::Empty,
+            ScreenClass::Fail => BucketState::Collision,
+            ScreenClass::Candidate(candidate) => self.verify_candidate(candidate),
+        }
+    }
+
+    /// Full bit verification of a screened candidate — the deterministic
+    /// half of [`decode_fast`](Self::decode_fast).
+    fn verify_candidate(&self, candidate: u64) -> BucketState {
+        let total = self.counts[0];
+        for j in 0..KEY_BITS {
+            let expected = if candidate >> j & 1 == 1 { total } else { 0 };
+            if self.counts[1 + j as usize] != expected {
+                return BucketState::Collision;
+            }
+        }
+        BucketState::Singleton {
+            key: FlowKey::from_packed(candidate),
+            net_count: total,
+        }
     }
 
     /// Decodes the bucket's contents — the paper's `ReturnSingleton`
@@ -145,10 +404,14 @@ impl CountSignature {
     }
 
     /// Adds another signature counter-wise (used by sketch merging).
+    /// The screening sums are linear too, so they merge by wrapping
+    /// addition.
     pub fn merge_from(&mut self, other: &CountSignature) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
+        self.key_sum = self.key_sum.wrapping_add(other.key_sum);
+        self.fp_sum = self.fp_sum.wrapping_add(other.fp_sum);
     }
 
     /// Subtracts another signature counter-wise (used by sketch
@@ -158,11 +421,14 @@ impl CountSignature {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a -= b;
         }
+        self.key_sum = self.key_sum.wrapping_sub(other.key_sum);
+        self.fp_sum = self.fp_sum.wrapping_sub(other.fp_sum);
     }
 
-    /// Heap bytes used by this signature's counters.
+    /// Heap bytes used by this signature's counters, including the two
+    /// inline screening sums.
     pub fn heap_bytes(&self) -> usize {
-        self.counts.len() * std::mem::size_of::<i64>()
+        self.counts.len() * std::mem::size_of::<i64>() + 2 * std::mem::size_of::<u64>()
     }
 }
 
@@ -339,7 +605,178 @@ mod tests {
     }
 
     #[test]
-    fn heap_bytes_is_65_counters() {
-        assert_eq!(CountSignature::new().heap_bytes(), 65 * 8);
+    fn heap_bytes_is_65_counters_plus_screen() {
+        // 65 paper counters + key sum + fingerprint sum.
+        assert_eq!(CountSignature::new().heap_bytes(), 67 * 8);
+    }
+
+    #[test]
+    fn decode_fast_matches_decode_on_well_formed_streams() {
+        use rand::prelude::*;
+
+        // Random well-formed op sequences over a small key pool: every
+        // delete removes a key currently present, so per-key net counts
+        // never go negative. decode_fast must agree with decode at every
+        // prefix.
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pool: Vec<FlowKey> = (0..6)
+                .map(|i| key(rng.gen(), rng.gen::<u32>() ^ i))
+                .collect();
+            let mut sig = CountSignature::new();
+            let mut live: Vec<FlowKey> = Vec::new();
+            for _ in 0..400 {
+                if !live.is_empty() && rng.gen_bool(0.45) {
+                    let idx = rng.gen_range(0..live.len());
+                    let k = live.swap_remove(idx);
+                    sig.apply(k, Delta::Delete);
+                } else {
+                    let k = pool[rng.gen_range(0..pool.len())];
+                    live.push(k);
+                    sig.apply(k, Delta::Insert);
+                }
+                assert_eq!(sig.decode_fast(), sig.decode());
+            }
+        }
+    }
+
+    #[test]
+    fn decode_fast_recovers_top_bits_for_even_totals() {
+        // total = 4 = 2^2 → the key sum only pins the low 62 candidate
+        // bits; the top 2 come from the bit counters. u64::MAX exercises
+        // both of them being 1.
+        let mut sig = CountSignature::new();
+        let k = FlowKey::from_packed(u64::MAX);
+        for _ in 0..4 {
+            sig.apply(k, Delta::Insert);
+        }
+        assert_eq!(
+            sig.decode_fast(),
+            BucketState::Singleton {
+                key: k,
+                net_count: 4
+            }
+        );
+    }
+
+    #[test]
+    fn screen_class_after_matches_post_apply_screen_class() {
+        let ops = [
+            (key(1, 2), Delta::Insert),
+            (key(1, 2), Delta::Insert),
+            (key(3, 4), Delta::Insert),
+            (key(1, 2), Delta::Delete),
+            (key(3, 4), Delta::Delete),
+            (key(1, 2), Delta::Delete),
+            (FlowKey::from_packed(u64::MAX), Delta::Insert),
+            (FlowKey::from_packed(u64::MAX), Delta::Insert),
+        ];
+        let mut sig = CountSignature::new();
+        for (k, d) in ops {
+            let fp = dcs_hash::mix::fingerprint64(k.packed());
+            let predicted = sig.screen_class_after(k, d, fp);
+            sig.apply(k, d);
+            assert_eq!(predicted, sig.screen_class());
+        }
+    }
+
+    #[test]
+    fn own_singleton_fast_skip_implies_candidate_pair() {
+        // Positive case: a bucket owned by one key accepts repeats and
+        // partial deletes via the fast skip, and the skip's claim —
+        // both screen classes are Candidate(that key) — holds.
+        let k = key(7, 9);
+        let fp = dcs_hash::mix::fingerprint64(k.packed());
+        let mut sig = CountSignature::new();
+        for _ in 0..3 {
+            sig.apply(k, Delta::Insert);
+        }
+        for delta in [Delta::Insert, Delta::Delete] {
+            assert!(sig.skips_as_own_singleton(k, delta, fp));
+            assert_eq!(sig.screen_class(), ScreenClass::Candidate(k.packed()));
+            assert_eq!(
+                sig.screen_class_after(k, delta, fp),
+                ScreenClass::Candidate(k.packed())
+            );
+        }
+
+        // A different key must not fast-skip (its sums don't match).
+        let other = key(8, 9);
+        let other_fp = dcs_hash::mix::fingerprint64(other.packed());
+        assert!(!sig.skips_as_own_singleton(other, Delta::Insert, other_fp));
+
+        // Deleting down to empty is a real transition — no skip.
+        let mut one = CountSignature::new();
+        one.apply(k, Delta::Insert);
+        assert!(!one.skips_as_own_singleton(k, Delta::Delete, fp));
+
+        // A colliding bucket never fast-skips.
+        let mut collided = sig.clone();
+        collided.apply(other, Delta::Insert);
+        assert!(!collided.skips_as_own_singleton(k, Delta::Insert, fp));
+        assert!(!collided.skips_as_own_singleton(other, Delta::Insert, other_fp));
+    }
+
+    #[test]
+    fn own_singleton_fast_skip_agrees_with_classify_on_random_streams() {
+        // Soundness invariant behind the hot-path skip: whenever
+        // `skips_as_own_singleton` fires, the general classifier must
+        // agree that both sides are Candidate(key) — on every prefix of
+        // random well-formed streams, including high-bit keys that
+        // exercise the top-byte counter checks.
+        use rand::prelude::*;
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pool: Vec<FlowKey> = (0..4).map(|_| FlowKey::from_packed(rng.gen())).collect();
+            let mut sig = CountSignature::new();
+            let mut net: Vec<i64> = vec![0; pool.len()];
+            for _ in 0..300 {
+                let i = rng.gen_range(0..pool.len());
+                let delta = if net[i] > 0 && rng.gen_bool(0.4) {
+                    net[i] -= 1;
+                    Delta::Delete
+                } else {
+                    net[i] += 1;
+                    Delta::Insert
+                };
+                let k = pool[i];
+                let fp = dcs_hash::mix::fingerprint64(k.packed());
+                if sig.skips_as_own_singleton(k, delta, fp) {
+                    assert_eq!(sig.screen_class(), ScreenClass::Candidate(k.packed()));
+                    assert_eq!(
+                        sig.screen_class_after(k, delta, fp),
+                        ScreenClass::Candidate(k.packed())
+                    );
+                }
+                sig.apply(k, delta);
+            }
+        }
+    }
+
+    #[test]
+    fn screening_sums_survive_merge_and_subtract() {
+        let mut a = CountSignature::new();
+        let mut b = CountSignature::new();
+        a.apply(key(1, 2), Delta::Insert);
+        b.apply(key(3, 4), Delta::Insert);
+        b.apply(key(3, 4), Delta::Insert);
+
+        let mut merged = a.clone();
+        merged.merge_from(&b);
+        let mut replay = CountSignature::new();
+        replay.apply(key(1, 2), Delta::Insert);
+        replay.apply(key(3, 4), Delta::Insert);
+        replay.apply(key(3, 4), Delta::Insert);
+        assert_eq!(merged, replay);
+
+        merged.subtract(&a);
+        assert_eq!(merged, b);
+        assert_eq!(
+            merged.decode_fast(),
+            BucketState::Singleton {
+                key: key(3, 4),
+                net_count: 2
+            }
+        );
     }
 }

@@ -2,6 +2,7 @@
 
 use std::collections::HashSet;
 
+use dcs_hash::mix::fingerprint64;
 use dcs_hash::{GeometricLevelHash, Hash64, MultiplyShiftHash, SeedSequence, TabulationHash};
 
 use crate::config::{HashFamily, SketchConfig};
@@ -163,10 +164,11 @@ impl DistinctCountSketch {
         let level = self.level_of(update.key) as usize;
         let buckets = self.config.buckets_per_table();
         let num_tables = self.config.num_tables();
+        let fp = fingerprint64(update.key.packed());
         let state = self.levels[level].get_or_insert_with(|| LevelState::new(num_tables, buckets));
         for (table, hash) in self.table_hashes.iter().enumerate() {
             let bucket = hash.hash_to_range(update.key.packed(), buckets);
-            state.apply(table, bucket, update.key, update.delta);
+            state.apply_with_fp(table, bucket, update.key, update.delta, fp);
         }
         self.updates_processed += 1;
         self.net_updates += update.delta.signum();
@@ -189,17 +191,89 @@ impl DistinctCountSketch {
         }
     }
 
-    /// Decodes the bucket `(level, table, bucket)` without allocating.
+    /// Decodes the bucket `(level, table, bucket)` without allocating,
+    /// via the screened `O(1)` fast path.
     pub(crate) fn decode_bucket(&self, level: usize, table: usize, bucket: usize) -> BucketState {
+        match &self.levels[level] {
+            Some(state) => state.decode_fast(table, bucket),
+            None => BucketState::Empty,
+        }
+    }
+
+    /// Decodes the bucket `(level, table, bucket)` with the unscreened
+    /// 65-counter scan — the reference path for equivalence tests,
+    /// benchmarks, and invariant cross-checks.
+    pub(crate) fn decode_bucket_exhaustive(
+        &self,
+        level: usize,
+        table: usize,
+        bucket: usize,
+    ) -> BucketState {
         match &self.levels[level] {
             Some(state) => state.decode(table, bucket),
             None => BucketState::Empty,
         }
     }
 
+    /// Applies `(key, delta)` to the bucket `(level, table, bucket)`,
+    /// screening for decode transitions: returns `None` when the `O(1)`
+    /// screen proves the update cannot change the bucket's decoded
+    /// singleton set (on a well-formed stream), and `Some((before,
+    /// after))` — the decoded states around the application — when it
+    /// cannot rule a transition out.
+    ///
+    /// The screen proves no-transition when both the current and
+    /// post-update screen classes are non-candidates (the bucket is and
+    /// stays empty/colliding), or both are candidates for the *same*
+    /// key (a singleton absorbing a repeat of its own key). Any real
+    /// transition — singleton appearing, vanishing, or changing key —
+    /// forces the two classes to differ. On the `Some` path the decodes
+    /// reuse the two classes already computed, so no bucket is ever
+    /// classified twice.
+    pub(crate) fn screened_apply(
+        &mut self,
+        level: usize,
+        table: usize,
+        bucket: usize,
+        key: FlowKey,
+        delta: Delta,
+        fp: u64,
+    ) -> Option<(BucketState, BucketState)> {
+        use crate::signature::ScreenClass::{Candidate, Empty, Fail};
+        let state = self.level_mut(level);
+        let sig = state.signature(table, bucket);
+        // Dominant case first: a repeated packet on a flow that owns
+        // its bucket. Proves `(Candidate(key), Candidate(key))` with
+        // sixteen counter reads and no inverse or fingerprint mixing.
+        if sig.skips_as_own_singleton(key, delta, fp) {
+            state.apply_with_fp(table, bucket, key, delta, fp);
+            return None;
+        }
+        let sig = state.signature(table, bucket);
+        let class_before = sig.screen_class();
+        let class_after = sig.screen_class_after(key, delta, fp);
+        let no_transition = match (class_before, class_after) {
+            (Fail | Empty, Fail | Empty) => true,
+            (Candidate(a), Candidate(b)) => a == b,
+            _ => false,
+        };
+        if no_transition {
+            state.apply_with_fp(table, bucket, key, delta, fp);
+            return None;
+        }
+        let before = sig.decode_class(class_before);
+        state.apply_with_fp(table, bucket, key, delta, fp);
+        // `class_after` predicted the post-update sums and counters
+        // exactly, so materializing it against the updated signature
+        // equals a fresh `decode_fast`.
+        let after = state.signature(table, bucket).decode_class(class_after);
+        Some((before, after))
+    }
+
     /// Applies an update to a single `(level, table, bucket)` cell —
     /// used by the tracking layer, which interleaves decodes between
-    /// per-table applications.
+    /// per-table applications. `fp` is the key's precomputed
+    /// [`fingerprint64`].
     pub(crate) fn apply_at(
         &mut self,
         level: usize,
@@ -207,8 +281,10 @@ impl DistinctCountSketch {
         bucket: usize,
         key: FlowKey,
         delta: Delta,
+        fp: u64,
     ) {
-        self.level_mut(level).apply(table, bucket, key, delta);
+        self.level_mut(level)
+            .apply_with_fp(table, bucket, key, delta, fp);
     }
 
     pub(crate) fn note_update(&mut self, delta: Delta) {
@@ -222,33 +298,44 @@ impl DistinctCountSketch {
         })
     }
 
-    /// Extracts the distinct sample for an estimation target of
-    /// `(1+ε)·s/16` pairs — the sampling loop of `BaseTopk`
-    /// (Fig. 3, steps 1–6).
+    /// The distinct pairs decodable at one first-level bucket, sorted
+    /// ascending — the shared scan under [`distinct_sample`] and
+    /// [`singletons`](Self::singletons).
     ///
     /// Decoded keys are cross-checked against the first-level hash
     /// (`level_of(key) == level`), which is a no-op on well-formed
-    /// streams and discards phantom decodes on ill-formed ones.
+    /// streams and discards phantom decodes on ill-formed ones. The
+    /// cross-check also means distinct levels can never yield the same
+    /// key, so callers may concatenate levels without deduplicating.
+    ///
+    /// [`distinct_sample`]: Self::distinct_sample
+    fn level_singletons(&self, level: u32) -> Vec<FlowKey> {
+        let mut keys = HashSet::new();
+        if let Some(state) = &self.levels[level as usize] {
+            state.collect_singletons(&mut keys);
+        }
+        let mut keys: Vec<FlowKey> = keys
+            .into_iter()
+            .filter(|k| self.level_of(*k) == level)
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Extracts the distinct sample for an estimation target of
+    /// `(1+ε)·s/16` pairs — the sampling loop of `BaseTopk`
+    /// (Fig. 3, steps 1–6).
     pub fn distinct_sample(&self, epsilon: f64) -> DistinctSample {
         let target = self.config.target_sample_size(epsilon);
-        let mut sample: HashSet<FlowKey> = HashSet::new();
+        let mut keys: Vec<FlowKey> = Vec::new();
         let mut lowest = 0u32;
         for level in (0..self.config.max_levels()).rev() {
-            if let Some(state) = &self.levels[level as usize] {
-                let mut candidates = HashSet::new();
-                state.collect_singletons(&mut candidates);
-                sample.extend(
-                    candidates
-                        .into_iter()
-                        .filter(|k| self.level_of(*k) == level),
-                );
-            }
-            if sample.len() >= target {
+            keys.extend(self.level_singletons(level));
+            if keys.len() >= target {
                 lowest = level;
                 break;
             }
         }
-        let mut keys: Vec<FlowKey> = sample.into_iter().collect();
         keys.sort_unstable();
         DistinctSample {
             keys,
@@ -405,20 +492,18 @@ impl DistinctCountSketch {
 
     /// Iterates over every currently-decodable singleton pair with its
     /// level — the raw material of the distinct sample, exposed for
-    /// debugging and inspection.
+    /// debugging and inspection. Shares the per-level scan (including
+    /// the `level_of` cross-check) with [`distinct_sample`], so the two
+    /// views can never disagree about what a level contains.
     ///
     /// Distinct pairs decodable in several tables of one level are
     /// yielded once. Order: descending level, ascending key.
+    ///
+    /// [`distinct_sample`]: Self::distinct_sample
     pub fn singletons(&self) -> Vec<(u32, FlowKey)> {
         let mut out = Vec::new();
         for level in (0..self.config.max_levels()).rev() {
-            if let Some(state) = &self.levels[level as usize] {
-                let mut keys = HashSet::new();
-                state.collect_singletons(&mut keys);
-                let mut keys: Vec<FlowKey> = keys.into_iter().collect();
-                keys.sort_unstable();
-                out.extend(keys.into_iter().map(|k| (level, k)));
-            }
+            out.extend(self.level_singletons(level).into_iter().map(|k| (level, k)));
         }
         out
     }
@@ -859,6 +944,26 @@ mod tests {
         let json = serde_json::to_string(&sketch).unwrap();
         let back: DistinctCountSketch = serde_json::from_str(&json).unwrap();
         assert_eq!(sketch.estimate_top_k(3, 0.25), back.estimate_top_k(3, 0.25));
+    }
+
+    #[test]
+    fn distinct_sample_agrees_with_singletons_view() {
+        // Both views are built on the same per-level scan; the sample
+        // must equal the singleton enumeration restricted to levels at
+        // or above the inference level.
+        let mut sketch = DistinctCountSketch::new(small_config(41));
+        for s in 0..800u32 {
+            sketch.insert(SourceAddr(s), DestAddr(s % 13));
+        }
+        let sample = sketch.distinct_sample(0.25);
+        let mut expected: Vec<FlowKey> = sketch
+            .singletons()
+            .into_iter()
+            .filter(|&(level, _)| level >= sample.level)
+            .map(|(_, k)| k)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(sample.keys, expected);
     }
 
     #[test]

@@ -20,6 +20,8 @@
 
 use std::collections::HashMap;
 
+use dcs_hash::mix::fingerprint64;
+
 use crate::config::SketchConfig;
 use crate::error::SketchError;
 use crate::estimator::{
@@ -62,6 +64,12 @@ struct TrackingLevel {
 pub struct TrackingDcs {
     sketch: DistinctCountSketch,
     levels: Vec<TrackingLevel>,
+    /// Number of decrements of pairs the tracking layer was not
+    /// tracking. Stays zero on well-formed streams; counted (instead of
+    /// silently ignored) so [`check_tracking_invariants`] can report it.
+    ///
+    /// [`check_tracking_invariants`]: Self::check_tracking_invariants
+    untracked_decrements: u64,
 }
 
 impl TrackingDcs {
@@ -73,6 +81,7 @@ impl TrackingDcs {
         Self {
             sketch: DistinctCountSketch::new(config),
             levels,
+            untracked_decrements: 0,
         }
     }
 
@@ -92,7 +101,11 @@ impl TrackingDcs {
         let levels = (0..sketch.config().max_levels())
             .map(|_| TrackingLevel::default())
             .collect();
-        let mut tracking = Self { sketch, levels };
+        let mut tracking = Self {
+            sketch,
+            levels,
+            untracked_decrements: 0,
+        };
         tracking.rebuild_tracking();
         tracking
     }
@@ -131,28 +144,73 @@ impl TrackingDcs {
 
     /// `UpdateTracking` (Fig. 6): applies one flow update and patches
     /// the tracked sample structures.
+    ///
+    /// Each of the `r` affected buckets is first run through the `O(1)`
+    /// singleton screen: when it proves the update cannot move the
+    /// bucket's decoded singleton set (a repeat of a singleton's own
+    /// key, or an update into a bucket that is and stays
+    /// empty/colliding — the overwhelmingly common cases on real
+    /// streams), the counters are patched and both decodes are skipped.
+    /// Only buckets the screen cannot clear pay for the
+    /// decode-before/decode-after transition handling.
     pub fn update(&mut self, update: FlowUpdate) {
         let level = self.sketch.level_of(update.key) as usize;
         let num_tables = self.config().num_tables();
+        let fp = fingerprint64(update.key.packed());
         for table in 0..num_tables {
             let bucket = self.sketch.bucket_of(table, update.key);
-            let before = self.sketch.decode_bucket(level, table, bucket);
-            self.sketch
-                .apply_at(level, table, bucket, update.key, update.delta);
-            let after = self.sketch.decode_bucket(level, table, bucket);
-            match (before.singleton_key(), after.singleton_key()) {
-                (None, Some(fresh)) => self.incr_singleton(level, fresh),
-                (Some(gone), None) => self.decr_singleton(level, gone),
-                (Some(gone), Some(fresh)) if gone != fresh => {
-                    // Only reachable on ill-formed streams; handled for
-                    // robustness.
-                    self.decr_singleton(level, gone);
-                    self.incr_singleton(level, fresh);
-                }
-                _ => {}
+            if let Some((before, after)) =
+                self.sketch
+                    .screened_apply(level, table, bucket, update.key, update.delta, fp)
+            {
+                self.handle_transition(level, before, after);
             }
         }
         self.sketch.note_update(update.delta);
+    }
+
+    /// The unscreened update path: decode-before / apply / decode-after
+    /// on every affected bucket, with the exhaustive 65-counter decode.
+    ///
+    /// Semantically identical to [`update`](Self::update) on well-formed
+    /// streams; kept as the reference implementation for equivalence
+    /// tests and as the benchmark baseline the screened path is measured
+    /// against.
+    #[doc(hidden)]
+    pub fn update_reference(&mut self, update: FlowUpdate) {
+        let level = self.sketch.level_of(update.key) as usize;
+        let num_tables = self.config().num_tables();
+        let fp = fingerprint64(update.key.packed());
+        for table in 0..num_tables {
+            let bucket = self.sketch.bucket_of(table, update.key);
+            let before = self.sketch.decode_bucket_exhaustive(level, table, bucket);
+            self.sketch
+                .apply_at(level, table, bucket, update.key, update.delta, fp);
+            let after = self.sketch.decode_bucket_exhaustive(level, table, bucket);
+            self.handle_transition(level, before, after);
+        }
+        self.sketch.note_update(update.delta);
+    }
+
+    /// Patches the tracking structures for one bucket's decode
+    /// transition (the shared tail of both update paths).
+    fn handle_transition(
+        &mut self,
+        level: usize,
+        before: crate::signature::BucketState,
+        after: crate::signature::BucketState,
+    ) {
+        match (before.singleton_key(), after.singleton_key()) {
+            (None, Some(fresh)) => self.incr_singleton(level, fresh),
+            (Some(gone), None) => self.decr_singleton(level, gone),
+            (Some(gone), Some(fresh)) if gone != fresh => {
+                // Only reachable on ill-formed streams; handled for
+                // robustness.
+                self.decr_singleton(level, gone);
+                self.incr_singleton(level, fresh);
+            }
+            _ => {}
+        }
     }
 
     /// Convenience: processes a `+1` update.
@@ -195,7 +253,12 @@ impl TrackingDcs {
     fn decr_singleton(&mut self, level: usize, key: FlowKey) {
         let packed = key.packed();
         let Some(count) = self.levels[level].singletons.get_mut(&packed) else {
-            debug_assert!(false, "decrement of untracked singleton");
+            // Decrementing a pair we never tracked can only happen on
+            // ill-formed streams (a phantom singleton decoded and then
+            // dissolved). Count it — silently returning would hide the
+            // corruption, and panicking would take down the monitor over
+            // an input problem.
+            self.untracked_decrements += 1;
             return;
         };
         *count -= 1;
@@ -317,8 +380,24 @@ impl TrackingDcs {
         Ok(Self::from_sketch(self.sketch.difference(&snapshot.sketch)?))
     }
 
+    /// Number of decrements of untracked pairs observed so far (zero on
+    /// well-formed streams).
+    pub fn untracked_decrements(&self) -> u64 {
+        self.untracked_decrements
+    }
+
+    /// Total number of heap-priority underflows across all levels (zero
+    /// on well-formed streams); see
+    /// [`IndexedMaxHeap::underflow_count`].
+    pub fn heap_underflows(&self) -> u64 {
+        self.levels.iter().map(|l| l.heap.underflow_count()).sum()
+    }
+
     /// Rebuilds `singletons`/heaps from the current counter storage.
+    /// Anomaly counters reset too — the rebuilt structures are exact by
+    /// construction, so prior evidence of drift no longer applies.
     fn rebuild_tracking(&mut self) {
+        self.untracked_decrements = 0;
         for level in self.levels.iter_mut() {
             level.singletons.clear();
             level.heap = IndexedMaxHeap::new();
@@ -362,9 +441,27 @@ impl TrackingDcs {
     ///
     /// Checks, per level `b`: `singletons(b)` equals the decoded
     /// singleton set, and every heap priority at `b` equals the group's
-    /// frequency in `∪_{l ≥ b} singletons(l)`.
+    /// frequency in `∪_{l ≥ b} singletons(l)`. Also fails if either
+    /// silent-failure counter ([`untracked_decrements`],
+    /// [`heap_underflows`]) is nonzero, and cross-checks the screened
+    /// decode against the exhaustive decode on every bucket.
+    ///
+    /// [`untracked_decrements`]: Self::untracked_decrements
+    /// [`heap_underflows`]: Self::heap_underflows
     #[doc(hidden)]
     pub fn check_tracking_invariants(&self) -> Result<(), String> {
+        if self.untracked_decrements > 0 {
+            return Err(format!(
+                "{} untracked singleton decrement(s) observed (ill-formed stream?)",
+                self.untracked_decrements
+            ));
+        }
+        let underflows = self.heap_underflows();
+        if underflows > 0 {
+            return Err(format!(
+                "{underflows} heap priority underflow(s) observed (ill-formed stream?)"
+            ));
+        }
         let num_tables = self.config().num_tables();
         let buckets = self.config().buckets_per_table();
         let max_levels = self.config().max_levels() as usize;
@@ -374,11 +471,15 @@ impl TrackingDcs {
             let mut scanned: HashMap<u64, u32> = HashMap::new();
             for table in 0..num_tables {
                 for bucket in 0..buckets {
-                    if let Some(key) = self
-                        .sketch
-                        .decode_bucket(level, table, bucket)
-                        .singleton_key()
-                    {
+                    let fast = self.sketch.decode_bucket(level, table, bucket);
+                    let exhaustive = self.sketch.decode_bucket_exhaustive(level, table, bucket);
+                    if fast != exhaustive {
+                        return Err(format!(
+                            "level {level} table {table} bucket {bucket}: screened \
+                             decode {fast:?} != exhaustive decode {exhaustive:?}"
+                        ));
+                    }
+                    if let Some(key) = fast.singleton_key() {
                         *scanned.entry(key.packed()).or_insert(0) += 1;
                     }
                 }
@@ -575,6 +676,35 @@ mod tests {
         let mut a = TrackingDcs::new(small_config(1));
         let b = TrackingDcs::new(small_config(2));
         assert!(a.merge_from(&b).is_err());
+    }
+
+    #[test]
+    fn untracked_decrement_is_counted_and_reported() {
+        // Organically reaching this path needs an ill-formed stream that
+        // also defeats the fingerprint screen, so drive the private
+        // handler directly: a decrement for a pair the layer never saw.
+        let mut t = TrackingDcs::new(small_config(1));
+        t.decr_singleton(0, FlowKey::from_packed(42));
+        assert_eq!(t.untracked_decrements(), 1);
+        let err = t.check_tracking_invariants().unwrap_err();
+        assert!(err.contains("untracked"), "err = {err}");
+        // A rebuild reconstructs exact structures and clears the flag.
+        t.rebuild_tracking();
+        assert_eq!(t.untracked_decrements(), 0);
+        t.check_tracking_invariants().unwrap();
+    }
+
+    #[test]
+    fn heap_underflows_start_at_zero() {
+        let mut t = TrackingDcs::new(small_config(2));
+        for s in 0..50u32 {
+            t.insert(SourceAddr(s), DestAddr(3));
+        }
+        for s in 0..50u32 {
+            t.delete(SourceAddr(s), DestAddr(3));
+        }
+        assert_eq!(t.heap_underflows(), 0);
+        assert_eq!(t.untracked_decrements(), 0);
     }
 
     #[test]

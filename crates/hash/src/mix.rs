@@ -32,6 +32,27 @@ pub fn stafford_mix13(mut x: u64) -> u64 {
     x
 }
 
+/// Unseeded bijective 64-bit fingerprint ([`stafford_mix13`] under a
+/// dedicated name) used by the count-signature singleton screen.
+///
+/// The screen keeps a wrapping sum `Σ ±fingerprint64(key)` per bucket
+/// alongside the plain key sum. The function must be (a) deterministic
+/// and *unseeded*, so the sums stay linear across sketch merge and
+/// subtract, and (b) a bijection with strong avalanche, so a colliding
+/// bucket's fingerprint sum matches a candidate's scaled fingerprint
+/// only with negligible probability.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_hash::mix::fingerprint64;
+/// assert_ne!(fingerprint64(1), fingerprint64(2));
+/// ```
+#[inline]
+pub fn fingerprint64(x: u64) -> u64 {
+    stafford_mix13(x)
+}
+
 /// Mixes `key` with `seed` into a uniformly distributed 64-bit value.
 ///
 /// Two applications of the finalizer with a golden-ratio seed offset give
@@ -124,6 +145,15 @@ mod tests {
         // Low output bit should be ~balanced over sequential keys.
         let ones: u32 = (0..10_000u64).map(|k| (mix64(k, 3) & 1) as u32).sum();
         assert!((4500..5500).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn fingerprint64_is_the_unseeded_finalizer() {
+        // The screen's linearity argument relies on fingerprint64 being
+        // exactly the unseeded bijective finalizer, not a seeded mix.
+        for x in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(fingerprint64(x), stafford_mix13(x));
+        }
     }
 
     #[test]

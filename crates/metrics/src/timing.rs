@@ -4,7 +4,8 @@
 use std::time::Instant;
 
 /// Summary statistics over a set of timed runs, in microseconds.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TimingStats {
     /// Number of operations timed.
     pub operations: u64,

@@ -13,7 +13,8 @@ use std::collections::HashMap;
 use dcs_core::{FlowUpdate, SketchConfig, TopKEstimate, TrackingDcs};
 
 /// Alarm thresholds and baseline smoothing.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AlarmPolicy {
     /// Estimated distinct-source frequency that always raises an alarm.
     pub absolute_threshold: u64,
@@ -51,7 +52,8 @@ impl Default for AlarmPolicy {
 }
 
 /// A raised alarm for one destination.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Alarm {
     /// The destination address under suspected attack.
     pub dest: u32,
@@ -66,7 +68,8 @@ pub struct Alarm {
 }
 
 /// Which rule fired an alarm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AlarmReason {
     /// The estimate crossed the absolute threshold.
     AbsoluteThreshold,
@@ -75,7 +78,8 @@ pub enum AlarmReason {
 }
 
 /// A transition in a destination's alarm state.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AlarmEvent {
     /// The destination entered the alarmed state.
     Raised(Alarm),

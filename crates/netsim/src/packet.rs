@@ -21,9 +21,8 @@ use dcs_core::{DestAddr, SourceAddr};
 /// assert!(synack.contains(TcpFlags::ACK));
 /// assert!(!synack.contains(TcpFlags::RST));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TcpFlags(u8);
 
 impl TcpFlags {
@@ -103,7 +102,8 @@ impl fmt::Display for TcpFlags {
 /// `src`/`dst` are the addresses *on the wire* — a server's SYN-ACK has
 /// the server as `src`. Handshake tracking canonicalizes to the
 /// client→server flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TcpSegment {
     /// Sender address.
     pub src: SourceAddr,

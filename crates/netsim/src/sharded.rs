@@ -28,7 +28,10 @@ use dcs_core::{DistinctCountSketch, FlowUpdate, SketchConfig, SketchError, Track
 ///
 /// # Panics
 ///
-/// Panics if `shards` is zero or a worker thread panics.
+/// Panics if `shards` is zero. If a worker thread panics, that worker's
+/// *original* panic payload is re-raised here (not a generic "worker
+/// alive" / "worker thread panicked" message), so the root cause reaches
+/// the caller's backtrace.
 ///
 /// # Examples
 ///
@@ -48,35 +51,18 @@ pub fn ingest_sharded(
     config: SketchConfig,
     shards: usize,
 ) -> Result<TrackingDcs, SketchError> {
-    assert!(shards > 0, "need at least one shard");
-    const BATCH: usize = 4096;
-
-    let mut senders = Vec::with_capacity(shards);
-    let mut handles = Vec::with_capacity(shards);
-    for _ in 0..shards {
-        let (tx, rx) = channel::bounded::<Vec<FlowUpdate>>(8);
-        let shard_config = config.clone();
-        handles.push(thread::spawn(move || {
-            let mut sketch = DistinctCountSketch::new(shard_config);
-            for batch in rx {
-                for update in batch {
-                    sketch.update(update);
-                }
+    let shard_sketches = run_sharded(updates, shards, |rx| {
+        let mut sketch = DistinctCountSketch::new(config.clone());
+        for batch in rx {
+            for update in batch {
+                sketch.update(update);
             }
-            sketch
-        }));
-        senders.push(tx);
-    }
-    for (i, chunk) in updates.chunks(BATCH).enumerate() {
-        senders[i % shards]
-            .send(chunk.to_vec())
-            .expect("worker alive");
-    }
-    drop(senders);
+        }
+        sketch
+    });
 
     let mut merged: Option<DistinctCountSketch> = None;
-    for handle in handles {
-        let shard = handle.join().expect("worker thread panicked");
+    for shard in shard_sketches {
         match merged.as_mut() {
             None => merged = Some(shard),
             Some(m) => m.merge_from(&shard)?,
@@ -85,6 +71,55 @@ pub fn ingest_sharded(
     Ok(TrackingDcs::from_sketch(
         merged.expect("at least one shard"),
     ))
+}
+
+/// Fans `updates` out to `shards` scoped worker threads round-robin in
+/// batches and collects each worker's result.
+///
+/// A send can only fail when the receiving worker has already died —
+/// i.e. panicked — so on send failure the feeding loop stops and the
+/// joins below re-raise the worker's own panic payload via
+/// [`std::panic::resume_unwind`]. All workers are joined before
+/// propagating, so no thread outlives the call either way.
+fn run_sharded<T: Send>(
+    updates: &[FlowUpdate],
+    shards: usize,
+    worker: impl Fn(channel::Receiver<Vec<FlowUpdate>>) -> T + Sync,
+) -> Vec<T> {
+    assert!(shards > 0, "need at least one shard");
+    const BATCH: usize = 4096;
+
+    thread::scope(|scope| {
+        let worker = &worker;
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = channel::bounded::<Vec<FlowUpdate>>(8);
+            handles.push(scope.spawn(move || worker(rx)));
+            senders.push(tx);
+        }
+        for (i, chunk) in updates.chunks(BATCH).enumerate() {
+            if senders[i % shards].send(chunk.to_vec()).is_err() {
+                // Receiver gone ⇒ that worker panicked. Stop feeding and
+                // fall through to the joins, which surface its payload.
+                break;
+            }
+        }
+        drop(senders);
+
+        let mut results = Vec::with_capacity(shards);
+        let mut panicked = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(result) => results.push(result),
+                Err(payload) => panicked = Some(payload),
+            }
+        }
+        if let Some(payload) = panicked {
+            std::panic::resume_unwind(payload);
+        }
+        results
+    })
 }
 
 #[cfg(test)]
@@ -147,5 +182,29 @@ mod tests {
     #[should_panic(expected = "shard")]
     fn zero_shards_panics() {
         let _ = ingest_sharded(&[], config(), 0);
+    }
+
+    #[test]
+    fn worker_panic_propagates_original_payload() {
+        // Enough batches that the feeder outlives the dead worker's
+        // bounded channel buffer: the send failure path and the
+        // join-then-resume_unwind path both execute.
+        let updates: Vec<FlowUpdate> = (0..200_000u32)
+            .map(|s| FlowUpdate::insert(SourceAddr(s), DestAddr(1)))
+            .collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_sharded(&updates, 2, |rx| -> usize {
+                let batch = rx.recv().expect("feeder sends at least one batch");
+                panic!("worker exploded after {} updates", batch.len());
+            })
+        }));
+        let payload = result.unwrap_err();
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("original String payload, not a generic join message");
+        assert!(
+            message.contains("worker exploded"),
+            "unexpected payload: {message}"
+        );
     }
 }

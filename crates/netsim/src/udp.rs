@@ -20,7 +20,8 @@ use std::collections::HashMap;
 use dcs_core::{Delta, DestAddr, FlowKey, FlowUpdate, SourceAddr};
 
 /// A connectionless datagram (UDP or ICMP — the tracker does not care).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Datagram {
     /// Sender address.
     pub src: SourceAddr,

@@ -1,0 +1,213 @@
+//! Offline stand-in for the `bytes` crate (1.x-compatible subset).
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the slice of the `bytes` API it uses: [`BytesMut`] as a
+//! growable big-endian write buffer ([`BufMut`]), [`Bytes`] as its
+//! frozen read-only form, and [`Buf`] for cursor-style big-endian
+//! reads from `&[u8]`. Unlike the real crate there is no shared
+//! ref-counted storage — `Bytes` owns a plain `Vec<u8>` — which is
+//! semantically equivalent for the encode/decode workloads here.
+
+use std::ops::Deref;
+
+/// Cursor-style reads over a byte source. Network byte order
+/// (big-endian), advancing past everything read.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte, advancing by 1. Panics when empty.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a big-endian `u64`, advancing by 8. Panics if fewer than
+    /// 8 bytes remain.
+    fn get_u64(&mut self) -> u64;
+
+    /// Reads a big-endian `u32`, advancing by 4. Panics if fewer than
+    /// 4 bytes remain.
+    fn get_u32(&mut self) -> u32;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (byte, rest) = self.split_first().expect("buffer underflow reading u8");
+        *self = rest;
+        *byte
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        assert!(self.len() >= 8, "buffer underflow reading u64");
+        let (head, rest) = self.split_at(8);
+        let value = u64::from_be_bytes(head.try_into().expect("split_at(8) is 8 bytes"));
+        *self = rest;
+        value
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.len() >= 4, "buffer underflow reading u32");
+        let (head, rest) = self.split_at(4);
+        let value = u32::from_be_bytes(head.try_into().expect("split_at(4) is 4 bytes"));
+        *self = rest;
+        value
+    }
+}
+
+/// Append-only writes to a growable buffer, in network byte order.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, value: u64) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, value: u32) {
+        self.put_slice(&value.to_be_bytes());
+    }
+}
+
+/// A growable write buffer; freeze it into [`Bytes`] when done.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// An immutable byte buffer. Derefs to `&[u8]`, so slicing, `len`,
+/// `to_vec`, and passing as `&[u8]` all work directly.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies a slice into an owned buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(bytes: Bytes) -> Self {
+        bytes.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_then_reads_big_endian() {
+        let mut buf = BytesMut::with_capacity(13);
+        buf.put_slice(b"HDR!");
+        buf.put_u64(0x0102_0304_0506_0708);
+        buf.put_u8(0x7f);
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 13);
+        assert_eq!(&frozen[..4], b"HDR!");
+
+        let mut cursor = &frozen[4..];
+        assert!(cursor.has_remaining());
+        assert_eq!(cursor.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(cursor.get_u8(), 0x7f);
+        assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    fn u32_roundtrip_and_vec_bufmut() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_u32(0xDEAD_BEEF);
+        let mut cursor = &buf[..];
+        assert_eq!(cursor.get_u32(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn reading_past_the_end_panics() {
+        let mut cursor: &[u8] = &[1, 2, 3];
+        let _ = cursor.get_u64();
+    }
+}

@@ -1,0 +1,433 @@
+//! Offline stand-in for the `criterion` crate (0.5-compatible subset).
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the benchmark-harness API it uses: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize`, `BenchmarkId`,
+//! `Throughput::Elements`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, a short warm-up, then
+//! `sample_size` samples, each running enough iterations to cover a
+//! minimum sample duration; the report prints the minimum / median /
+//! maximum per-iteration time (and element throughput when configured).
+//! `--test` (the CI smoke mode) runs each body exactly once with no
+//! timing. Unknown CLI flags (e.g. `--bench`, filter strings) are
+//! accepted and ignored so `cargo bench` invocations work unchanged.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — re-export of [`std::hint::black_box`].
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The measured body processes this many logical elements.
+    Elements(u64),
+    /// The measured body processes this many bytes.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]. The stand-in
+/// times each routine call individually, so the variants only matter
+/// for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input; batches could be large.
+    SmallInput,
+    /// Large per-iteration input; batches should be small.
+    LargeInput,
+    /// One setup per routine call (what this stand-in always does).
+    PerIteration,
+}
+
+/// Identifier for one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` (e.g. `BenchmarkId::new("basic", r)`).
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (e.g. `BenchmarkId::from_parameter(shards)`).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark bodies.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// Measured per-iteration times, one entry per sample.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `body` (or runs it once in `--test` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if self.test_mode {
+            black_box(body());
+            return;
+        }
+        // Warm-up: run until ~200ms have elapsed to stabilize caches
+        // and clocks, and estimate the per-iteration cost.
+        let warmup = Duration::from_millis(200);
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < warmup {
+            black_box(body());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters.max(1));
+        // Size each sample to take ~20ms so short bodies are timed over
+        // many iterations and the clock's resolution is immaterial.
+        let target_sample = Duration::from_millis(20).as_nanos();
+        let iters_per_sample = (target_sample / per_iter.max(1)).clamp(1, 1_000_000_000) as u64;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(body());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / iters_per_sample as u32);
+        }
+        self.samples.sort_unstable();
+    }
+
+    /// Measures `routine` on fresh input from `setup`, excluding the
+    /// setup cost from the timing (or runs each once in `--test` mode).
+    ///
+    /// Unlike upstream criterion this stand-in always runs one setup
+    /// per routine call and times the routine calls individually, so
+    /// `size` is accepted only for API compatibility. Intended for
+    /// routines long enough (≫ clock resolution) that per-call timing
+    /// is accurate — e.g. feeding a whole update stream to a sketch.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let _ = size;
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        // Warm-up sized by routine time alone (setup excluded), to
+        // mirror the measurement below.
+        let warmup = Duration::from_millis(200);
+        let mut warmup_spent = Duration::ZERO;
+        let mut warmup_iters: u64 = 0;
+        while warmup_spent < warmup {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            warmup_spent += start.elapsed();
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_spent.as_nanos().max(1) / u128::from(warmup_iters.max(1));
+        let target_sample = Duration::from_millis(20).as_nanos();
+        let iters_per_sample = (target_sample / per_iter.max(1)).clamp(1, 1_000_000_000) as u64;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                elapsed += start.elapsed();
+            }
+            self.samples.push(elapsed / iters_per_sample as u32);
+        }
+        self.samples.sort_unstable();
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn format_throughput(throughput: Throughput, per_iter: Duration) -> String {
+    let (count, unit) = match throughput {
+        Throughput::Elements(n) => (n, "elem"),
+        Throughput::Bytes(n) => (n, "B"),
+    };
+    let secs = per_iter.as_secs_f64();
+    if secs <= 0.0 {
+        return String::new();
+    }
+    let rate = count as f64 / secs;
+    if rate >= 1e9 {
+        format!("{:.4} G{unit}/s", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.4} M{unit}/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.4} K{unit}/s", rate / 1e3)
+    } else {
+        format!("{rate:.4} {unit}/s")
+    }
+}
+
+/// A named collection of related benchmarks sharing throughput and
+/// sample-count settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the element/byte count one iteration processes.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `body` as the benchmark `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_name = format!("{}/{}", self.name, id.into_benchmark_id());
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        body(&mut bencher);
+        self.criterion
+            .report(&full_name, self.throughput, &bencher);
+        self
+    }
+
+    /// Runs `body` with `input`, as the benchmark `id` in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| body(b, input))
+    }
+
+    /// Ends the group (report lines are emitted eagerly; this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Cargo's bench harness protocol flag, plus criterion
+                // flags this stand-in accepts but does not implement.
+                "--bench" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+            criterion: self,
+        }
+    }
+
+    /// Runs `body` as a stand-alone benchmark named `name`.
+    pub fn bench_function<F>(&mut self, name: &str, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string())
+            .bench_function("base", body);
+        self
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>, bencher: &Bencher) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            println!("{name}: test mode, ran once");
+            return;
+        }
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("{name}: no samples collected");
+            return;
+        }
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let max = samples[samples.len() - 1];
+        let mut line = format!(
+            "{name:<50} time: [{} {} {}]",
+            format_duration(min),
+            format_duration(median),
+            format_duration(max)
+        );
+        if let Some(tp) = throughput {
+            let rate = format_throughput(tp, median);
+            if !rate.is_empty() {
+                line.push_str(&format!("  thrpt: {rate}"));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_example(c: &mut Criterion) {
+        let mut group = c.benchmark_group("example");
+        group.throughput(Throughput::Elements(64));
+        group.sample_size(5);
+        group.bench_function("sum", |b| b.iter(|| (0u64..64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("shift", 3), &3u32, |b, &k| {
+            b.iter(|| 1u64 << k)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_in_test_mode() {
+        let mut criterion = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        bench_example(&mut criterion);
+    }
+
+    #[test]
+    fn timed_samples_are_collected_and_sorted() {
+        let mut bencher = Bencher {
+            test_mode: false,
+            sample_size: 5,
+            samples: Vec::new(),
+        };
+        bencher.iter(|| black_box(17u64).wrapping_mul(31));
+        assert_eq!(bencher.samples.len(), 5);
+        assert!(bencher.samples.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn batched_samples_time_routine_only() {
+        let mut bencher = Bencher {
+            test_mode: false,
+            sample_size: 4,
+            samples: Vec::new(),
+        };
+        let mut setups = 0u64;
+        bencher.iter_batched(
+            || {
+                setups += 1;
+                vec![1u64; 32]
+            },
+            |v| v.iter().sum::<u64>(),
+            BatchSize::PerIteration,
+        );
+        assert_eq!(bencher.samples.len(), 4);
+        assert!(setups > 4, "one setup per routine call");
+        assert!(bencher.samples.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("basic", 3).id, "basic/3");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+}

@@ -1,0 +1,127 @@
+//! Offline stand-in for the `crossbeam` crate (0.8-compatible subset).
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the slice of crossbeam it uses: `channel::bounded` with a
+//! cloneable blocking `Sender` and an iterable `Receiver`. Backed by
+//! [`std::sync::mpsc::sync_channel`], which has the same blocking
+//! bounded-capacity semantics for the MPSC topology this workspace
+//! relies on.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone;
+    /// carries the unsent message like crossbeam's.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// The sending half of a bounded channel. Cloneable; `send` blocks
+    /// while the channel is full.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued, or errors if the
+        /// receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of a bounded channel. Iterable: iteration
+    /// blocks per message and ends when all senders are dropped.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// A blocking iterator over received messages.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates a bounded channel: sends block once `capacity` messages
+    /// are in flight.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_channel_roundtrips_across_threads() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        let tx2 = tx.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        drop(tx2);
+        let got: Vec<u32> = rx.into_iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_after_receiver_drop_returns_the_message() {
+        let (tx, rx) = channel::bounded::<&'static str>(1);
+        drop(rx);
+        assert_eq!(tx.send("lost"), Err(channel::SendError("lost")));
+    }
+}

@@ -1,0 +1,591 @@
+//! Offline stand-in for the `proptest` crate (1.x-compatible subset).
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the slice of the proptest API it uses: the [`Strategy`]
+//! trait with `prop_map`/`boxed`, range / tuple / `Just` / `any` /
+//! collection strategies, the `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!` and `prop_oneof!` macros, and a deterministic
+//! generate-and-check runner.
+//!
+//! Differences from real proptest, by design:
+//! - **No shrinking.** A failing case reports its inputs and seed
+//!   instead of minimizing them.
+//! - **Deterministic.** Case seeds derive from the test's module path
+//!   and case index, so every run explores the same inputs — failures
+//!   are always reproducible.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleUniform};
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Erases the strategy's concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy (see [`Strategy::boxed`]).
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut StdRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice among alternatives (backs `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Half-open ranges are strategies over their span.
+    impl<T: SampleUniform> Strategy for Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    /// Inclusive ranges are strategies over their span.
+    impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::sample_inclusive(rng, *self.start(), *self.end())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait ArbitraryValue: Sized {
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_via_standard {
+        ($($t:ty),+) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen::<$t>()
+                }
+            }
+        )+};
+    }
+
+    impl_arbitrary_via_standard!(u8, u16, u32, u64, bool);
+
+    impl ArbitraryValue for usize {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen::<u64>() as usize
+        }
+    }
+
+    impl ArbitraryValue for i64 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen::<u64>() as i64
+        }
+    }
+
+    impl ArbitraryValue for i32 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen::<u32>() as i32
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: ArbitraryValue> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Whole-domain strategy for `T` (`any::<u64>()` etc.).
+    pub fn any<T: ArbitraryValue>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy over both booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+
+    /// `proptest::bool::ANY` — uniform over `{true, false}`.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Size bounds for generated collections (half-open, like `1..300`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "collection size range must be non-empty");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.min..self.max_exclusive)
+        }
+    }
+
+    /// Strategy for vectors of `element`-generated values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for hash sets of `element`-generated values.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::hash_set(element, len_range)`.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut set = HashSet::with_capacity(target);
+            // Duplicates shrink the set below target; bound the retries
+            // so tiny value domains cannot loop forever.
+            let max_tries = 20 * target + 100;
+            for _ in 0..max_tries {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration (only `cases` is honored).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the offline suite
+            // fast while still exercising a meaningful input variety.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A test-case failure (or rejection) raised from a property body.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property does not hold.
+        Fail(String),
+        /// The inputs were unsuitable; the case is retried, not failed.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Renders `name = value` input pairs for failure reports.
+    pub fn format_inputs(pairs: &[(&str, &dyn std::fmt::Debug)]) -> String {
+        pairs
+            .iter()
+            .map(|(name, value)| format!("{name} = {value:?}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Drives `config.cases` deterministic cases of the property `f`.
+    ///
+    /// Case seeds derive from `name` and the case index, so runs are
+    /// reproducible; `f` reports failures as `Err(TestCaseError)` (the
+    /// `proptest!` macro also routes body panics through it with the
+    /// generated inputs echoed to stderr first).
+    pub fn run_cases(
+        config: ProptestConfig,
+        name: &str,
+        mut f: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    ) {
+        let base = fnv1a(name);
+        let mut passed = 0u32;
+        let mut attempt = 0u64;
+        while passed < config.cases {
+            let seed = base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = StdRng::seed_from_u64(seed);
+            match f(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(reason)) => panic!(
+                    "property '{name}' failed at case {attempt} (seed {seed:#018x}): {reason}"
+                ),
+            }
+            attempt += 1;
+            if attempt > config.cases as u64 * 16 + 256 {
+                panic!("property '{name}' rejected too many cases to complete");
+            }
+        }
+    }
+}
+
+/// Runs deterministic property tests: `proptest! { fn name(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @config($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @config($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config($config:expr)
+     $($(#[$attr:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        // Like real proptest, `#[test]` is NOT added here — callers
+        // write it (and any other attributes) inside the macro block.
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let case_name = concat!(module_path!(), "::", stringify!($name));
+                $crate::test_runner::run_cases(config, case_name, |rng| {
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), rng);)+
+                    let inputs = $crate::test_runner::format_inputs(&[
+                        $((stringify!($arg), &$arg as &dyn ::std::fmt::Debug)),+
+                    ]);
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<
+                                (),
+                                $crate::test_runner::TestCaseError,
+                            > {
+                                $body;
+                                ::std::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                    match outcome {
+                        ::std::result::Result::Ok(result) => result.map_err(|e| {
+                            $crate::test_runner::TestCaseError::Fail(
+                                ::std::format!("{e}\n    inputs: {inputs}"),
+                            )
+                        }),
+                        ::std::result::Result::Err(payload) => {
+                            ::std::eprintln!(
+                                "property '{}' panicked with inputs: {}",
+                                case_name, inputs
+                            );
+                            ::std::panic::resume_unwind(payload)
+                        }
+                    }
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the property (returns `Err(TestCaseError::Fail)`) unless `cond`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the property unless `left == right`, reporting both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "{}\n  left: `{:?}`\n right: `{:?}`",
+            ::std::format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Uniform choice among strategy arms (all arms must share one value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec::Vec::from([
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ]))
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_collections_generate_in_bounds() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let strat = crate::collection::vec((0u32..64, 0u32..8, crate::bool::ANY), 1..300);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!((1..300).contains(&v.len()));
+            assert!(v.iter().all(|&(a, b, _)| a < 64 && b < 8));
+        }
+        let sets = crate::collection::hash_set((0u32..1000, 0u32..20), 1..60);
+        for _ in 0..50 {
+            let s = sets.generate(&mut rng);
+            assert!((1..60).contains(&s.len()), "len = {}", s.len());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn macro_roundtrip(xs in crate::collection::vec(any::<u8>(), 0..10), flip in any::<bool>()) {
+            prop_assert!(xs.len() < 10);
+            prop_assert_eq!(flip, flip);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_reports() {
+        crate::test_runner::run_cases(
+            ProptestConfig::with_cases(4),
+            "always_fails",
+            |_rng| Err(TestCaseError::fail("nope")),
+        );
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let strat = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

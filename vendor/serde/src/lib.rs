@@ -1,0 +1,8 @@
+//! Offline placeholder for the `serde` crate.
+//!
+//! The build environment has no crates.io access. The workspace's
+//! `serde` integration (derives, custom impls, JSON round-trip tests)
+//! is feature-gated and **off by default**; this empty crate exists
+//! only so `Cargo.toml` entries naming `serde` resolve. Enabling a
+//! `serde` feature against this placeholder is a compile error by
+//! design — swap in the real crate to use serialization.

@@ -1,0 +1,7 @@
+//! Offline placeholder for the `serde_json` crate.
+//!
+//! The build environment has no crates.io access. JSON *emission* in
+//! this workspace (`ExperimentRecord::to_json`) is hand-rolled and
+//! does not need this crate; JSON *parsing* (round-trip tests) is
+//! feature-gated off by default. This empty crate exists only so
+//! `Cargo.toml` entries naming `serde_json` resolve.
