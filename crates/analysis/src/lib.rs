@@ -1,0 +1,202 @@
+//! # dcs-analysis — repo-native invariant linter
+//!
+//! Five invariants of the Distinct-Count Sketch workspace live in the
+//! *source text*, not the type system: counter linearity under
+//! overflow (L1), audited numeric narrowing (L2), panic-free library
+//! paths (L3), run-to-run determinism (L4), and per-module intent
+//! headers (L5). `cargo test` cannot see them — a non-wrapping `+=`
+//! passes every test until the day a counter overflows mid-merge. This
+//! crate enforces them at the token level, dependency-free, as a CI
+//! gate:
+//!
+//! ```text
+//! cargo run -p dcs-analysis -- lint
+//! ```
+//!
+//! Diagnostics are `file:line: L#: message`; the exit code is nonzero
+//! on any unsuppressed violation. Known-acceptable violations are
+//! recorded (never hidden) in `analysis/allow.toml`, line-anchored so
+//! a stale entry fails the build as *unused* when the code moves. See
+//! DESIGN.md §9 for the mapping from each lint to the paper guarantee
+//! it protects.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod lints;
+pub mod strip;
+
+pub use allow::{parse_allow, AllowEntry};
+pub use lints::{lint_source, Lint, Violation};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The result of linting a tree and applying a suppression list.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Unsuppressed violations, in (file, line) order.
+    pub violations: Vec<Violation>,
+    /// Violations matched (and silenced) by an allow entry.
+    pub suppressed: Vec<Violation>,
+    /// Allow entries that matched nothing — stale suppressions, which
+    /// fail the run just like violations do.
+    pub unused_allows: Vec<AllowEntry>,
+    /// Number of files scanned.
+    pub files_checked: usize,
+}
+
+impl LintOutcome {
+    /// Whether the run should exit zero.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.unused_allows.is_empty()
+    }
+}
+
+/// Splits raw violations into kept/suppressed and reports stale
+/// entries. Each allow entry may be consumed at most once per
+/// violation it anchors, but one entry matching repeated diagnostics
+/// on the same line suppresses all of them.
+pub fn apply_allow(found: Vec<Violation>, allows: &[AllowEntry]) -> LintOutcome {
+    let mut used = vec![false; allows.len()];
+    let mut outcome = LintOutcome::default();
+    for violation in found {
+        match allows.iter().position(|a| a.matches(&violation)) {
+            Some(index) => {
+                used[index] = true;
+                outcome.suppressed.push(violation);
+            }
+            None => outcome.violations.push(violation),
+        }
+    }
+    outcome.unused_allows = allows
+        .iter()
+        .zip(&used)
+        .filter(|&(_, &was_used)| !was_used)
+        .map(|(entry, _)| entry.clone())
+        .collect();
+    outcome
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping test trees.
+fn walk_src(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if entry.file_type()?.is_dir() {
+            if matches!(
+                name.as_str(),
+                "tests" | "benches" | "fixtures" | "examples" | "target"
+            ) {
+                continue;
+            }
+            walk_src(&entry.path(), out)?;
+        } else if name.ends_with(".rs") {
+            out.push(entry.path());
+        }
+    }
+    Ok(())
+}
+
+/// Collects every lintable source file in the workspace rooted at
+/// `root`: each `crates/*/src/` tree plus the root package's `src/`.
+/// Vendored stand-ins (`vendor/`) are not workspace members and are
+/// never visited. Paths come back repo-root-relative with forward
+/// slashes, sorted.
+pub fn collect_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut absolute = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<_> = fs::read_dir(&crates_dir)?.collect::<Result<_, _>>()?;
+        crate_dirs.sort_by_key(|e| e.file_name());
+        for crate_dir in crate_dirs {
+            let src = crate_dir.path().join("src");
+            if src.is_dir() {
+                walk_src(&src, &mut absolute)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk_src(&root_src, &mut absolute)?;
+    }
+    let mut files = Vec::new();
+    for path in absolute {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path.as_path())
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push((rel, path.clone()));
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints the workspace rooted at `root` and applies `allows`.
+///
+/// # Errors
+///
+/// Returns any I/O error from walking or reading source files.
+pub fn lint_root(root: &Path, allows: &[AllowEntry]) -> io::Result<LintOutcome> {
+    let files = collect_files(root)?;
+    let mut found = Vec::new();
+    let files_checked = files.len();
+    for (rel, path) in files {
+        let source = fs::read_to_string(&path)?;
+        found.extend(lint_source(&rel, &source));
+    }
+    let mut outcome = apply_allow(found, allows);
+    outcome.files_checked = files_checked;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_allow_splits_and_flags_stale_entries() {
+        let hit = Violation {
+            lint: Lint::L3,
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 5,
+            message: "m".to_string(),
+        };
+        let other = Violation {
+            lint: Lint::L2,
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 9,
+            message: "m".to_string(),
+        };
+        let allows = vec![
+            AllowEntry {
+                lint: Lint::L3,
+                path: "crates/x/src/lib.rs".to_string(),
+                line: 5,
+                reason: "ok".to_string(),
+            },
+            AllowEntry {
+                lint: Lint::L1,
+                path: "stale.rs".to_string(),
+                line: 1,
+                reason: "stale".to_string(),
+            },
+        ];
+        let outcome = apply_allow(vec![hit, other.clone()], &allows);
+        assert_eq!(outcome.violations, vec![other]);
+        assert_eq!(outcome.suppressed.len(), 1);
+        assert_eq!(outcome.unused_allows.len(), 1);
+        assert_eq!(outcome.unused_allows[0].path, "stale.rs");
+        assert!(!outcome.is_clean());
+    }
+
+    #[test]
+    fn clean_outcome_requires_no_unused_allows() {
+        let outcome = apply_allow(vec![], &[]);
+        assert!(outcome.is_clean());
+    }
+}

@@ -1,0 +1,358 @@
+//! The five invariant lints and their file-scope rules.
+//!
+//! Each lint guards a property the test suite cannot cheaply observe
+//! (see DESIGN.md §9 for the catalog mapping each rule to the paper
+//! guarantee it protects):
+//!
+//! * **L1** — counter mutations in the count-signature module must use
+//!   `wrapping_*`: sketch merge/subtract are linear only if overflow
+//!   wraps identically on both operands.
+//! * **L2** — no `as` numeric casts in `crates/core`/`crates/hash`;
+//!   conversions go through `dcs_hash::cast` or `From`/`TryFrom` so
+//!   every narrowing is explicit and audited in one place.
+//! * **L3** — no `.unwrap()`/`.expect(` in library code; fallible paths
+//!   return errors or are restructured so the invariant is visible.
+//! * **L4** — no nondeterminism sources (`HashMap`/`HashSet` with the
+//!   default hasher, `SystemTime`, unseeded rand) in core/hash; query
+//!   results must be reproducible run-to-run.
+//! * **L5** — every source file opens with a `//!` module header.
+
+use crate::strip;
+
+/// A lint rule identifier (`L1` … `L5`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// Non-wrapping arithmetic on count-signature counters.
+    L1,
+    /// Lossy or unaudited `as` numeric cast in core/hash.
+    L2,
+    /// `.unwrap()` / `.expect()` in library (non-test, non-binary) code.
+    L3,
+    /// Nondeterminism source in core/hash.
+    L4,
+    /// Missing `//!` module doc header.
+    L5,
+}
+
+impl Lint {
+    /// The short code used in diagnostics and `allow.toml` (`"L1"`…).
+    pub fn code(self) -> &'static str {
+        match self {
+            Lint::L1 => "L1",
+            Lint::L2 => "L2",
+            Lint::L3 => "L3",
+            Lint::L4 => "L4",
+            Lint::L5 => "L5",
+        }
+    }
+
+    /// Parses a short code back into a lint, case-sensitively.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "L1" => Some(Lint::L1),
+            "L2" => Some(Lint::L2),
+            "L3" => Some(Lint::L3),
+            "L4" => Some(Lint::L4),
+            "L5" => Some(Lint::L5),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One diagnostic: a lint that fired at a specific file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub lint: Lint,
+    /// Repo-root-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation of what to do instead.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    /// Renders the `file:line: code: message` diagnostic form.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// The one module allowed to contain `as` numeric casts: it *is* the
+/// audited conversion layer the rest of the workspace must use.
+const CAST_HELPER: &str = "crates/hash/src/cast.rs";
+/// The one module allowed to name `HashMap`/`HashSet`: it wraps them
+/// with a fixed-seed hasher to *produce* the deterministic variants.
+const DET_HELPER: &str = "crates/hash/src/det.rs";
+/// The count-signature module whose counters L1 protects.
+const SIGNATURE: &str = "crates/core/src/signature.rs";
+
+/// Numeric types that make an `as` cast lint-relevant.
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Identifiers that introduce nondeterminism into query results.
+const NONDETERMINISM: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+];
+
+/// Whether the path is outside every lint's scope (test trees, bench
+/// harnesses, fixtures, vendored stand-ins).
+fn is_exempt_path(path: &str) -> bool {
+    path.starts_with("vendor/")
+        || path.starts_with("target/")
+        || path.split('/').any(|seg| {
+            matches!(
+                seg,
+                "tests" | "benches" | "fixtures" | "examples" | "target"
+            )
+        })
+}
+
+/// Whether the file is a binary root (binaries may panic on startup
+/// misconfiguration; L3 covers library code only).
+fn is_binary(path: &str) -> bool {
+    path.contains("/bin/") || path == "src/main.rs" || path.ends_with("/main.rs")
+}
+
+/// Whether the file belongs to the determinism-critical crates.
+fn in_core_or_hash(path: &str) -> bool {
+    path.starts_with("crates/core/src/") || path.starts_with("crates/hash/src/")
+}
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Finds `word` in `code` at a word boundary, starting at byte `from`.
+fn find_word_from(code: &str, word: &str, from: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut start = from;
+    while let Some(pos) = code.get(start..).and_then(|s| s.find(word)) {
+        let at = start + pos;
+        let end = at + word.len();
+        let before_ok = at == 0 || !is_word_byte(bytes[at - 1]);
+        let after_ok = end >= bytes.len() || !is_word_byte(bytes[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + 1;
+    }
+    None
+}
+
+/// Finds an `as <numeric type>` cast, returning the target type name.
+fn find_numeric_cast(code: &str) -> Option<&'static str> {
+    let mut search = 0;
+    while let Some(at) = find_word_from(code, "as", search) {
+        let rest = code[at + 2..].trim_start();
+        let ident_len = rest.bytes().take_while(|&b| is_word_byte(b)).count();
+        let ident = &rest[..ident_len];
+        if let Some(ty) = NUMERIC_TYPES.iter().find(|&&t| t == ident) {
+            return Some(ty);
+        }
+        search = at + 2;
+    }
+    None
+}
+
+/// Whether the line assigns into an indexed slot (`] =`, not `] ==`).
+fn has_indexed_assignment(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code.get(start..).and_then(|s| s.find("] =")) {
+        let at = start + pos;
+        let after = at + 3;
+        if bytes.get(after) != Some(&b'=') {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+/// Runs every applicable lint over one file.
+///
+/// `path` must be repo-root-relative with forward slashes — scope rules
+/// (which crate, binary vs library, helper-module exemptions) key off
+/// it. Returns diagnostics in line order.
+pub fn lint_source(path: &str, source: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if !path.ends_with(".rs") || is_exempt_path(path) {
+        return out;
+    }
+
+    // L5: the module header is about the file as a whole.
+    let first_nonempty = source
+        .lines()
+        .enumerate()
+        .find(|(_, l)| !l.trim().is_empty());
+    match first_nonempty {
+        Some((_, line)) if line.trim_start().starts_with("//!") => {}
+        Some((index, _)) => out.push(Violation {
+            lint: Lint::L5,
+            path: path.to_string(),
+            line: index + 1,
+            message: "file must open with a `//!` module doc header".to_string(),
+        }),
+        None => out.push(Violation {
+            lint: Lint::L5,
+            path: path.to_string(),
+            line: 1,
+            message: "empty file: add a `//!` module doc header".to_string(),
+        }),
+    }
+
+    for (index, line) in strip::strip(source).iter().enumerate() {
+        if line.is_doc || line.in_test {
+            continue;
+        }
+        let lineno = index + 1;
+        let code = line.code.as_str();
+
+        if path == SIGNATURE {
+            if code.contains("+=") || code.contains("-=") {
+                out.push(Violation {
+                    lint: Lint::L1,
+                    path: path.to_string(),
+                    line: lineno,
+                    message: "compound assignment on counter state breaks merge/subtract \
+                              linearity under overflow; use wrapping_add/wrapping_sub"
+                        .to_string(),
+                });
+            } else if code.contains("counts[")
+                && !code.contains("wrapping_")
+                && (code.contains('+') || code.contains('-'))
+                && has_indexed_assignment(code)
+            {
+                out.push(Violation {
+                    lint: Lint::L1,
+                    path: path.to_string(),
+                    line: lineno,
+                    message: "bare +/- assigned into a counter slot; use \
+                              wrapping_add/wrapping_sub so overflow stays linear"
+                        .to_string(),
+                });
+            }
+        }
+
+        if in_core_or_hash(path) && path != CAST_HELPER {
+            if let Some(ty) = find_numeric_cast(code) {
+                out.push(Violation {
+                    lint: Lint::L2,
+                    path: path.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "`as {ty}` cast; use dcs_hash::cast helpers or From/TryFrom so \
+                         narrowing is explicit and audited"
+                    ),
+                });
+            }
+        }
+
+        if !is_binary(path) && (code.contains(".unwrap()") || code.contains(".expect(")) {
+            out.push(Violation {
+                lint: Lint::L3,
+                path: path.to_string(),
+                line: lineno,
+                message: "unwrap/expect in library code; propagate an error or restructure \
+                          so the invariant is visible (binaries and tests are exempt)"
+                    .to_string(),
+            });
+        }
+
+        if in_core_or_hash(path) && path != DET_HELPER {
+            if let Some(word) = NONDETERMINISM
+                .iter()
+                .find(|w| find_word_from(code, w, 0).is_some())
+            {
+                out.push(Violation {
+                    lint: Lint::L4,
+                    path: path.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "nondeterminism source `{word}` in core/hash; use \
+                         DetHashMap/DetHashSet, BTree collections, or seeded generators"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_boundaries_exclude_det_wrappers() {
+        assert!(find_word_from("let m: DetHashMap<u32, u64>;", "HashMap", 0).is_none());
+        assert!(find_word_from("let m: HashMap<u32, u64>;", "HashMap", 0).is_some());
+    }
+
+    #[test]
+    fn numeric_cast_detection() {
+        assert_eq!(find_numeric_cast("let x = y as u32;"), Some("u32"));
+        assert_eq!(find_numeric_cast("let x = y as MyType;"), None);
+        assert_eq!(find_numeric_cast("let alias = basis;"), None);
+    }
+
+    #[test]
+    fn indexed_assignment_excludes_comparisons() {
+        assert!(has_indexed_assignment("self.counts[0] = total + 1;"));
+        assert!(!has_indexed_assignment("if self.counts[0] == total {}"));
+    }
+
+    #[test]
+    fn exempt_paths_produce_nothing() {
+        let v = lint_source("crates/core/tests/soak.rs", "fn f() { x.unwrap() }");
+        assert!(v.is_empty());
+        let v = lint_source("vendor/rand/src/lib.rs", "fn f() { x.unwrap() }");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn binaries_are_exempt_from_l3_only() {
+        let source = "fn main() { cfg().unwrap(); }\n";
+        let v = lint_source("src/bin/dcsmon.rs", source);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, Lint::L5);
+    }
+
+    #[test]
+    fn display_is_file_line_code_message() {
+        let v = Violation {
+            lint: Lint::L2,
+            path: "crates/core/src/sketch.rs".to_string(),
+            line: 42,
+            message: "msg".to_string(),
+        };
+        assert_eq!(v.to_string(), "crates/core/src/sketch.rs:42: L2: msg");
+    }
+
+    #[test]
+    fn lint_codes_round_trip() {
+        for lint in [Lint::L1, Lint::L2, Lint::L3, Lint::L4, Lint::L5] {
+            assert_eq!(Lint::parse(lint.code()), Some(lint));
+        }
+        assert_eq!(Lint::parse("L9"), None);
+    }
+}

@@ -1,0 +1,94 @@
+//! CLI for the invariant linter: `cargo run -p dcs-analysis -- lint`.
+//!
+//! Exit codes: `0` clean, `1` unsuppressed violations or stale allow
+//! entries, `2` usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dcs_analysis::{lint_root, parse_allow, AllowEntry};
+
+const USAGE: &str = "usage: dcs-analysis lint [--root DIR] [--allow FILE]
+
+Lints the workspace at DIR (default: .) against invariants L1-L5,
+reading suppressions from FILE (default: DIR/analysis/allow.toml).";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("dcs-analysis: error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut root = PathBuf::from(".");
+    let mut allow_path: Option<PathBuf> = None;
+    let mut command: Option<&str> = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "lint" if command.is_none() => command = Some("lint"),
+            "--root" => {
+                root = PathBuf::from(iter.next().ok_or("--root requires a directory argument")?);
+            }
+            "--allow" => {
+                allow_path = Some(PathBuf::from(
+                    iter.next().ok_or("--allow requires a file argument")?,
+                ));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => {
+                return Err(format!("unrecognized argument `{other}`\n{USAGE}"));
+            }
+        }
+    }
+    if command != Some("lint") {
+        return Err(format!("expected the `lint` subcommand\n{USAGE}"));
+    }
+
+    let allow_file = allow_path.unwrap_or_else(|| root.join("analysis/allow.toml"));
+    let allows: Vec<AllowEntry> = if allow_file.is_file() {
+        let text = std::fs::read_to_string(&allow_file)
+            .map_err(|e| format!("reading {}: {e}", allow_file.display()))?;
+        parse_allow(&text).map_err(|e| format!("{}: {e}", allow_file.display()))?
+    } else {
+        Vec::new()
+    };
+
+    let outcome =
+        lint_root(&root, &allows).map_err(|e| format!("walking {}: {e}", root.display()))?;
+
+    for violation in &outcome.violations {
+        println!("{violation}");
+    }
+    for entry in &outcome.unused_allows {
+        println!(
+            "{}: unused suppression: {} {}:{} no longer fires ({})",
+            allow_file.display(),
+            entry.lint,
+            entry.path,
+            entry.line,
+            entry.reason
+        );
+    }
+    println!(
+        "dcs-analysis: {} files checked, {} violations ({} suppressed), {} stale allow entries",
+        outcome.files_checked,
+        outcome.violations.len(),
+        outcome.suppressed.len(),
+        outcome.unused_allows.len()
+    );
+    if outcome.is_clean() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(1))
+    }
+}

@@ -1,0 +1,297 @@
+//! Line-preserving source preprocessing for the lints.
+//!
+//! The lints are token-level, so before matching they must never see
+//! prose: comment bodies and string/char-literal contents are blanked
+//! to spaces (newlines preserved, so every diagnostic keeps its exact
+//! line number), and each line is classified as doc-comment text or as
+//! code inside a `#[cfg(test)]` item. Test code and doc examples are
+//! exempt from the panic and cast lints by design — the invariants
+//! govern what ships, not what demonstrates.
+
+/// One source line after stripping, with its lint-relevant context.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line with comment bodies and literal contents blanked.
+    pub code: String,
+    /// Whether the original line is a `///` or `//!` doc-comment line.
+    pub is_doc: bool,
+    /// Whether the line sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// Strips `source` into per-line lint input.
+///
+/// The output has exactly one entry per input line, in order, so
+/// `lines[i]` describes source line `i + 1`.
+pub fn strip(source: &str) -> Vec<Line> {
+    let blanked = blank_comments_and_strings(source);
+    let doc_flags: Vec<bool> = source
+        .lines()
+        .map(|line| {
+            let t = line.trim_start();
+            t.starts_with("///") || t.starts_with("//!")
+        })
+        .collect();
+
+    let mut lines = Vec::new();
+    let mut depth = 0usize;
+    // `armed` is set when a `#[cfg(test)]` attribute has been seen but
+    // its item's opening brace has not; the whole brace-balanced region
+    // that follows is test code.
+    let mut armed = false;
+    let mut test_depth: Option<usize> = None;
+    for (index, code) in blanked.lines().enumerate() {
+        if code.contains("cfg(test)") {
+            armed = true;
+        }
+        let mut in_test = test_depth.is_some() || armed;
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if armed && test_depth.is_none() {
+                        test_depth = Some(depth);
+                        armed = false;
+                        in_test = true;
+                    }
+                }
+                '}' => {
+                    if test_depth == Some(depth) {
+                        test_depth = None;
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                // A braceless gated item (`#[cfg(test)] use x;`) ends at
+                // the semicolon.
+                ';' if armed && test_depth.is_none() => armed = false,
+                _ => {}
+            }
+        }
+        lines.push(Line {
+            code: code.to_string(),
+            is_doc: doc_flags.get(index).copied().unwrap_or(false),
+            in_test,
+        });
+    }
+    lines
+}
+
+/// Pushes a blanked stand-in for `ch`: newlines survive (line numbers
+/// must not shift), everything else becomes a space.
+fn push_blank(out: &mut String, ch: char) {
+    out.push(if ch == '\n' { '\n' } else { ' ' });
+}
+
+/// Returns whether `chars[at]` starts a raw (or raw byte) string
+/// literal — `r"…"`, `r#"…"#`, `br"…"` — rather than an identifier
+/// that happens to contain `r`.
+fn is_raw_string_start(chars: &[char], at: usize) -> bool {
+    if at > 0 && (chars[at - 1].is_alphanumeric() || chars[at - 1] == '_') {
+        return false;
+    }
+    let mut j = at;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if j >= chars.len() || chars[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while j < chars.len() && chars[j] == '#' {
+        j += 1;
+    }
+    j < chars.len() && chars[j] == '"'
+}
+
+/// Returns whether the quote at `chars[at]` closes a raw string opened
+/// with `hashes` pound signs.
+fn closes_raw(chars: &[char], at: usize, hashes: usize) -> bool {
+    chars[at] == '"'
+        && at + hashes < chars.len()
+        && chars[at + 1..=at + hashes].iter().all(|&c| c == '#')
+}
+
+/// Replaces comment bodies and literal contents with spaces, leaving
+/// code, quotes, and newlines in place.
+fn blank_comments_and_strings(source: &str) -> String {
+    let chars: Vec<char> = source.chars().collect();
+    let n = chars.len();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            // Line comment: blank to end of line. Doc comments are
+            // classified separately from the original source.
+            while i < n && chars[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+        } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            // Block comment, nesting like Rust's.
+            let mut depth = 1;
+            out.push_str("  ");
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    push_blank(&mut out, chars[i]);
+                    i += 1;
+                }
+            }
+        } else if (c == 'r' || c == 'b') && is_raw_string_start(&chars, i) {
+            let mut j = i;
+            if chars[j] == 'b' {
+                out.push('b');
+                j += 1;
+            }
+            out.push('r');
+            j += 1;
+            let mut hashes = 0;
+            while j < n && chars[j] == '#' {
+                out.push('#');
+                j += 1;
+                hashes += 1;
+            }
+            out.push('"');
+            j += 1;
+            while j < n {
+                if closes_raw(&chars, j, hashes) {
+                    out.push('"');
+                    for _ in 0..hashes {
+                        out.push('#');
+                    }
+                    j += 1 + hashes;
+                    break;
+                }
+                push_blank(&mut out, chars[j]);
+                j += 1;
+            }
+            i = j;
+        } else if c == '"' {
+            out.push('"');
+            i += 1;
+            while i < n {
+                if chars[i] == '\\' && i + 1 < n {
+                    push_blank(&mut out, chars[i]);
+                    push_blank(&mut out, chars[i + 1]);
+                    i += 2;
+                } else if chars[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    break;
+                } else {
+                    push_blank(&mut out, chars[i]);
+                    i += 1;
+                }
+            }
+        } else if c == '\'' {
+            // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
+            let is_lifetime = i + 1 < n
+                && (chars[i + 1].is_alphanumeric() || chars[i + 1] == '_')
+                && !(i + 2 < n && chars[i + 2] == '\'');
+            out.push('\'');
+            i += 1;
+            if !is_lifetime {
+                while i < n {
+                    if chars[i] == '\\' && i + 1 < n {
+                        push_blank(&mut out, chars[i]);
+                        push_blank(&mut out, chars[i + 1]);
+                        i += 2;
+                    } else if chars[i] == '\'' {
+                        out.push('\'');
+                        i += 1;
+                        break;
+                    } else {
+                        push_blank(&mut out, chars[i]);
+                        i += 1;
+                    }
+                }
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(source: &str) -> Vec<String> {
+        strip(source).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let out = codes("let x = 1; // x as u32 .unwrap()\nlet y = 2;");
+        assert_eq!(out[0].trim_end(), "let x = 1;");
+        assert_eq!(out[1], "let y = 2;");
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_lines_survive() {
+        let out = codes("let s = \"a as u32\nb.unwrap()\";\nnext();");
+        assert_eq!(out.len(), 3);
+        assert!(!out[0].contains("as u32"));
+        assert!(!out[1].contains("unwrap"));
+        assert_eq!(out[2], "next();");
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let out = codes(r##"let s = r#"x " as u64"#; let t = "q\"as u8";"##);
+        assert!(!out[0].contains("as u64"), "{}", out[0]);
+        assert!(!out[0].contains("as u8"), "{}", out[0]);
+        assert!(out[0].contains("let t ="), "{}", out[0]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let out = codes("fn f<'a>(x: &'a str) -> char { 'y' }");
+        assert!(out[0].contains("fn f<'a>(x: &'a str)"), "{}", out[0]);
+        assert!(!out[0].contains('y'), "{}", out[0]);
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let out = codes("a(); /* one /* two */ still */ b();");
+        assert!(out[0].contains("a();"));
+        assert!(out[0].contains("b();"));
+        assert!(!out[0].contains("still"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let source = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let lines = strip(source);
+        let flags: Vec<bool> = lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let source = "#[cfg(test)]\nuse helper::x;\nfn live() {}\n";
+        let lines = strip(source);
+        assert!(lines[1].in_test);
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn doc_lines_are_flagged() {
+        let source = "//! header\n/// item doc\nfn x() {}\n";
+        let lines = strip(source);
+        assert!(lines[0].is_doc);
+        assert!(lines[1].is_doc);
+        assert!(!lines[2].is_doc);
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: a module that satisfies every invariant lint.
+
+use std::collections::BTreeMap;
+
+/// Wrapping counter mutation keeps merges linear.
+pub fn combine(counts: &mut [i64], delta: i64) {
+    counts[0] = counts[0].wrapping_add(delta);
+}
+
+/// Ordered maps iterate deterministically.
+pub fn table() -> BTreeMap<u32, u64> {
+    BTreeMap::new()
+}
+
+/// Strings mentioning x.unwrap() or `y as u32` are not code.
+pub fn prose() -> &'static str {
+    "call x.unwrap() to cast y as u32"
+}

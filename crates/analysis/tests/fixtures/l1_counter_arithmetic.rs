@@ -1,0 +1,14 @@
+//! Fixture: counter arithmetic that breaks merge/subtract linearity.
+
+pub fn apply(counts: &mut [i64], sign: i64, j: usize) {
+    counts[0] += sign;
+    counts[1 + j] = counts[1 + j] + sign;
+    counts[0] = counts[0].wrapping_add(sign);
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn exempt(counts: &mut [i64]) {
+        counts[0] += 1;
+    }
+}

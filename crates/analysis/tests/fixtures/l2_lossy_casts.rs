@@ -1,0 +1,17 @@
+//! Fixture: unaudited numeric casts.
+
+pub fn shrink(x: u64, y: usize) -> u32 {
+    let a = x as u32;
+    let b = y as u64;
+    let _ = b;
+    a
+}
+
+/// Doc examples are exempt:
+///
+/// ```
+/// let z = 5u64 as u32;
+/// ```
+pub fn widen(x: u32) -> u64 {
+    u64::from(x)
+}

@@ -1,0 +1,21 @@
+//! Fixture: panics in library code.
+
+pub fn read(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn read_with_message(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn fallback(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_are_exempt() {
+        assert_eq!(super::read(Some(1)).checked_add(1).unwrap(), 2);
+    }
+}

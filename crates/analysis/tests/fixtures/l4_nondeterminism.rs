@@ -1,0 +1,12 @@
+//! Fixture: nondeterminism sources in determinism-critical code.
+
+use std::collections::HashMap;
+use std::time::SystemTime;
+
+pub fn now() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn table() -> HashMap<u32, u64> {
+    HashMap::new()
+}

@@ -1,0 +1,3 @@
+// A plain comment is not a module doc header.
+
+pub fn undocumented_module() {}

@@ -81,12 +81,14 @@ impl CountMinSketch {
     /// Point query: an upper bound on `key`'s total count (for
     /// non-negative streams).
     pub fn query(&self, key: u64) -> i64 {
+        // `new` asserts depth > 0, so the minimum always exists; the
+        // fallback is unreachable.
         self.rows
             .iter()
             .zip(&self.hashes)
             .map(|(row, hash)| row[hash.hash_to_range(key, self.width)])
             .min()
-            .expect("at least one row")
+            .unwrap_or(0)
     }
 
     /// The total count across all updates (`‖f‖₁` for insert-only

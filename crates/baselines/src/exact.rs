@@ -60,13 +60,14 @@ impl ExactDistinctTracker {
                 *self.group_frequencies.entry(group).or_insert(0) += 1;
             }
             (true, false) => {
-                let f = self
-                    .group_frequencies
-                    .get_mut(&group)
-                    .expect("group with positive pair must be tracked");
-                *f -= 1;
-                if *f == 0 {
-                    self.group_frequencies.remove(&group);
+                // The entry always exists: a pair transitioning
+                // positive → non-positive was counted when it went
+                // positive, and entries are only removed at zero.
+                if let Some(f) = self.group_frequencies.get_mut(&group) {
+                    *f -= 1;
+                    if *f == 0 {
+                        self.group_frequencies.remove(&group);
+                    }
                 }
             }
             _ => {}

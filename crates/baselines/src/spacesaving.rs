@@ -57,11 +57,15 @@ impl SpaceSaving {
             return;
         }
         // Evict the minimum; the newcomer inherits its count as error.
-        let (&victim, &(min_count, _)) = self
-            .entries
-            .iter()
-            .min_by_key(|(&k, &(c, _))| (c, k))
-            .expect("capacity > 0");
+        // The else arm is unreachable (`new` asserts capacity > 0, and
+        // this point is only reached with a full table), but degrading
+        // to a plain insert keeps the summary sound regardless.
+        let Some((&victim, &(min_count, _))) =
+            self.entries.iter().min_by_key(|(&k, &(c, _))| (c, k))
+        else {
+            self.entries.insert(key, (count, 0));
+            return;
+        };
         self.entries.remove(&victim);
         self.entries.insert(key, (min_count + count, min_count));
     }

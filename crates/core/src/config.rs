@@ -1,6 +1,8 @@
 //! Sketch configuration: the `(r, s)` shape parameters, level count,
 //! seeding, and the paper's sizing formulas.
 
+use dcs_hash::cast::{ceil_to_usize, f64_from_u64, f64_from_usize, usize_from_u32};
+
 use crate::error::SketchError;
 use crate::types::GroupBy;
 
@@ -73,8 +75,19 @@ impl SketchConfig {
 
     /// The paper's default configuration: `r = 3`, `s = 128`, 64 levels,
     /// grouping by destination.
+    ///
+    /// Constructed directly (not through the builder) so it is
+    /// infallible by inspection; the builder seeds its defaults from
+    /// this value, keeping the two in lockstep.
     pub fn paper_default() -> Self {
-        Self::builder().build().expect("paper defaults are valid")
+        Self {
+            num_tables: 3,
+            buckets_per_table: 128,
+            max_levels: 64,
+            seed: 0,
+            group_by: GroupBy::Destination,
+            hash_family: HashFamily::MultiplyShift,
+        }
     }
 
     /// Derives a configuration meeting the `(ε, δ)` guarantees of
@@ -126,16 +139,16 @@ impl SketchConfig {
                 reason: format!("U/f_vk cannot be below 1, got {mass_ratio}"),
             });
         }
-        let n = stream_len.max(2) as f64;
+        let n = f64_from_u64(stream_len.max(2));
         // r = Θ(log(n/δ)): natural log with a small constant, floored at
         // the paper's empirical minimum of 3.
-        let r = ((n / delta).ln() / 4.0).ceil().max(3.0) as usize;
+        let r = ceil_to_usize(((n / delta).ln() / 4.0).max(3.0));
         // s ≥ 16·log((n + log m)/δ)·(U/f_vk)/ε² (Lemma 4.3), with the
         // leading constant relaxed to 1 — the paper notes the exact
         // constants "are quite small for all practical purposes", and its
         // own experiments use s = 128 far below the worst-case bound.
-        let s_raw = ((n + KEY_BITS as f64) / delta).ln() * mass_ratio / (epsilon * epsilon);
-        let s = (s_raw.ceil() as usize).next_power_of_two().max(16);
+        let s_raw = ((n + f64::from(KEY_BITS)) / delta).ln() * mass_ratio / (epsilon * epsilon);
+        let s = ceil_to_usize(s_raw).next_power_of_two().max(16);
         SketchConfigBuilder::new()
             .num_tables(r)
             .buckets_per_table(s)
@@ -175,14 +188,14 @@ impl SketchConfig {
     /// The estimator's target distinct-sample size `(1+ε)·s/16`
     /// (Fig. 3, step 3 / Fig. 7, step 4).
     pub fn target_sample_size(&self, epsilon: f64) -> usize {
-        (((1.0 + epsilon) * self.buckets_per_table as f64) / 16.0).ceil() as usize
+        ceil_to_usize(((1.0 + epsilon) * f64_from_usize(self.buckets_per_table)) / 16.0)
     }
 
     /// Bytes used by one count signature: one total counter plus
     /// [`KEY_BITS`] bit-location counters, plus the two linear screening
     /// counters (key sum and fingerprint sum), 8 bytes each.
     pub fn signature_bytes() -> usize {
-        (KEY_BITS as usize + 1 + 2) * std::mem::size_of::<i64>()
+        (usize_from_u32(KEY_BITS) + 1 + 2) * std::mem::size_of::<i64>()
     }
 
     /// Bytes of counter storage for one fully allocated level:
@@ -215,13 +228,14 @@ impl SketchConfigBuilder {
     /// Creates a builder with the paper's defaults (`r = 3`, `s = 128`,
     /// 64 levels, seed 0, grouped by destination).
     pub fn new() -> Self {
+        let defaults = SketchConfig::paper_default();
         Self {
-            num_tables: 3,
-            buckets_per_table: 128,
-            max_levels: 64,
-            seed: 0,
-            group_by: GroupBy::Destination,
-            hash_family: HashFamily::MultiplyShift,
+            num_tables: defaults.num_tables,
+            buckets_per_table: defaults.buckets_per_table,
+            max_levels: defaults.max_levels,
+            seed: defaults.seed,
+            group_by: defaults.group_by,
+            hash_family: defaults.hash_family,
         }
     }
 

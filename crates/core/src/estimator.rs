@@ -15,10 +15,11 @@
 //! latter; `tests::scale_factor_is_inclusion_probability_inverse`
 //! demonstrates the difference on exact counts.
 
-use crate::types::GroupBy;
-use std::collections::HashMap;
+use dcs_hash::cast::f64_from_u64;
+use dcs_hash::det::DetHashMap;
 
 use crate::types::FlowKey;
+use crate::types::GroupBy;
 
 /// One group (destination or source address, per the sketch's
 /// [`GroupBy`]) with its estimated distinct-count frequency.
@@ -42,13 +43,12 @@ impl TopKEntry {
     /// here with the observed sample count plugged in for its mean.
     /// Zero-count entries report an error of one scale unit.
     pub fn standard_error(&self, scale: u64) -> f64 {
-        let scale = scale as f64;
-        scale * (self.sample_frequency.max(1) as f64).sqrt()
+        f64_from_u64(scale) * f64_from_u64(self.sample_frequency.max(1)).sqrt()
     }
 
     /// The relative standard error `σ/f̂ ≈ 1/√(sample count)`.
     pub fn relative_standard_error(&self) -> f64 {
-        1.0 / (self.sample_frequency.max(1) as f64).sqrt()
+        1.0 / f64_from_u64(self.sample_frequency.max(1)).sqrt()
     }
 }
 
@@ -130,8 +130,8 @@ impl std::fmt::Display for TopKEstimate {
 pub(crate) fn group_frequencies<'a>(
     sample: impl IntoIterator<Item = &'a FlowKey>,
     group_by: GroupBy,
-) -> HashMap<u32, u64> {
-    let mut freqs: HashMap<u32, u64> = HashMap::new();
+) -> DetHashMap<u32, u64> {
+    let mut freqs: DetHashMap<u32, u64> = DetHashMap::default();
     for key in sample {
         *freqs.entry(group_by.group_of(*key)).or_insert(0) += 1;
     }
@@ -141,7 +141,7 @@ pub(crate) fn group_frequencies<'a>(
 /// Selects the top `k` groups from sample frequencies and scales them —
 /// the tail of `BaseTopk` (Fig. 3, steps 8–9).
 pub(crate) fn top_k_from_frequencies(
-    freqs: &HashMap<u32, u64>,
+    freqs: &DetHashMap<u32, u64>,
     k: usize,
     group_by: GroupBy,
     sample_level: u32,
@@ -172,7 +172,7 @@ pub(crate) fn top_k_from_frequencies(
 /// Filters sample frequencies by a scaled threshold — the footnote-3
 /// variant ("tracking all destinations v with `f_v ≥ τ`").
 pub(crate) fn threshold_from_frequencies(
-    freqs: &HashMap<u32, u64>,
+    freqs: &DetHashMap<u32, u64>,
     tau: u64,
     group_by: GroupBy,
     sample_level: u32,
@@ -210,6 +210,10 @@ mod tests {
         FlowKey::new(SourceAddr(s), DestAddr(d))
     }
 
+    fn det_from<const N: usize>(pairs: [(u32, u64); N]) -> DetHashMap<u32, u64> {
+        pairs.into_iter().collect()
+    }
+
     #[test]
     fn group_frequencies_counts_by_destination() {
         let sample = vec![key(1, 10), key(2, 10), key(3, 20)];
@@ -228,7 +232,7 @@ mod tests {
 
     #[test]
     fn top_k_scales_by_level() {
-        let freqs = HashMap::from([(10u32, 4u64), (20, 2), (30, 1)]);
+        let freqs = det_from([(10u32, 4u64), (20, 2), (30, 1)]);
         let est = top_k_from_frequencies(&freqs, 2, GroupBy::Destination, 3, 7);
         assert_eq!(est.scale, 8);
         assert_eq!(est.entries.len(), 2);
@@ -243,14 +247,14 @@ mod tests {
 
     #[test]
     fn top_k_tie_break_is_larger_group_first() {
-        let freqs = HashMap::from([(10u32, 3u64), (20, 3), (30, 3)]);
+        let freqs = det_from([(10u32, 3u64), (20, 3), (30, 3)]);
         let est = top_k_from_frequencies(&freqs, 3, GroupBy::Destination, 0, 9);
         assert_eq!(est.groups(), vec![30, 20, 10]);
     }
 
     #[test]
     fn threshold_filters_scaled_estimates() {
-        let freqs = HashMap::from([(10u32, 4u64), (20, 2), (30, 1)]);
+        let freqs = det_from([(10u32, 4u64), (20, 2), (30, 1)]);
         // scale 4 -> estimates 16, 8, 4; tau 8 keeps two.
         let est = threshold_from_frequencies(&freqs, 8, GroupBy::Destination, 2, 7);
         assert_eq!(est.groups(), vec![10, 20]);
@@ -279,7 +283,7 @@ mod tests {
 
     #[test]
     fn error_bars_cover_all_entries() {
-        let freqs = HashMap::from([(10u32, 4u64), (20, 1)]);
+        let freqs = det_from([(10u32, 4u64), (20, 1)]);
         let est = top_k_from_frequencies(&freqs, 2, GroupBy::Destination, 2, 5);
         let bars = est.with_error_bars();
         assert_eq!(bars.len(), 2);
@@ -289,14 +293,14 @@ mod tests {
 
     #[test]
     fn k_zero_returns_empty() {
-        let freqs = HashMap::from([(10u32, 4u64)]);
+        let freqs = det_from([(10u32, 4u64)]);
         let est = top_k_from_frequencies(&freqs, 0, GroupBy::Destination, 0, 1);
         assert!(est.entries.is_empty());
     }
 
     #[test]
     fn display_renders_ranked_table() {
-        let freqs = HashMap::from([(0x0a000001u32, 4u64), (0x0a000002, 2)]);
+        let freqs = det_from([(0x0a000001u32, 4u64), (0x0a000002, 2)]);
         let est = top_k_from_frequencies(&freqs, 2, GroupBy::Destination, 1, 6);
         let text = est.to_string();
         assert!(text.contains("10.0.0.1"), "{text}");

@@ -9,8 +9,9 @@
 //! heap with a key → slot index map giving `O(log n)` increase/decrease
 //! and removal, `O(1)` lookup, and a non-destructive `top_k` traversal.
 
-use std::collections::HashMap;
 use std::hash::Hash;
+
+use dcs_hash::det::DetHashMap;
 
 /// A binary max-heap whose entries can be addressed by key.
 ///
@@ -37,7 +38,7 @@ pub struct IndexedMaxHeap<K> {
     /// Heap-ordered `(priority, key)` slots.
     slots: Vec<(u64, K)>,
     /// Key → slot index.
-    positions: HashMap<K, usize>,
+    positions: DetHashMap<K, usize>,
     /// Number of [`adjust`](Self::adjust) calls that would have driven a
     /// priority below zero. Never increments on well-formed streams;
     /// see [`underflow_count`](Self::underflow_count).
@@ -49,7 +50,7 @@ impl<K: Ord + Hash + Clone> IndexedMaxHeap<K> {
     pub fn new() -> Self {
         Self {
             slots: Vec::new(),
-            positions: HashMap::new(),
+            positions: DetHashMap::default(),
             underflows: 0,
         }
     }
@@ -100,12 +101,18 @@ impl<K: Ord + Hash + Clone> IndexedMaxHeap<K> {
     /// rather than silently swallowed, so the tracking layer's invariant
     /// check can surface it.
     pub fn adjust(&mut self, key: K, delta: i64) {
-        let current = self.priority(&key).unwrap_or(0) as i64;
-        let next = current + delta;
-        if next < 0 {
-            self.underflows += 1;
-        }
-        let next = next.max(0) as u64;
+        let current = self.priority(&key).unwrap_or(0);
+        let next = if delta >= 0 {
+            current.saturating_add(delta.unsigned_abs())
+        } else {
+            match current.checked_sub(delta.unsigned_abs()) {
+                Some(next) => next,
+                None => {
+                    self.underflows += 1;
+                    0
+                }
+            }
+        };
         if next == 0 {
             self.remove(&key);
         } else {

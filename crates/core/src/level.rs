@@ -75,8 +75,9 @@ impl LevelState {
     /// bucket, decoding singletons; distinct recovered keys are pushed
     /// into `out` (deduplicated by the caller's set semantics). Uses the
     /// screened decode — most buckets in a scan are empty or colliding,
-    /// and both are dispatched in `O(1)`.
-    pub(crate) fn collect_singletons(&self, out: &mut std::collections::HashSet<FlowKey>) {
+    /// and both are dispatched in `O(1)`. The ordered set keeps sample
+    /// iteration deterministic (lint L4).
+    pub(crate) fn collect_singletons(&self, out: &mut std::collections::BTreeSet<FlowKey>) {
         for table in &self.tables {
             for sig in table {
                 if let BucketState::Singleton { key, .. } = sig.decode_fast() {
@@ -129,7 +130,7 @@ impl LevelState {
 mod tests {
     use super::*;
     use crate::types::{DestAddr, SourceAddr};
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     fn key(s: u32, d: u32) -> FlowKey {
         FlowKey::new(SourceAddr(s), DestAddr(d))
@@ -140,7 +141,7 @@ mod tests {
         let level = LevelState::new(3, 8);
         assert!(level.is_zero());
         assert_eq!(level.decode(0, 0), BucketState::Empty);
-        let mut sample = HashSet::new();
+        let mut sample = BTreeSet::new();
         level.collect_singletons(&mut sample);
         assert!(sample.is_empty());
     }
@@ -153,7 +154,7 @@ mod tests {
         for j in 0..3 {
             level.apply(j, j, k, Delta::Insert);
         }
-        let mut sample = HashSet::new();
+        let mut sample = BTreeSet::new();
         level.collect_singletons(&mut sample);
         assert_eq!(sample.len(), 1);
         assert!(sample.contains(&k));
@@ -165,9 +166,9 @@ mod tests {
         level.apply(0, 0, key(1, 1), Delta::Insert);
         level.apply(0, 0, key(2, 2), Delta::Insert);
         level.apply(0, 1, key(3, 3), Delta::Insert);
-        let mut sample = HashSet::new();
+        let mut sample = BTreeSet::new();
         level.collect_singletons(&mut sample);
-        assert_eq!(sample, HashSet::from([key(3, 3)]));
+        assert_eq!(sample, BTreeSet::from([key(3, 3)]));
     }
 
     #[test]
@@ -177,7 +178,7 @@ mod tests {
         a.apply(0, 0, key(1, 1), Delta::Insert);
         b.apply(0, 1, key(2, 2), Delta::Insert);
         a.merge_from(&b);
-        let mut sample = HashSet::new();
+        let mut sample = BTreeSet::new();
         a.collect_singletons(&mut sample);
         assert_eq!(sample.len(), 2);
     }

@@ -67,6 +67,8 @@ pub mod tracking;
 pub mod types;
 
 pub use config::{HashFamily, SketchConfig, SketchConfigBuilder, KEY_BITS};
+pub use dcs_hash::cast;
+pub use dcs_hash::det::{DetHashMap, DetHashSet};
 pub use error::SketchError;
 pub use estimator::{TopKEntry, TopKEstimate};
 pub use sketch::{DistinctCountSketch, DistinctSample};

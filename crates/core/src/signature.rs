@@ -19,13 +19,14 @@
 //! bit verification only when the screen passes. See the documentation
 //! of the crate-internal `ScreenClass` for the exact guarantees.
 
+use dcs_hash::cast::{u64_from_i64, usize_from_u32};
 use dcs_hash::mix::fingerprint64;
 
 use crate::config::KEY_BITS;
 use crate::types::{Delta, FlowKey};
 
 /// The number of counters in a signature: one total + 64 bit locations.
-pub const SIGNATURE_LEN: usize = KEY_BITS as usize + 1;
+pub const SIGNATURE_LEN: usize = usize_from_u32(KEY_BITS) + 1;
 
 /// What a count signature reveals about its bucket's contents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -152,7 +153,7 @@ impl CountSignature {
     pub(crate) fn apply_with_fp(&mut self, key: FlowKey, delta: Delta, fp: u64) {
         let sign = delta.signum();
         let packed = key.packed();
-        self.counts[0] += sign;
+        self.counts[0] = self.counts[0].wrapping_add(sign);
         if sign >= 0 {
             self.key_sum = self.key_sum.wrapping_add(packed);
             self.fp_sum = self.fp_sum.wrapping_add(fp);
@@ -162,8 +163,8 @@ impl CountSignature {
         }
         let mut bits = packed;
         while bits != 0 {
-            let j = bits.trailing_zeros();
-            self.counts[1 + j as usize] += sign;
+            let j = usize_from_u32(bits.trailing_zeros());
+            self.counts[1 + j] = self.counts[1 + j].wrapping_add(sign);
             bits &= bits - 1;
         }
     }
@@ -199,7 +200,7 @@ impl CountSignature {
                 ScreenClass::Fail
             };
         }
-        let t = total as u64;
+        let t = u64_from_i64(total);
         // Fail-fast prefix: a singleton's bit counters are all 0 or
         // `total`, while a bucket colliding random keys has a counter
         // strictly in between almost immediately (probability ≥ 1/2 per
@@ -248,7 +249,7 @@ impl CountSignature {
     #[inline]
     pub(crate) fn screen_class(&self) -> ScreenClass {
         Self::classify(self.counts[0], self.key_sum, self.fp_sum, |j| {
-            self.counts[1 + j as usize]
+            self.counts[1 + usize_from_u32(j)]
         })
     }
 
@@ -271,8 +272,9 @@ impl CountSignature {
                 self.fp_sum.wrapping_sub(fp),
             )
         };
-        Self::classify(self.counts[0] + sign, key_sum, fp_sum, |j| {
-            self.counts[1 + j as usize] + if packed >> j & 1 == 1 { sign } else { 0 }
+        Self::classify(self.counts[0].wrapping_add(sign), key_sum, fp_sum, |j| {
+            let bit_delta = if packed >> j & 1 == 1 { sign } else { 0 };
+            self.counts[1 + usize_from_u32(j)].wrapping_add(bit_delta)
         })
     }
 
@@ -295,11 +297,11 @@ impl CountSignature {
     pub(crate) fn skips_as_own_singleton(&self, key: FlowKey, delta: Delta, fp: u64) -> bool {
         let total = self.counts[0];
         let sign = delta.signum();
-        if !(1..256).contains(&total) || total + sign < 1 {
+        if !(1..256).contains(&total) || total.wrapping_add(sign) < 1 {
             return false;
         }
         let packed = key.packed();
-        let t = total as u64;
+        let t = u64_from_i64(total);
         if self.key_sum != t.wrapping_mul(packed) || self.fp_sum != t.wrapping_mul(fp) {
             return false;
         }
@@ -308,7 +310,7 @@ impl CountSignature {
         // consults, on both sides of the update, for totals below 256.
         for j in (0..8).chain(KEY_BITS - 8..KEY_BITS) {
             let expected = if packed >> j & 1 == 1 { total } else { 0 };
-            if self.counts[1 + j as usize] != expected {
+            if self.counts[1 + usize_from_u32(j)] != expected {
                 return false;
             }
         }
@@ -351,7 +353,7 @@ impl CountSignature {
         let total = self.counts[0];
         for j in 0..KEY_BITS {
             let expected = if candidate >> j & 1 == 1 { total } else { 0 };
-            if self.counts[1 + j as usize] != expected {
+            if self.counts[1 + usize_from_u32(j)] != expected {
                 return BucketState::Collision;
             }
         }
@@ -390,7 +392,7 @@ impl CountSignature {
         }
         let mut packed = 0u64;
         for j in 0..KEY_BITS {
-            let c = self.counts[1 + j as usize];
+            let c = self.counts[1 + usize_from_u32(j)];
             if c == total {
                 packed |= 1 << j;
             } else if c != 0 {
@@ -408,7 +410,7 @@ impl CountSignature {
     /// addition.
     pub fn merge_from(&mut self, other: &CountSignature) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
+            *a = a.wrapping_add(*b);
         }
         self.key_sum = self.key_sum.wrapping_add(other.key_sum);
         self.fp_sum = self.fp_sum.wrapping_add(other.fp_sum);
@@ -419,7 +421,7 @@ impl CountSignature {
     /// leaves exactly the updates that arrived after it).
     pub fn subtract(&mut self, other: &CountSignature) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a -= b;
+            *a = a.wrapping_sub(*b);
         }
         self.key_sum = self.key_sum.wrapping_sub(other.key_sum);
         self.fp_sum = self.fp_sum.wrapping_sub(other.fp_sum);

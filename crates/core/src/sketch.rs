@@ -1,7 +1,8 @@
 //! The (Basic) Distinct-Count Sketch — §3 and §4 of the paper.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
+use dcs_hash::cast::{u64_from_usize, usize_from_u32};
 use dcs_hash::mix::fingerprint64;
 use dcs_hash::{GeometricLevelHash, Hash64, MultiplyShiftHash, SeedSequence, TabulationHash};
 
@@ -113,7 +114,7 @@ impl DistinctCountSketch {
         let table_hashes = (0..config.num_tables())
             .map(|_| TableHash::new(config.hash_family(), seeds.next_seed()))
             .collect();
-        let levels = vec![None; config.max_levels() as usize];
+        let levels = vec![None; usize_from_u32(config.max_levels())];
         Self {
             config,
             level_hash,
@@ -161,7 +162,7 @@ impl DistinctCountSketch {
     /// the update to the count signature at `g_j(u,v)`.
     #[inline]
     pub fn update(&mut self, update: FlowUpdate) {
-        let level = self.level_of(update.key) as usize;
+        let level = usize_from_u32(self.level_of(update.key));
         let buckets = self.config.buckets_per_table();
         let num_tables = self.config.num_tables();
         let fp = fingerprint64(update.key.packed());
@@ -310,16 +311,15 @@ impl DistinctCountSketch {
     ///
     /// [`distinct_sample`]: Self::distinct_sample
     fn level_singletons(&self, level: u32) -> Vec<FlowKey> {
-        let mut keys = HashSet::new();
-        if let Some(state) = &self.levels[level as usize] {
+        let mut keys = BTreeSet::new();
+        if let Some(state) = &self.levels[usize_from_u32(level)] {
             state.collect_singletons(&mut keys);
         }
-        let mut keys: Vec<FlowKey> = keys
-            .into_iter()
+        // BTreeSet iteration is already ascending, so the collected
+        // vector needs no further sort.
+        keys.into_iter()
             .filter(|k| self.level_of(*k) == level)
-            .collect();
-        keys.sort_unstable();
-        keys
+            .collect()
     }
 
     /// Extracts the distinct sample for an estimation target of
@@ -378,7 +378,7 @@ impl DistinctCountSketch {
     /// net frequency (Flajolet–Martin style: sample size × scale).
     pub fn estimate_distinct_pairs(&self, epsilon: f64) -> u64 {
         let sample = self.distinct_sample(epsilon);
-        sample.keys.len() as u64 * sample.scale()
+        u64_from_usize(sample.keys.len()) * sample.scale()
     }
 
     /// Whether two sketches share configuration and hash functions and
@@ -486,8 +486,8 @@ impl DistinctCountSketch {
             .keys
             .iter()
             .filter(|k| self.config.group_by().group_of(**k) == group)
-            .count() as u64;
-        count * sample.scale()
+            .count();
+        u64_from_usize(count) * sample.scale()
     }
 
     /// Iterates over every currently-decodable singleton pair with its

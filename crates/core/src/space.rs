@@ -49,7 +49,7 @@ pub fn predicted_sketch_bytes(config: &SketchConfig, u: u64) -> u64 {
         u64::from(64 - u.leading_zeros())
     };
     let levels = levels.min(u64::from(config.max_levels()));
-    levels * config.level_bytes() as u64
+    levels * dcs_hash::cast::u64_from_usize(config.level_bytes())
 }
 
 #[cfg(test)]

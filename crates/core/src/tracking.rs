@@ -18,8 +18,8 @@
 //! decode-before / decode-after transition handler, which covers every
 //! case in the paper's Fig. 6 (and its elided deletion half) uniformly.
 
-use std::collections::HashMap;
-
+use dcs_hash::cast::{u64_from_usize, usize_from_u32};
+use dcs_hash::det::DetHashMap;
 use dcs_hash::mix::fingerprint64;
 
 use crate::config::SketchConfig;
@@ -36,7 +36,7 @@ use crate::types::{FlowKey, FlowUpdate};
 #[derive(Debug, Clone, Default)]
 struct TrackingLevel {
     /// Packed singleton pair → number of tables where it is a singleton.
-    singletons: HashMap<u64, u32>,
+    singletons: DetHashMap<u64, u32>,
     /// Group → occurrence frequency in `∪_{l ≥ this} singletons(l)`.
     heap: IndexedMaxHeap<u32>,
 }
@@ -139,7 +139,7 @@ impl TrackingDcs {
     /// `numSingletons(b)`: current number of distinct singleton pairs in
     /// level `level`.
     pub fn num_singletons(&self, level: u32) -> usize {
-        self.levels[level as usize].singletons.len()
+        self.levels[usize_from_u32(level)].singletons.len()
     }
 
     /// `UpdateTracking` (Fig. 6): applies one flow update and patches
@@ -154,7 +154,7 @@ impl TrackingDcs {
     /// Only buckets the screen cannot clear pay for the
     /// decode-before/decode-after transition handling.
     pub fn update(&mut self, update: FlowUpdate) {
-        let level = self.sketch.level_of(update.key) as usize;
+        let level = usize_from_u32(self.sketch.level_of(update.key));
         let num_tables = self.config().num_tables();
         let fp = fingerprint64(update.key.packed());
         for table in 0..num_tables {
@@ -178,7 +178,7 @@ impl TrackingDcs {
     /// against.
     #[doc(hidden)]
     pub fn update_reference(&mut self, update: FlowUpdate) {
-        let level = self.sketch.level_of(update.key) as usize;
+        let level = usize_from_u32(self.sketch.level_of(update.key));
         let num_tables = self.config().num_tables();
         let fp = fingerprint64(update.key.packed());
         for table in 0..num_tables {
@@ -278,7 +278,7 @@ impl TrackingDcs {
         let target = self.config().target_sample_size(epsilon);
         let mut size = 0usize;
         for level in (0..self.config().max_levels()).rev() {
-            size += self.levels[level as usize].singletons.len();
+            size += self.levels[usize_from_u32(level)].singletons.len();
             if size >= target {
                 return (level, size);
             }
@@ -291,7 +291,7 @@ impl TrackingDcs {
     pub fn track_top_k(&self, k: usize, epsilon: f64) -> TopKEstimate {
         let (level, size) = self.select_level(epsilon);
         let scale = 1u64 << level;
-        let entries = self.levels[level as usize]
+        let entries = self.levels[usize_from_u32(level)]
             .heap
             .top_k(k)
             .into_iter()
@@ -313,7 +313,7 @@ impl TrackingDcs {
     /// Footnote-3 variant: all groups whose estimate is ≥ `tau`.
     pub fn track_threshold(&self, tau: u64, epsilon: f64) -> TopKEstimate {
         let (level, size) = self.select_level(epsilon);
-        let freqs: HashMap<u32, u64> = self.levels[level as usize]
+        let freqs: DetHashMap<u32, u64> = self.levels[usize_from_u32(level)]
             .heap
             .iter()
             .map(|(&g, f)| (g, f))
@@ -325,7 +325,7 @@ impl TrackingDcs {
     /// `O(log m)` (a heap lookup at the current inference level).
     pub fn track_group(&self, group: u32, epsilon: f64) -> Option<u64> {
         let (level, _) = self.select_level(epsilon);
-        self.levels[level as usize]
+        self.levels[usize_from_u32(level)]
             .heap
             .priority(&group)
             .map(|f| f << level)
@@ -335,7 +335,7 @@ impl TrackingDcs {
     /// inference level × scale).
     pub fn estimate_distinct_pairs(&self, epsilon: f64) -> u64 {
         let (level, size) = self.select_level(epsilon);
-        (size as u64) << level
+        u64_from_usize(size) << level
     }
 
     /// Rebuilds an estimate via the *basic* scan-everything path — used
@@ -404,7 +404,7 @@ impl TrackingDcs {
         }
         let num_tables = self.config().num_tables();
         let buckets = self.config().buckets_per_table();
-        for level in 0..self.config().max_levels() as usize {
+        for level in 0..usize_from_u32(self.config().max_levels()) {
             let mut found: Vec<FlowKey> = Vec::new();
             for table in 0..num_tables {
                 for bucket in 0..buckets {
@@ -464,11 +464,11 @@ impl TrackingDcs {
         }
         let num_tables = self.config().num_tables();
         let buckets = self.config().buckets_per_table();
-        let max_levels = self.config().max_levels() as usize;
-        let mut cumulative: HashMap<u32, u64> = HashMap::new();
+        let max_levels = usize_from_u32(self.config().max_levels());
+        let mut cumulative: DetHashMap<u32, u64> = DetHashMap::default();
         // Walk levels top-down, accumulating group frequencies.
         for level in (0..max_levels).rev() {
-            let mut scanned: HashMap<u64, u32> = HashMap::new();
+            let mut scanned: DetHashMap<u64, u32> = DetHashMap::default();
             for table in 0..num_tables {
                 for bucket in 0..buckets {
                     let fast = self.sketch.decode_bucket(level, table, bucket);
@@ -549,6 +549,7 @@ mod tests {
     use crate::types::{Delta, DestAddr, SourceAddr};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
 
     fn small_config(seed: u64) -> SketchConfig {
         SketchConfig::builder()

@@ -142,13 +142,13 @@ impl FlowKey {
     /// Returns the source half of the pair.
     #[inline]
     pub fn source(self) -> SourceAddr {
-        SourceAddr((self.0 >> 32) as u32)
+        SourceAddr(dcs_hash::cast::high_u32(self.0))
     }
 
     /// Returns the destination half of the pair.
     #[inline]
     pub fn dest(self) -> DestAddr {
-        DestAddr(self.0 as u32)
+        DestAddr(dcs_hash::cast::low_u32(self.0))
     }
 
     /// Returns bit `index` (0 = least significant) of the packed pair —

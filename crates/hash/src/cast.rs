@@ -1,0 +1,198 @@
+//! Checked and guarded numeric conversions for sketch code.
+//!
+//! The repo-native linter (`cargo run -p dcs-analysis -- lint`, lint L2)
+//! forbids bare `as` casts in `crates/core` and `crates/hash`: a silently
+//! truncating cast on a counter, bucket index, or packed key corrupts the
+//! 67-counter signature layout without any test noticing until a merge or
+//! decode disagrees. Every conversion the sketch needs is instead funneled
+//! through this module, where each helper is either
+//!
+//! * **infallible by construction** (widening guarded by a compile-time
+//!   width assertion),
+//! * **checked** (panics with a descriptive message on a value that cannot
+//!   be represented — a bug, not a data condition), or
+//! * **explicitly lossy** (truncation/rounding helpers whose names say so).
+//!
+//! This file itself is the single linter-exempt location allowed to spell
+//! `as`.
+
+// The sketch assumes a platform where `usize` is at least 32 and at most
+// 64 bits wide; every guarded widening below leans on these two facts.
+const _: () = assert!(usize::BITS >= u32::BITS, "usize must hold any u32");
+const _: () = assert!(u64::BITS >= usize::BITS, "u64 must hold any usize");
+
+/// Widens a `u32` to `usize`. Infallible: the compile-time guard above
+/// rejects platforms narrower than 32 bits.
+#[inline]
+#[must_use]
+pub const fn usize_from_u32(v: u32) -> usize {
+    v as usize
+}
+
+/// Widens a `usize` to `u64`. Infallible: the compile-time guard above
+/// rejects platforms wider than 64 bits.
+#[inline]
+#[must_use]
+pub const fn u64_from_usize(v: usize) -> u64 {
+    v as u64
+}
+
+/// Narrows a `u64` to `usize`.
+///
+/// # Panics
+///
+/// Panics if `v` exceeds `usize::MAX` (impossible on 64-bit targets; on
+/// narrower targets it flags a bucket count that cannot be addressed).
+#[inline]
+#[must_use]
+pub fn usize_from_u64(v: u64) -> usize {
+    match usize::try_from(v) {
+        Ok(v) => v,
+        Err(_) => panic!("value {v} does not fit in usize"),
+    }
+}
+
+/// Narrows a `u32` to `i32`.
+///
+/// # Panics
+///
+/// Panics if `v` exceeds `i32::MAX`.
+#[inline]
+#[must_use]
+pub fn i32_from_u32(v: u32) -> i32 {
+    match i32::try_from(v) {
+        Ok(v) => v,
+        Err(_) => panic!("value {v} does not fit in i32"),
+    }
+}
+
+/// Reinterprets a non-negative `i64` count as `u64`.
+///
+/// # Panics
+///
+/// Panics if `v` is negative — net counts handed to this helper have
+/// already been screened positive, so a negative here is a logic error.
+#[inline]
+#[must_use]
+pub fn u64_from_i64(v: i64) -> u64 {
+    match u64::try_from(v) {
+        Ok(v) => v,
+        Err(_) => panic!("negative count {v} cannot widen to u64"),
+    }
+}
+
+/// The low 32 bits of a packed 64-bit pair — explicitly lossy.
+#[inline]
+#[must_use]
+pub const fn low_u32(v: u64) -> u32 {
+    (v & 0xffff_ffff) as u32
+}
+
+/// The high 32 bits of a packed 64-bit pair — explicitly lossy.
+#[inline]
+#[must_use]
+pub const fn high_u32(v: u64) -> u32 {
+    (v >> 32) as u32
+}
+
+/// Approximates a `usize` as `f64` for error-bound arithmetic.
+/// Explicitly lossy above 2⁵³ (irrelevant for bucket/level counts).
+#[inline]
+#[must_use]
+pub fn f64_from_usize(v: usize) -> f64 {
+    v as f64
+}
+
+/// Approximates a `u64` as `f64` for error-bound arithmetic.
+/// Explicitly lossy above 2⁵³.
+#[inline]
+#[must_use]
+pub fn f64_from_u64(v: u64) -> f64 {
+    v as f64
+}
+
+/// Rounds `v` up and converts it to `usize` — the sizing path from the
+/// paper's real-valued space bounds to concrete table dimensions.
+///
+/// # Panics
+///
+/// Panics if `v` is NaN, negative, or too large for `usize`; sketch
+/// sizing formulas never produce such values, so any of them is a bug.
+#[inline]
+#[must_use]
+pub fn ceil_to_usize(v: f64) -> usize {
+    let c = v.ceil();
+    assert!(
+        c.is_finite() && c >= 0.0 && c <= f64_from_u64(u64::MAX),
+        "cannot size a table from {v}"
+    );
+    usize_from_u64(c as u64)
+}
+
+/// Lemire's multiply-high reduction of a 64-bit hash into `[0, range)`.
+///
+/// Preserves uniformity up to negligible bias for ranges ≪ 2⁶⁴ without a
+/// modulo. The truncating shift-down is exact: `(hash · range) >> 64` is
+/// strictly less than `range`, so it always fits back in `usize`.
+///
+/// # Panics
+///
+/// Panics if `range` is zero.
+#[inline]
+#[must_use]
+pub fn lemire_index(hash: u64, range: usize) -> usize {
+    assert!(range > 0, "hash range must be non-zero");
+    let wide = u128::from(hash) * u128::from(u64_from_usize(range));
+    (wide >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widening_round_trips() {
+        assert_eq!(usize_from_u32(u32::MAX), u32::MAX.try_into().unwrap());
+        assert_eq!(u64_from_usize(17), 17);
+        assert_eq!(usize_from_u64(42), 42);
+        assert_eq!(u64_from_i64(7), 7);
+        assert_eq!(i32_from_u32(63), 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative count")]
+    fn negative_count_panics() {
+        let _ = u64_from_i64(-1);
+    }
+
+    #[test]
+    fn halves_partition_the_word() {
+        let v = 0xdead_beef_cafe_f00du64;
+        assert_eq!(low_u32(v), 0xcafe_f00d);
+        assert_eq!(high_u32(v), 0xdead_beef);
+        assert_eq!(u64::from(high_u32(v)) << 32 | u64::from(low_u32(v)), v);
+    }
+
+    #[test]
+    fn ceil_to_usize_rounds_up() {
+        assert_eq!(ceil_to_usize(0.0), 0);
+        assert_eq!(ceil_to_usize(2.1), 3);
+        assert_eq!(ceil_to_usize(5.0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot size a table")]
+    fn ceil_to_usize_rejects_nan() {
+        let _ = ceil_to_usize(f64::NAN);
+    }
+
+    #[test]
+    fn lemire_index_stays_in_range() {
+        for hash in [0, 1, u64::MAX, 0x9e37_79b9_7f4a_7c15] {
+            for range in [1usize, 2, 7, 128, 1 << 20] {
+                assert!(lemire_index(hash, range) < range);
+            }
+        }
+        assert_eq!(lemire_index(u64::MAX, 128), 127);
+    }
+}

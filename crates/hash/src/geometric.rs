@@ -7,6 +7,7 @@
 //! have `LSB = 1`, and so on. This module wraps that construction with an
 //! explicit level cap so callers can size their level arrays.
 
+use crate::cast::i32_from_u32;
 use crate::mix::mix64;
 
 /// The geometric (Flajolet–Martin) level hash used as a sketch's
@@ -71,9 +72,9 @@ impl GeometricLevelHash {
     /// remaining tail mass `2^-(max_level-1)`.
     pub fn level_probability(&self, level: u32) -> f64 {
         if level + 1 < self.max_level {
-            (0.5f64).powi(level as i32 + 1)
+            (0.5f64).powi(i32_from_u32(level) + 1)
         } else if level + 1 == self.max_level {
-            (0.5f64).powi(level as i32)
+            (0.5f64).powi(i32_from_u32(level))
         } else {
             0.0
         }

@@ -36,6 +36,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cast;
+pub mod det;
 pub mod geometric;
 pub mod mix;
 pub mod multiply_shift;
@@ -77,9 +79,7 @@ pub trait Hash64 {
     ///
     /// Panics if `range` is zero.
     fn hash_to_range(&self, key: u64, range: usize) -> usize {
-        assert!(range > 0, "hash range must be non-zero");
-        let wide = u128::from(self.hash(key)) * range as u128;
-        (wide >> 64) as usize
+        cast::lemire_index(self.hash(key), range)
     }
 }
 

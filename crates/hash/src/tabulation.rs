@@ -9,6 +9,7 @@
 //! empirical guarantees are wanted at the price of 16 KiB of tables per
 //! function.
 
+use crate::cast::u64_from_usize;
 use crate::mix::mix64;
 use crate::Hash64;
 
@@ -39,7 +40,7 @@ impl TabulationHash {
         for (byte_index, table) in tables.iter_mut().enumerate() {
             for (entry_index, entry) in table.iter_mut().enumerate() {
                 *entry = mix64(
-                    ((byte_index as u64) << 32) | entry_index as u64,
+                    (u64_from_usize(byte_index) << 32) | u64_from_usize(entry_index),
                     seed ^ TABLE_SALT,
                 );
             }
@@ -62,7 +63,7 @@ impl Hash64 for TabulationHash {
         let bytes = key.to_le_bytes();
         let mut acc = 0u64;
         for (i, &b) in bytes.iter().enumerate() {
-            acc ^= self.tables[i][b as usize];
+            acc ^= self.tables[i][usize::from(b)];
         }
         acc
     }

@@ -143,11 +143,18 @@ pub fn run_pipeline(router_feeds: Vec<Vec<TcpSegment>>, config: PipelineConfig) 
         })
     };
 
+    // Join failures carry the worker's own panic payload; re-raise it
+    // (as `ingest_sharded` does) instead of masking it with a generic
+    // message.
     for handle in router_handles {
-        handle.join().expect("router thread panicked");
+        if let Err(payload) = handle.join() {
+            std::panic::resume_unwind(payload);
+        }
     }
-    let (monitor, alarms, updates_ingested) =
-        monitor_handle.join().expect("monitor thread panicked");
+    let (monitor, alarms, updates_ingested) = match monitor_handle.join() {
+        Ok(result) => result,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
     let segments_observed = *segments_total.lock();
     DetectionReport {
         alarms,

@@ -61,16 +61,17 @@ pub fn ingest_sharded(
         sketch
     });
 
-    let mut merged: Option<DistinctCountSketch> = None;
-    for shard in shard_sketches {
-        match merged.as_mut() {
-            None => merged = Some(shard),
-            Some(m) => m.merge_from(&shard)?,
-        }
+    let mut shards_iter = shard_sketches.into_iter();
+    // `run_sharded` asserts `shards > 0` and returns one sketch per
+    // shard, so the first shard always exists; an empty result would
+    // mean zero shards, where an empty sketch is the right answer.
+    let Some(mut merged) = shards_iter.next() else {
+        return Ok(TrackingDcs::new(config));
+    };
+    for shard in shards_iter {
+        merged.merge_from(&shard)?;
     }
-    Ok(TrackingDcs::from_sketch(
-        merged.expect("at least one shard"),
-    ))
+    Ok(TrackingDcs::from_sketch(merged))
 }
 
 /// Fans `updates` out to `shards` scoped worker threads round-robin in

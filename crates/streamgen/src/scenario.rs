@@ -199,8 +199,8 @@ impl ScenarioBuilder {
         let mut delete_iter = pending_deletes.into_iter().peekable();
         for (i, update) in updates.into_iter().enumerate() {
             merged.push(update);
-            while delete_iter.peek().is_some_and(|&(at, _)| at == i) {
-                merged.push(delete_iter.next().expect("peeked").1);
+            while let Some((_, delete)) = delete_iter.next_if(|&(at, _)| at == i) {
+                merged.push(delete);
             }
         }
         merged.extend(delete_iter.map(|(_, d)| d));

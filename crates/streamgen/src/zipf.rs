@@ -51,8 +51,11 @@ impl Zipf {
         for c in &mut cdf {
             *c /= total;
         }
-        // Guard against floating-point drift at the top end.
-        *cdf.last_mut().expect("d > 0") = 1.0;
+        // Guard against floating-point drift at the top end (the entry
+        // exists: d > 0 is asserted above).
+        if let Some(top) = cdf.last_mut() {
+            *top = 1.0;
+        }
         Self { cdf, exponent: z }
     }
 
