@@ -12,7 +12,7 @@
 //! Run: `cargo run -p dcs-bench --release --bin ablation_deletions [--scale full]`
 
 use dcs_baselines::PerGroupFm;
-use dcs_bench::{emit_record, Scale, SEEDS};
+use dcs_bench::{emit_record, emit_telemetry, Scale, SEEDS};
 use dcs_core::{SketchConfig, TrackingDcs};
 use dcs_metrics::{average_relative_error, top_k_recall, ExperimentRecord, Stats, Table};
 use dcs_streamgen::PaperWorkload;
@@ -41,6 +41,7 @@ fn main() {
         .parameter("k", K)
         .parameter("s", 4096);
     let (mut s_recall, mut s_are, mut s_fm) = (Vec::new(), Vec::new(), Vec::new());
+    let mut telemetry = Vec::new();
 
     for &fraction in &DELETE_FRACTIONS {
         let mut recalls = Vec::new();
@@ -93,6 +94,11 @@ fn main() {
                 .map(|&(g, _)| (g, fm.estimate(g) as u64))
                 .collect();
             fm_ares.push(average_relative_error(&exact, &fm_estimates));
+            // The deletion sweep is the workload most likely to trip the
+            // heap clamp counters — keep one snapshot per seed.
+            telemetry.push(
+                sketch.telemetry_snapshot(&format!("ablation_deletions_d{fraction}_seed{seed}")),
+            );
         }
         let recall = Stats::from_samples(&recalls);
         let are = Stats::from_samples(&ares);
@@ -129,5 +135,8 @@ fn main() {
         .with_series("fm_are", s_fm);
     if let Some(path) = emit_record(&rec) {
         println!("wrote {}", path.display());
+        if let Some(sidecar) = emit_telemetry(&path, &telemetry) {
+            println!("wrote {}", sidecar.display());
+        }
     }
 }

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run -p dcs-bench --release --bin ablation_hash [--scale full]`
 
-use dcs_bench::{emit_record, Scale, SEEDS};
+use dcs_bench::{emit_record, emit_telemetry, Scale, SEEDS};
 use dcs_core::{HashFamily, SketchConfig, TrackingDcs};
 use dcs_metrics::{
     average_relative_error, measure_per_update_micros, top_k_recall, ExperimentRecord, Table,
@@ -36,6 +36,7 @@ fn main() {
         .parameter("z", 1.5)
         .parameter("k", K)
         .parameter("s", 1024);
+    let mut telemetry = Vec::new();
 
     for (name, family) in [
         ("multiply-shift", HashFamily::MultiplyShift),
@@ -68,6 +69,7 @@ fn main() {
             recall_sum += top_k_recall(&exact, &est.groups());
             are_sum += average_relative_error(&exact, &approx);
             micros_sum += timing.mean_micros;
+            telemetry.push(sketch.telemetry_snapshot(&format!("ablation_hash_{name}_seed{seed}")));
         }
         let n = SEEDS.len() as f64;
         println!(
@@ -92,5 +94,8 @@ fn main() {
     print!("{}", table.render());
     if let Some(path) = emit_record(&rec) {
         println!("wrote {}", path.display());
+        if let Some(sidecar) = emit_telemetry(&path, &telemetry) {
+            println!("wrote {}", sidecar.display());
+        }
     }
 }

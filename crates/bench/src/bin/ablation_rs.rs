@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run -p dcs-bench --release --bin ablation_rs [--scale full]`
 
-use dcs_bench::{emit_record, Scale, SEEDS};
+use dcs_bench::{emit_record, emit_telemetry, Scale, SEEDS};
 use dcs_core::{SketchConfig, TrackingDcs};
 use dcs_metrics::{
     average_relative_error, measure_per_update_micros, top_k_recall, ExperimentRecord, Table,
@@ -46,6 +46,7 @@ fn main() {
     let mut flat_are = Vec::new();
     let mut flat_micros = Vec::new();
     let mut flat_bytes = Vec::new();
+    let mut telemetry = Vec::new();
 
     for &r in &RS {
         for &s in &SS {
@@ -78,6 +79,11 @@ fn main() {
                 are_sum += average_relative_error(&exact, &approx);
                 micros_sum += timing.mean_micros;
                 bytes_sum += sketch.heap_bytes() as f64;
+                // One snapshot per grid cell (the last seed) keeps the
+                // sidecar readable while still covering every shape.
+                if seed == SEEDS[SEEDS.len() - 1] {
+                    telemetry.push(sketch.telemetry_snapshot(&format!("ablation_r{r}_s{s}")));
+                }
             }
             let n = SEEDS.len() as f64;
             let (recall, are, micros, bytes) =
@@ -113,5 +119,8 @@ fn main() {
         .with_series("bytes", flat_bytes);
     if let Some(path) = emit_record(&rec) {
         println!("wrote {}", path.display());
+        if let Some(sidecar) = emit_telemetry(&path, &telemetry) {
+            println!("wrote {}", sidecar.display());
+        }
     }
 }

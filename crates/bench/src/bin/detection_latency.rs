@@ -14,17 +14,22 @@
 //!
 //! Run: `cargo run -p dcs-bench --release --bin detection_latency`
 
-use dcs_bench::{emit_record, SEEDS};
+use dcs_bench::{emit_record, emit_telemetry, SEEDS};
 use dcs_core::{DestAddr, SketchConfig};
 use dcs_metrics::{ExperimentRecord, Stats, Table};
 use dcs_netsim::simulation::{run_simulation, SimulationConfig};
 use dcs_netsim::{AlarmPolicy, TrafficDriver};
+use dcs_telemetry::TelemetrySnapshot;
 
 const ATTACK_RATES: [u32; 5] = [500, 1_000, 2_000, 4_000, 8_000];
 const THRESHOLD: u64 = 400;
 const ATTACK_START: u64 = 1_000;
 
-fn run_once(total_sources: u32, seed: u64, absolute_only: bool) -> Option<u64> {
+fn run_once(
+    total_sources: u32,
+    seed: u64,
+    absolute_only: bool,
+) -> (Option<u64>, TelemetrySnapshot) {
     let victim = DestAddr(0x0a00_0001);
     let mut driver = TrafficDriver::new(seed);
     for _ in 0..10 {
@@ -49,7 +54,11 @@ fn run_once(total_sources: u32, seed: u64, absolute_only: bool) -> Option<u64> {
         half_open_timeout: None,
     };
     let outcome = run_simulation(&driver.into_segments(), config);
-    outcome.detection_latency(victim.0, ATTACK_START)
+    let variant = if absolute_only { "absolute" } else { "full" };
+    let snapshot = outcome
+        .monitor
+        .telemetry_snapshot(&format!("detection_latency_{variant}_rate{total_sources}"));
+    (outcome.detection_latency(victim.0, ATTACK_START), snapshot)
 }
 
 fn main() {
@@ -83,15 +92,21 @@ fn main() {
         }
     };
 
+    let mut telemetry = Vec::new();
     for &rate in &ATTACK_RATES {
-        let full: Vec<f64> = SEEDS
-            .iter()
-            .filter_map(|&seed| run_once(rate, seed, false).map(|l| l as f64))
-            .collect();
-        let absolute: Vec<f64> = SEEDS
-            .iter()
-            .filter_map(|&seed| run_once(rate, seed, true).map(|l| l as f64))
-            .collect();
+        let mut full = Vec::new();
+        let mut absolute = Vec::new();
+        for &seed in &SEEDS {
+            let (latency, snapshot) = run_once(rate, seed, false);
+            // One snapshot per rate (first seed, full policy) keeps the
+            // sidecar to one line per x-axis point.
+            if seed == SEEDS[0] {
+                telemetry.push(snapshot);
+            }
+            full.extend(latency.map(|l| l as f64));
+            let (latency, _) = run_once(rate, seed, true);
+            absolute.extend(latency.map(|l| l as f64));
+        }
         let detected = full.len();
         let (full_summary, full_mean) = summarize(&full);
         let (abs_summary, abs_mean) = summarize(&absolute);
@@ -123,5 +138,8 @@ fn main() {
         .with_series("mean_latency_absolute_only", mean_absolute);
     if let Some(path) = emit_record(&rec) {
         println!("wrote {}", path.display());
+        if let Some(sidecar) = emit_telemetry(&path, &telemetry) {
+            println!("wrote {}", sidecar.display());
+        }
     }
 }

@@ -15,10 +15,11 @@
 
 use dcs_baselines::synfin::{IntervalCounts, SynFinCusum};
 use dcs_baselines::SampleAndHold;
-use dcs_bench::{emit_record, SEEDS};
+use dcs_bench::{emit_record, emit_telemetry, SEEDS};
 use dcs_core::{DestAddr, SketchConfig};
 use dcs_metrics::{ExperimentRecord, Table};
 use dcs_netsim::{AlarmPolicy, DdosMonitor, HandshakeTracker, TrafficDriver};
+use dcs_telemetry::TelemetrySnapshot;
 
 const ATTACK_SIZES: [u32; 7] = [0, 50, 100, 200, 400, 800, 1600];
 const ALARM_THRESHOLD: u64 = 150;
@@ -29,6 +30,7 @@ struct Outcome {
     dcs_false_alarm: bool,
     cusum_fires: bool,
     volume_names_victim: bool,
+    telemetry: TelemetrySnapshot,
 }
 
 fn run_once(attack_sources: u32, seed: u64) -> Outcome {
@@ -109,6 +111,7 @@ fn run_once(attack_sources: u32, seed: u64) -> Outcome {
         dcs_false_alarm,
         cusum_fires,
         volume_names_victim,
+        telemetry: monitor.telemetry_snapshot(&format!("detection_quality_a{attack_sources}")),
     }
 }
 
@@ -129,6 +132,7 @@ fn main() {
         .parameter("seeds", SEEDS.len());
     let (mut s_dcs, mut s_fp, mut s_cusum, mut s_vol) =
         (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let mut telemetry = Vec::new();
 
     for &size in &ATTACK_SIZES {
         let mut dcs = 0u32;
@@ -141,6 +145,10 @@ fn main() {
             fp += u32::from(o.dcs_false_alarm);
             cusum += u32::from(o.cusum_fires);
             vol += u32::from(o.volume_names_victim);
+            // One monitor snapshot per attack size (first seed).
+            if seed == SEEDS[0] {
+                telemetry.push(o.telemetry);
+            }
         }
         let n = SEEDS.len() as f64;
         let rates = [
@@ -181,5 +189,8 @@ fn main() {
         .with_series("volume_detection", s_vol);
     if let Some(path) = emit_record(&rec) {
         println!("wrote {}", path.display());
+        if let Some(sidecar) = emit_telemetry(&path, &telemetry) {
+            println!("wrote {}", sidecar.display());
+        }
     }
 }

@@ -14,10 +14,11 @@
 //!   *accuracy levels* Figure 8 plots (see EXPERIMENTS.md for the
 //!   discrepancy discussion).
 
-use dcs_bench::{emit_record, Scale, SEEDS, SKEWS};
+use dcs_bench::{emit_record, emit_telemetry, Scale, SEEDS, SKEWS};
 use dcs_core::{SketchConfig, TrackingDcs};
 use dcs_metrics::{average_relative_error, top_k_recall, ExperimentRecord, Table};
 use dcs_streamgen::PaperWorkload;
+use dcs_telemetry::TelemetrySnapshot;
 
 const KS: [usize; 8] = [1, 2, 5, 8, 10, 12, 15, 20];
 const EPSILON: f64 = 0.25;
@@ -26,11 +27,14 @@ struct SweepResult {
     /// `recall[z][k_index]`, `are[z][k_index]` — averaged over seeds.
     recall: Vec<Vec<f64>>,
     are: Vec<Vec<f64>>,
+    /// One snapshot per `(z, seed)` run, taken after the full ingest.
+    telemetry: Vec<TelemetrySnapshot>,
 }
 
 fn run_variant(scale: Scale, buckets: usize) -> SweepResult {
     let mut recall = vec![vec![0.0; KS.len()]; SKEWS.len()];
     let mut are = vec![vec![0.0; KS.len()]; SKEWS.len()];
+    let mut telemetry = Vec::new();
     for (zi, &z) in SKEWS.iter().enumerate() {
         for &seed in &SEEDS {
             let workload = PaperWorkload::generate(scale.workload(z, seed));
@@ -55,13 +59,18 @@ fn run_variant(scale: Scale, buckets: usize) -> SweepResult {
                 recall[zi][ki] += top_k_recall(&exact, &estimate.groups());
                 are[zi][ki] += average_relative_error(&exact, &approx_pairs);
             }
+            telemetry.push(sketch.telemetry_snapshot(&format!("fig8_z{z}_seed{seed}")));
         }
         for ki in 0..KS.len() {
             recall[zi][ki] /= SEEDS.len() as f64;
             are[zi][ki] /= SEEDS.len() as f64;
         }
     }
-    SweepResult { recall, are }
+    SweepResult {
+        recall,
+        are,
+        telemetry,
+    }
 }
 
 fn print_tables(variant: &str, result: &SweepResult) {
@@ -102,6 +111,9 @@ fn emit(variant: &str, scale: Scale, buckets: usize, result: &SweepResult) {
     }
     if let Some(path) = emit_record(&record) {
         println!("\nwrote {}", path.display());
+        if let Some(sidecar) = emit_telemetry(&path, &result.telemetry) {
+            println!("wrote {}", sidecar.display());
+        }
     }
 }
 

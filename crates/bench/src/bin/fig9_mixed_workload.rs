@@ -12,7 +12,7 @@
 //!
 //! Run: `cargo run -p dcs-bench --release --bin fig9_mixed_workload [--scale full]`
 
-use dcs_bench::{emit_record, Scale};
+use dcs_bench::{emit_record, emit_telemetry, Scale};
 use dcs_core::{DistinctCountSketch, SketchConfig, TrackingDcs};
 use dcs_metrics::{measure_per_update_micros, ExperimentRecord, Table};
 use dcs_streamgen::{PaperWorkload, WorkloadConfig};
@@ -56,6 +56,7 @@ fn main() {
 
     let mut basic_micros = Vec::new();
     let mut tracking_micros = Vec::new();
+    let mut telemetry = Vec::new();
     let mut table = Table::new(vec![
         "query freq".into(),
         "basic µs/update".into(),
@@ -71,25 +72,29 @@ fn main() {
 
         let basic = {
             let mut sketch = DistinctCountSketch::new(config.clone());
-            measure_per_update_micros(updates.len() as u64, || {
+            let stats = measure_per_update_micros(updates.len() as u64, || {
                 for (i, u) in updates.iter().enumerate() {
                     sketch.update(*u);
                     if (i as u64 + 1).is_multiple_of(every) {
                         std::hint::black_box(sketch.estimate_top_k(1, EPSILON));
                     }
                 }
-            })
+            });
+            telemetry.push(sketch.telemetry_snapshot(&format!("fig9_basic_{freq:.6}")));
+            stats
         };
         let tracking = {
             let mut sketch = TrackingDcs::new(config.clone());
-            measure_per_update_micros(updates.len() as u64, || {
+            let stats = measure_per_update_micros(updates.len() as u64, || {
                 for (i, u) in updates.iter().enumerate() {
                     sketch.update(*u);
                     if (i as u64 + 1).is_multiple_of(every) {
                         std::hint::black_box(sketch.track_top_k(1, EPSILON));
                     }
                 }
-            })
+            });
+            telemetry.push(sketch.telemetry_snapshot(&format!("fig9_tracking_{freq:.6}")));
+            stats
         };
         println!(
             "freq {:>9.6}: basic {:>8.3} µs, tracking {:>8.3} µs",
@@ -117,6 +122,9 @@ fn main() {
         .with_series("tracking_micros", tracking_micros.clone());
     if let Some(path) = emit_record(&record) {
         println!("wrote {}", path.display());
+        if let Some(sidecar) = emit_telemetry(&path, &telemetry) {
+            println!("wrote {}", sidecar.display());
+        }
     }
 
     // Shape check mirroring the paper's claim.

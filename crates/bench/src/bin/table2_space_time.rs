@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use dcs_bench::{emit_record, Scale};
+use dcs_bench::{emit_record, emit_telemetry, Scale};
 use dcs_core::{DistinctCountSketch, SketchConfig, TrackingDcs};
 use dcs_metrics::{measure_per_update_micros, ExperimentRecord, Table};
 use dcs_streamgen::{PaperWorkload, WorkloadConfig};
@@ -47,6 +47,7 @@ fn main() {
     let mut su = Vec::new();
     let (mut sb_up, mut st_up, mut sb_q, mut st_q) =
         (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let mut telemetry = Vec::new();
 
     for &u in sizes {
         let workload = PaperWorkload::generate(WorkloadConfig {
@@ -101,6 +102,8 @@ fn main() {
         st_up.push(tracking_update.mean_micros);
         sb_q.push(basic_query);
         st_q.push(tracking_query);
+        telemetry.push(basic.telemetry_snapshot(&format!("table2_basic_u{u}")));
+        telemetry.push(tracking.telemetry_snapshot(&format!("table2_tracking_u{u}")));
     }
 
     println!("\nTable 2 — Basic vs Tracking (measured):");
@@ -118,5 +121,8 @@ fn main() {
         .with_series("tracking_query_micros", st_q);
     if let Some(path) = emit_record(&rec) {
         println!("wrote {}", path.display());
+        if let Some(sidecar) = emit_telemetry(&path, &telemetry) {
+            println!("wrote {}", sidecar.display());
+        }
     }
 }

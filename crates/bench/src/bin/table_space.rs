@@ -11,7 +11,7 @@
 //! Run: `cargo run -p dcs-bench --release --bin table_space [--scale full]`
 
 use dcs_baselines::ExactDistinctTracker;
-use dcs_bench::{emit_record, Scale};
+use dcs_bench::{emit_record, emit_telemetry, Scale};
 use dcs_core::{
     brute_force_bytes, predicted_sketch_bytes, DistinctCountSketch, GroupBy, SketchConfig,
     TrackingDcs,
@@ -48,6 +48,7 @@ fn main() {
     let mut series_basic = Vec::new();
     let mut series_tracking = Vec::new();
     let mut series_brute = Vec::new();
+    let mut telemetry = Vec::new();
 
     for &u in measured_sizes {
         let workload = PaperWorkload::generate(WorkloadConfig {
@@ -80,6 +81,7 @@ fn main() {
         series_basic.push(basic_bytes as f64);
         series_tracking.push(tracking_bytes as f64);
         series_brute.push(brute as f64);
+        telemetry.push(tracking.telemetry_snapshot(&format!("table_space_u{u}")));
         // Sanity note comparing the exact tracker's real allocation.
         println!(
             "U = {:>9}: exact tracker actually allocates {} (12-byte accounting: {})",
@@ -117,5 +119,8 @@ fn main() {
         .with_series("brute_force_bytes", series_brute);
     if let Some(path) = emit_record(&record) {
         println!("wrote {}", path.display());
+        if let Some(sidecar) = emit_telemetry(&path, &telemetry) {
+            println!("wrote {}", sidecar.display());
+        }
     }
 }

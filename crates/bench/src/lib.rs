@@ -98,6 +98,34 @@ pub fn emit_record(record: &dcs_metrics::ExperimentRecord) -> Option<std::path::
     }
 }
 
+/// Writes telemetry snapshots to the JSONL sidecar next to a results
+/// file (`results/x.json` → `results/x.telemetry.jsonl`) and returns
+/// the sidecar path. Like [`emit_record`], failures are reported but
+/// not fatal. Nothing is written when `snapshots` is empty.
+pub fn emit_telemetry(
+    results_path: &std::path::Path,
+    snapshots: &[dcs_telemetry::TelemetrySnapshot],
+) -> Option<std::path::PathBuf> {
+    if snapshots.is_empty() {
+        return None;
+    }
+    let sidecar = dcs_telemetry::sidecar_path(results_path);
+    let mut exporter = match dcs_telemetry::JsonlExporter::create(&sidecar) {
+        Ok(exporter) => exporter,
+        Err(e) => {
+            eprintln!("warning: cannot create {}: {e}", sidecar.display());
+            return None;
+        }
+    };
+    for snapshot in snapshots {
+        if let Err(e) = exporter.append(snapshot) {
+            eprintln!("warning: cannot write {}: {e}", sidecar.display());
+            return None;
+        }
+    }
+    Some(sidecar)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,6 +20,16 @@ pub enum SketchError {
         /// Description of the first mismatching attribute.
         reason: String,
     },
+    /// A `difference()` snapshot claims more processed updates than the
+    /// sketch it is being subtracted from — it cannot be an earlier
+    /// state of this sketch. (Previously this silently clamped the
+    /// window's `updates_processed` to zero via `saturating_sub`.)
+    SnapshotAhead {
+        /// Updates the snapshot has processed.
+        snapshot_updates: u64,
+        /// Updates the current sketch has processed.
+        current_updates: u64,
+    },
 }
 
 impl fmt::Display for SketchError {
@@ -30,6 +40,17 @@ impl fmt::Display for SketchError {
             }
             SketchError::IncompatibleMerge { reason } => {
                 write!(f, "sketches cannot be merged: {reason}")
+            }
+            SketchError::SnapshotAhead {
+                snapshot_updates,
+                current_updates,
+            } => {
+                write!(
+                    f,
+                    "snapshot is ahead of the sketch: snapshot has processed \
+                     {snapshot_updates} updates, sketch only {current_updates}; \
+                     it cannot be an earlier state of this sketch"
+                )
             }
         }
     }

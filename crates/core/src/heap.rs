@@ -43,6 +43,12 @@ pub struct IndexedMaxHeap<K> {
     /// priority below zero. Never increments on well-formed streams;
     /// see [`underflow_count`](Self::underflow_count).
     underflows: u64,
+    /// Number of [`adjust`](Self::adjust) calls that would have pushed a
+    /// priority past `u64::MAX`. Never increments on well-formed
+    /// streams; see [`overflow_count`](Self::overflow_count).
+    overflows: u64,
+    /// Total number of [`adjust`](Self::adjust) calls, clamped or not.
+    adjusts: u64,
 }
 
 impl<K: Ord + Hash + Clone> IndexedMaxHeap<K> {
@@ -52,6 +58,8 @@ impl<K: Ord + Hash + Clone> IndexedMaxHeap<K> {
             slots: Vec::new(),
             positions: DetHashMap::default(),
             underflows: 0,
+            overflows: 0,
+            adjusts: 0,
         }
     }
 
@@ -96,14 +104,25 @@ impl<K: Ord + Hash + Clone> IndexedMaxHeap<K> {
     /// matches the Tracking DCS semantics: a destination with no
     /// singleton occurrences left contributes nothing to the sample.
     ///
-    /// An adjustment that would take the priority *below* zero is
-    /// clamped — but counted in [`underflow_count`](Self::underflow_count)
-    /// rather than silently swallowed, so the tracking layer's invariant
-    /// check can surface it.
+    /// An adjustment that would take the priority *below* zero, or past
+    /// `u64::MAX`, is clamped — but counted in
+    /// [`underflow_count`](Self::underflow_count) /
+    /// [`overflow_count`](Self::overflow_count) rather than silently
+    /// swallowed, so the tracking layer's invariant check (and the
+    /// telemetry layer's clamp counters) can surface it. Previously a
+    /// positive overflow saturated at `u64::MAX` with no trace, pinning
+    /// the entry at the top of the heap forever.
     pub fn adjust(&mut self, key: K, delta: i64) {
+        self.adjusts += 1;
         let current = self.priority(&key).unwrap_or(0);
         let next = if delta >= 0 {
-            current.saturating_add(delta.unsigned_abs())
+            match current.checked_add(delta.unsigned_abs()) {
+                Some(next) => next,
+                None => {
+                    self.overflows += 1;
+                    u64::MAX
+                }
+            }
         } else {
             match current.checked_sub(delta.unsigned_abs()) {
                 Some(next) => next,
@@ -126,6 +145,20 @@ impl<K: Ord + Hash + Clone> IndexedMaxHeap<K> {
     /// count is evidence of an ill-formed stream or a bookkeeping bug.
     pub fn underflow_count(&self) -> u64 {
         self.underflows
+    }
+
+    /// Number of [`adjust`](Self::adjust) calls that tried to push a
+    /// priority past `u64::MAX` (and were pinned there). Sample
+    /// frequencies are bounded by the stream length, so a nonzero count
+    /// is evidence of an ill-formed stream or a bookkeeping bug.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Total number of [`adjust`](Self::adjust) calls made against this
+    /// heap (telemetry gauge for Fig. 6 step 11/21 traffic).
+    pub fn adjust_count(&self) -> u64 {
+        self.adjusts
     }
 
     /// Removes `key`, returning its priority if it was present.
@@ -308,6 +341,29 @@ mod tests {
         h.set(2u32, 3);
         h.adjust(2u32, -3);
         assert_eq!(h.underflow_count(), 2);
+    }
+
+    #[test]
+    fn overflowing_adjust_is_pinned_and_counted() {
+        let mut h = IndexedMaxHeap::new();
+        h.set(1u32, u64::MAX - 1);
+        // Exactly reaching MAX is a legitimate adjustment.
+        h.adjust(1u32, 1);
+        assert_eq!(h.priority(&1), Some(u64::MAX));
+        assert_eq!(h.overflow_count(), 0);
+        // One past MAX pins at MAX and is counted, not silent.
+        h.adjust(1u32, 1);
+        assert_eq!(h.priority(&1), Some(u64::MAX));
+        assert_eq!(h.overflow_count(), 1);
+        h.adjust(1u32, i64::MAX);
+        assert_eq!(h.overflow_count(), 2);
+        assert_eq!(h.underflow_count(), 0);
+        assert_eq!(h.adjust_count(), 3);
+        // The pinned entry is still adjustable back down.
+        h.adjust(1u32, -10);
+        assert_eq!(h.priority(&1), Some(u64::MAX - 10));
+        assert_eq!(h.overflow_count(), 2);
+        assert_eq!(h.adjust_count(), 4);
     }
 
     #[test]

@@ -109,6 +109,28 @@ impl LevelState {
         }
     }
 
+    /// Telemetry gauges for this level: `(occupied, singletons)` —
+    /// buckets with any nonzero counter, and buckets currently decoding
+    /// to a singleton, across all `r` tables. A full scan (`r·s`
+    /// screened decodes), so it belongs on the snapshot path, never the
+    /// update path.
+    pub(crate) fn occupancy(&self) -> (u64, u64) {
+        let mut occupied = 0u64;
+        let mut singletons = 0u64;
+        for table in &self.tables {
+            for sig in table {
+                if sig.is_zero() {
+                    continue;
+                }
+                occupied += 1;
+                if matches!(sig.decode_fast(), BucketState::Singleton { .. }) {
+                    singletons += 1;
+                }
+            }
+        }
+        (occupied, singletons)
+    }
+
     /// Whether every signature in the level is zero.
     pub(crate) fn is_zero(&self) -> bool {
         self.tables

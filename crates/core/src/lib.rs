@@ -62,6 +62,7 @@ pub(crate) mod level;
 pub mod signature;
 pub mod sketch;
 pub mod space;
+pub(crate) mod telem;
 pub mod theory;
 pub mod tracking;
 pub mod types;
@@ -69,6 +70,10 @@ pub mod types;
 pub use config::{HashFamily, SketchConfig, SketchConfigBuilder, KEY_BITS};
 pub use dcs_hash::cast;
 pub use dcs_hash::det::{DetHashMap, DetHashSet};
+/// Snapshot/gauge/export types for [`DistinctCountSketch::telemetry_snapshot`]
+/// and [`TrackingDcs::telemetry_snapshot`], re-exported so downstream
+/// crates need not name `dcs-telemetry` directly.
+pub use dcs_telemetry as telemetry;
 pub use error::SketchError;
 pub use estimator::{TopKEntry, TopKEstimate};
 pub use sketch::{DistinctCountSketch, DistinctSample};

@@ -6,6 +6,8 @@ use dcs_hash::cast::{u64_from_usize, usize_from_u32};
 use dcs_hash::mix::fingerprint64;
 use dcs_hash::{GeometricLevelHash, Hash64, MultiplyShiftHash, SeedSequence, TabulationHash};
 
+use dcs_telemetry::{LevelGauges, TelemetrySnapshot};
+
 use crate::config::{HashFamily, SketchConfig};
 use crate::error::SketchError;
 use crate::estimator::{
@@ -13,6 +15,7 @@ use crate::estimator::{
 };
 use crate::level::LevelState;
 use crate::signature::BucketState;
+use crate::telem::{Counter, Telem};
 use crate::types::{Delta, FlowKey, FlowUpdate};
 
 /// A distinct sample extracted from a sketch, with its inference level.
@@ -104,6 +107,11 @@ pub struct DistinctCountSketch {
     levels: Vec<Option<LevelState>>,
     updates_processed: u64,
     net_updates: i64,
+    /// Telemetry recorder — a ZST no-op unless the `telemetry` feature
+    /// is enabled. Not part of the synopsis state, so it is skipped by
+    /// serialization and ignored by equality-style comparisons.
+    #[cfg_attr(feature = "serde", serde(skip, default))]
+    pub(crate) telem: Telem,
 }
 
 impl DistinctCountSketch {
@@ -122,6 +130,7 @@ impl DistinctCountSketch {
             levels,
             updates_processed: 0,
             net_updates: 0,
+            telem: Telem::new(),
         }
     }
 
@@ -162,6 +171,7 @@ impl DistinctCountSketch {
     /// the update to the count signature at `g_j(u,v)`.
     #[inline]
     pub fn update(&mut self, update: FlowUpdate) {
+        let timer = self.telem.start_timer();
         let level = usize_from_u32(self.level_of(update.key));
         let buckets = self.config.buckets_per_table();
         let num_tables = self.config.num_tables();
@@ -173,6 +183,7 @@ impl DistinctCountSketch {
         }
         self.updates_processed += 1;
         self.net_updates += update.delta.signum();
+        self.telem.record_update(timer);
     }
 
     /// Convenience: processes a `+1` update for `(source, dest)`.
@@ -248,6 +259,7 @@ impl DistinctCountSketch {
         // sixteen counter reads and no inverse or fingerprint mixing.
         if sig.skips_as_own_singleton(key, delta, fp) {
             state.apply_with_fp(table, bucket, key, delta, fp);
+            self.telem.incr(Counter::ScreenFastSkip);
             return None;
         }
         let sig = state.signature(table, bucket);
@@ -260,6 +272,7 @@ impl DistinctCountSketch {
         };
         if no_transition {
             state.apply_with_fp(table, bucket, key, delta, fp);
+            self.telem.incr(Counter::ScreenNoTransition);
             return None;
         }
         let before = sig.decode_class(class_before);
@@ -268,6 +281,14 @@ impl DistinctCountSketch {
         // exactly, so materializing it against the updated signature
         // equals a fresh `decode_fast`.
         let after = state.signature(table, bucket).decode_class(class_after);
+        self.telem.incr(Counter::ScreenMiss);
+        for decoded in [&before, &after] {
+            if matches!(decoded, BucketState::Singleton { .. }) {
+                self.telem.incr(Counter::DecodeSingleton);
+            } else {
+                self.telem.incr(Counter::DecodeNonSingleton);
+            }
+        }
         Some((before, after))
     }
 
@@ -350,15 +371,18 @@ impl DistinctCountSketch {
     /// sample size `(1+ε)·s/16`. The returned estimate exposes the
     /// inference level and sample size alongside the entries.
     pub fn estimate_top_k(&self, k: usize, epsilon: f64) -> TopKEstimate {
+        let timer = self.telem.start_timer();
         let sample = self.distinct_sample(epsilon);
         let freqs = group_frequencies(&sample.keys, self.config.group_by());
-        top_k_from_frequencies(
+        let estimate = top_k_from_frequencies(
             &freqs,
             k,
             self.config.group_by(),
             sample.level,
             sample.keys.len(),
-        )
+        );
+        self.telem.record_query(timer);
+        estimate
     }
 
     /// Footnote-3 variant: estimates all groups with frequency ≥ `tau`.
@@ -412,6 +436,7 @@ impl DistinctCountSketch {
         }
         self.updates_processed += other.updates_processed;
         self.net_updates += other.net_updates;
+        self.telem.merge_from(&other.telem);
         Ok(())
     }
 
@@ -432,7 +457,12 @@ impl DistinctCountSketch {
     /// # Errors
     ///
     /// Returns [`SketchError::IncompatibleMerge`] if the configurations
-    /// (including seeds) differ.
+    /// (including seeds) differ, and [`SketchError::SnapshotAhead`] if
+    /// `snapshot` has processed *more* updates than this sketch — it
+    /// then cannot be an earlier state, and the subtraction would
+    /// produce a window of garbage. (An earlier revision clamped the
+    /// window's update count to zero with `saturating_sub` and returned
+    /// the garbage silently.)
     ///
     /// # Examples
     ///
@@ -445,12 +475,21 @@ impl DistinctCountSketch {
     /// sketch.insert(SourceAddr(2), DestAddr(9));
     /// let recent = sketch.difference(&snapshot)?;
     /// assert_eq!(recent.estimate_distinct_pairs(0.25), 1); // only the new pair
+    /// // The other direction is an error, not an empty window:
+    /// assert!(snapshot.difference(&sketch).is_err());
     /// # Ok::<(), dcs_core::SketchError>(())
     /// ```
     pub fn difference(&self, snapshot: &Self) -> Result<Self, SketchError> {
         if !self.is_compatible(snapshot) {
             return Err(SketchError::IncompatibleMerge {
                 reason: format!("configs differ: {:?} vs {:?}", self.config, snapshot.config),
+            });
+        }
+        if snapshot.updates_processed > self.updates_processed {
+            self.telem.incr(Counter::SnapshotAheadRejected);
+            return Err(SketchError::SnapshotAhead {
+                snapshot_updates: snapshot.updates_processed,
+                current_updates: self.updates_processed,
             });
         }
         let mut diff = self.clone();
@@ -470,9 +509,9 @@ impl DistinctCountSketch {
                 _ => {}
             }
         }
-        diff.updates_processed = self
-            .updates_processed
-            .saturating_sub(snapshot.updates_processed);
+        // Safe plain subtraction: the snapshot-ahead guard above already
+        // rejected `snapshot.updates_processed > self.updates_processed`.
+        diff.updates_processed = self.updates_processed - snapshot.updates_processed;
         diff.net_updates = self.net_updates - snapshot.net_updates;
         Ok(diff)
     }
@@ -526,6 +565,39 @@ impl DistinctCountSketch {
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn level_state(&self, level: usize) -> Option<&LevelState> {
         self.levels[level].as_ref()
+    }
+
+    /// Assembles a telemetry snapshot of the sketch: per-level bucket
+    /// occupancy and decodable-singleton gauges, plus — when the
+    /// `telemetry` feature is enabled — the hot-path event counters and
+    /// update/query latency summaries. With the feature disabled the
+    /// counters map is empty and latencies are `None` (the no-op
+    /// recorder contributes nothing); the structural gauges are always
+    /// read live from the counter arrays.
+    ///
+    /// This is a full scan of the allocated levels (`O(levels · r · s)`
+    /// screened decodes), intended for periodic export, not the update
+    /// path.
+    pub fn telemetry_snapshot(&self, label: &str) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::new(label);
+        snap.updates_processed = self.updates_processed;
+        snap.net_updates = self.net_updates;
+        for (index, state) in self.levels.iter().enumerate() {
+            let Some(state) = state else { continue };
+            let (occupied, singletons) = state.occupancy();
+            let gauges = LevelGauges {
+                level: u32::try_from(index).unwrap_or(u32::MAX),
+                occupied_buckets: occupied,
+                decoded_singletons: singletons,
+                tracked_singletons: 0,
+                heap_len: 0,
+            };
+            if !gauges.is_empty() {
+                snap.levels.push(gauges);
+            }
+        }
+        self.telem.fill_snapshot(&mut snap);
+        snap
     }
 }
 

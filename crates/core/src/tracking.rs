@@ -21,6 +21,7 @@
 use dcs_hash::cast::{u64_from_usize, usize_from_u32};
 use dcs_hash::det::DetHashMap;
 use dcs_hash::mix::fingerprint64;
+use dcs_telemetry::{Counter, LevelGauges, TelemetrySnapshot};
 
 use crate::config::SketchConfig;
 use crate::error::SketchError;
@@ -154,6 +155,7 @@ impl TrackingDcs {
     /// Only buckets the screen cannot clear pay for the
     /// decode-before/decode-after transition handling.
     pub fn update(&mut self, update: FlowUpdate) {
+        let timer = self.sketch.telem.start_timer();
         let level = usize_from_u32(self.sketch.level_of(update.key));
         let num_tables = self.config().num_tables();
         let fp = fingerprint64(update.key.packed());
@@ -167,6 +169,7 @@ impl TrackingDcs {
             }
         }
         self.sketch.note_update(update.delta);
+        self.sketch.telem.record_update(timer);
     }
 
     /// The unscreened update path: decode-before / apply / decode-after
@@ -289,6 +292,7 @@ impl TrackingDcs {
     /// `TrackTopk` (Fig. 7): returns the approximate top-`k` groups in
     /// `O(k log m)` time from the maintained heaps.
     pub fn track_top_k(&self, k: usize, epsilon: f64) -> TopKEstimate {
+        let timer = self.sketch.telem.start_timer();
         let (level, size) = self.select_level(epsilon);
         let scale = 1u64 << level;
         let entries = self.levels[usize_from_u32(level)]
@@ -301,13 +305,15 @@ impl TrackingDcs {
                 sample_frequency: freq,
             })
             .collect();
-        TopKEstimate {
+        let estimate = TopKEstimate {
             entries,
             group_by: self.config().group_by(),
             sample_level: level,
             sample_size: size,
             scale,
-        }
+        };
+        self.sketch.telem.record_query(timer);
+        estimate
     }
 
     /// Footnote-3 variant: all groups whose estimate is ≥ `tau`.
@@ -393,6 +399,65 @@ impl TrackingDcs {
         self.levels.iter().map(|l| l.heap.underflow_count()).sum()
     }
 
+    /// Total number of heap-priority overflow clamps across all levels
+    /// (zero on well-formed streams); see
+    /// [`IndexedMaxHeap::overflow_count`].
+    pub fn heap_overflows(&self) -> u64 {
+        self.levels.iter().map(|l| l.heap.overflow_count()).sum()
+    }
+
+    /// Total number of heap-priority adjustments applied across all
+    /// levels (Fig. 6 step 11/21 traffic).
+    pub fn heap_adjusts(&self) -> u64 {
+        self.levels.iter().map(|l| l.heap.adjust_count()).sum()
+    }
+
+    /// Assembles a telemetry snapshot: the underlying sketch's gauges,
+    /// counters, and latencies (see
+    /// [`DistinctCountSketch::telemetry_snapshot`]) extended with the
+    /// tracking layer's own state — `numSingletons(b)` and
+    /// `topDestHeap(b)` size per level, plus the always-on bookkeeping
+    /// counters (`heap_adjust`, the two heap clamp counters, and
+    /// `untracked_decrement`), which are recorded as plain fields on the
+    /// structures and therefore appear even in non-`telemetry` builds.
+    pub fn telemetry_snapshot(&self, label: &str) -> TelemetrySnapshot {
+        let mut snap = self.sketch.telemetry_snapshot(label);
+        let mut by_level: std::collections::BTreeMap<u32, LevelGauges> = snap
+            .levels
+            .drain(..)
+            .map(|gauges| (gauges.level, gauges))
+            .collect();
+        for (index, level) in self.levels.iter().enumerate() {
+            let tracked = u64_from_usize(level.singletons.len());
+            let heap_len = u64_from_usize(level.heap.len());
+            if tracked == 0 && heap_len == 0 {
+                continue;
+            }
+            let key = u32::try_from(index).unwrap_or(u32::MAX);
+            let entry = by_level.entry(key).or_insert(LevelGauges {
+                level: key,
+                ..LevelGauges::default()
+            });
+            entry.tracked_singletons = tracked;
+            entry.heap_len = heap_len;
+        }
+        snap.levels = by_level.into_values().collect();
+        for (name, value) in [
+            (Counter::HeapAdjust.name(), self.heap_adjusts()),
+            (Counter::HeapUnderflowClamp.name(), self.heap_underflows()),
+            (Counter::HeapOverflowClamp.name(), self.heap_overflows()),
+            (
+                Counter::UntrackedDecrement.name(),
+                self.untracked_decrements,
+            ),
+        ] {
+            if value > 0 {
+                snap.set_counter(name, value);
+            }
+        }
+        snap
+    }
+
     /// Rebuilds `singletons`/heaps from the current counter storage.
     /// Anomaly counters reset too — the rebuilt structures are exact by
     /// construction, so prior evidence of drift no longer applies.
@@ -441,13 +506,15 @@ impl TrackingDcs {
     ///
     /// Checks, per level `b`: `singletons(b)` equals the decoded
     /// singleton set, and every heap priority at `b` equals the group's
-    /// frequency in `∪_{l ≥ b} singletons(l)`. Also fails if either
+    /// frequency in `∪_{l ≥ b} singletons(l)`. Also fails if any
     /// silent-failure counter ([`untracked_decrements`],
-    /// [`heap_underflows`]) is nonzero, and cross-checks the screened
-    /// decode against the exhaustive decode on every bucket.
+    /// [`heap_underflows`], [`heap_overflows`]) is nonzero, and
+    /// cross-checks the screened decode against the exhaustive decode
+    /// on every bucket.
     ///
     /// [`untracked_decrements`]: Self::untracked_decrements
     /// [`heap_underflows`]: Self::heap_underflows
+    /// [`heap_overflows`]: Self::heap_overflows
     #[doc(hidden)]
     pub fn check_tracking_invariants(&self) -> Result<(), String> {
         if self.untracked_decrements > 0 {
@@ -460,6 +527,12 @@ impl TrackingDcs {
         if underflows > 0 {
             return Err(format!(
                 "{underflows} heap priority underflow(s) observed (ill-formed stream?)"
+            ));
+        }
+        let overflows = self.heap_overflows();
+        if overflows > 0 {
+            return Err(format!(
+                "{overflows} heap priority overflow clamp(s) observed (ill-formed stream?)"
             ));
         }
         let num_tables = self.config().num_tables();

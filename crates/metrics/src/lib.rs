@@ -26,4 +26,4 @@ pub mod timing;
 pub use accuracy::{average_relative_error, kendall_tau, precision, top_k_recall, AccuracyReport};
 pub use stats::Stats;
 pub use table::{ExperimentRecord, Table};
-pub use timing::{measure_per_update_micros, TimingStats};
+pub use timing::{measure_per_update_micros, LatencyStats, TimingStats};

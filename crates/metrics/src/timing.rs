@@ -58,6 +58,14 @@ pub fn measure_per_update_micros<F: FnOnce()>(operations: u64, work: F) -> Timin
     TimingStats::from_elapsed(operations, start.elapsed())
 }
 
+/// Quantile summary of a latency distribution, extending
+/// [`TimingStats`]' whole-run mean with tail percentiles.
+///
+/// Defined in `dcs-telemetry` (the histogram that produces it lives
+/// there, below `dcs-core` in the dependency order) and re-exported
+/// here so experiment code keeps one import surface for timing types.
+pub use dcs_telemetry::LatencyStats;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -50,7 +50,7 @@ pub use impair::Impairment;
 pub use monitor::{Alarm, AlarmEvent, AlarmPolicy, DdosMonitor};
 pub use netflow::{FlowAggregator, FlowRecord, RecordConverter};
 pub use packet::{TcpFlags, TcpSegment};
-pub use pipeline::{run_pipeline, DetectionReport, PipelineConfig};
+pub use pipeline::{run_pipeline, DetectionReport, PipelineConfig, TelemetrySidecar};
 pub use router::EdgeRouter;
 pub use sharded::ingest_sharded;
 pub use simulation::{run_simulation, SimulationConfig, SimulationOutcome};

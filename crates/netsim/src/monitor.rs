@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use dcs_core::{FlowUpdate, SketchConfig, TopKEstimate, TrackingDcs};
+use dcs_telemetry::TelemetrySnapshot;
 
 /// Alarm thresholds and baseline smoothing.
 #[derive(Debug, Clone, PartialEq)]
@@ -258,6 +259,24 @@ impl DdosMonitor {
     /// Number of evaluations performed.
     pub fn evaluations(&self) -> u64 {
         self.evaluations
+    }
+
+    /// Assembles a telemetry snapshot of the monitor: the tracking
+    /// sketch's snapshot (see [`TrackingDcs::telemetry_snapshot`])
+    /// extended with the monitor's own gauges — evaluation count,
+    /// baselines held, and destinations currently in the alarmed state.
+    pub fn telemetry_snapshot(&self, label: &str) -> TelemetrySnapshot {
+        let mut snap = self.sketch.telemetry_snapshot(label);
+        snap.set_counter("monitor_evaluations", self.evaluations);
+        snap.set_counter(
+            "monitor_baselines",
+            u64::try_from(self.baselines.len()).unwrap_or(u64::MAX),
+        );
+        snap.set_counter(
+            "monitor_active_alarms",
+            u64::try_from(self.active_alarms.len()).unwrap_or(u64::MAX),
+        );
+        snap
     }
 }
 

@@ -8,6 +8,7 @@
 //! shared behind a `parking_lot::Mutex` so callers can inspect the
 //! final sketch after the run.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread;
 
@@ -15,10 +16,32 @@ use crossbeam::channel;
 use parking_lot::Mutex;
 
 use dcs_core::{FlowUpdate, SketchConfig};
+use dcs_telemetry::JsonlExporter;
 
 use crate::monitor::{Alarm, AlarmPolicy, DdosMonitor};
 use crate::packet::TcpSegment;
 use crate::router::EdgeRouter;
+
+/// Where and how often the monitor thread exports telemetry snapshots.
+#[derive(Debug, Clone)]
+pub struct TelemetrySidecar {
+    /// JSONL file the snapshots are appended to (truncated at start).
+    pub path: PathBuf,
+    /// Snapshot every this many ingested updates (a final snapshot is
+    /// always written at shutdown regardless).
+    pub every: u64,
+}
+
+impl TelemetrySidecar {
+    /// A sidecar next to a results file, snapshotting every `every`
+    /// updates. See [`dcs_telemetry::sidecar_path`] for the naming rule.
+    pub fn beside(results_path: &std::path::Path, every: u64) -> Self {
+        Self {
+            path: dcs_telemetry::sidecar_path(results_path),
+            every,
+        }
+    }
+}
 
 /// Pipeline tuning knobs.
 #[derive(Debug, Clone)]
@@ -33,6 +56,8 @@ pub struct PipelineConfig {
     pub evaluate_every: u64,
     /// Router half-open timeout in ticks (`None` disables).
     pub half_open_timeout: Option<u64>,
+    /// Optional telemetry JSONL sidecar written by the monitor thread.
+    pub telemetry: Option<TelemetrySidecar>,
 }
 
 impl Default for PipelineConfig {
@@ -43,6 +68,7 @@ impl Default for PipelineConfig {
             batch_size: 1024,
             evaluate_every: 10_000,
             half_open_timeout: None,
+            telemetry: None,
         }
     }
 }
@@ -70,11 +96,29 @@ impl DetectionReport {
     }
 }
 
+/// Appends one monitor snapshot, disabling the exporter on I/O failure
+/// so a full disk degrades to a warning rather than a panic or a flood
+/// of repeated errors.
+fn append_snapshot(exporter: &mut Option<JsonlExporter>, monitor: &DdosMonitor, label: &str) {
+    if let Some(exp) = exporter {
+        if let Err(e) = exp.append(&monitor.telemetry_snapshot(label)) {
+            eprintln!(
+                "telemetry sidecar {}: {e}; disabling export",
+                exp.path().display()
+            );
+            *exporter = None;
+        }
+    }
+}
+
 /// Runs the pipeline: one thread per router feed, one monitor thread.
 ///
 /// Each element of `router_feeds` is the time-ordered packet feed of one
 /// edge router. Returns after all feeds are exhausted, the channel has
-/// drained, and a final alarm evaluation has run.
+/// drained, and a final alarm evaluation has run. When
+/// [`PipelineConfig::telemetry`] is set, the monitor thread also appends
+/// periodic [`dcs_telemetry::TelemetrySnapshot`]s (and one final
+/// `pipeline_final` snapshot) to the configured JSONL sidecar.
 ///
 /// # Examples
 ///
@@ -123,11 +167,21 @@ pub fn run_pipeline(router_feeds: Vec<Vec<TcpSegment>>, config: PipelineConfig) 
         let sketch = config.sketch.clone();
         let policy = config.policy.clone();
         let evaluate_every = config.evaluate_every.max(1);
+        let sidecar = config.telemetry.clone();
         thread::spawn(move || {
             let mut monitor = DdosMonitor::new(sketch, policy);
+            // A failed sidecar must not kill the detection run: report
+            // on stderr and carry on without telemetry.
+            let mut exporter = sidecar.as_ref().and_then(|s| {
+                JsonlExporter::create(&s.path)
+                    .map_err(|e| eprintln!("telemetry sidecar {}: {e}", s.path.display()))
+                    .ok()
+            });
+            let snapshot_every = sidecar.map_or(u64::MAX, |s| s.every.max(1));
             let mut alarms = Vec::new();
             let mut ingested = 0u64;
             let mut next_eval = evaluate_every;
+            let mut next_snapshot = snapshot_every;
             for batch in update_rx {
                 for update in batch {
                     monitor.ingest_one(update);
@@ -136,9 +190,14 @@ pub fn run_pipeline(router_feeds: Vec<Vec<TcpSegment>>, config: PipelineConfig) 
                         alarms.extend(monitor.evaluate());
                         next_eval += evaluate_every;
                     }
+                    if ingested >= next_snapshot {
+                        append_snapshot(&mut exporter, &monitor, "pipeline");
+                        next_snapshot += snapshot_every;
+                    }
                 }
             }
             alarms.extend(monitor.evaluate());
+            append_snapshot(&mut exporter, &monitor, "pipeline_final");
             (monitor, alarms, ingested)
         })
     };
@@ -184,6 +243,7 @@ mod tests {
             batch_size: 64,
             evaluate_every: 500,
             half_open_timeout: None,
+            telemetry: None,
         }
     }
 
@@ -237,6 +297,40 @@ mod tests {
         assert!(report.alarms.is_empty());
         assert_eq!(report.updates_ingested, 0);
         assert_eq!(report.monitor.sketch().updates_processed(), 0);
+    }
+
+    #[test]
+    fn telemetry_sidecar_is_written_and_valid() {
+        let mut driver = TrafficDriver::new(5);
+        driver.syn_flood(DestAddr(0x0a000007), 800);
+        let path = std::env::temp_dir().join(format!(
+            "dcs_pipeline_telemetry_{}.jsonl",
+            std::process::id()
+        ));
+        let mut cfg = config(300);
+        cfg.telemetry = Some(TelemetrySidecar {
+            path: path.clone(),
+            every: 400,
+        });
+        let report = run_pipeline(vec![driver.into_segments()], cfg);
+        assert!(report.alarmed_destinations().contains(&0x0a00_0007));
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = contents.lines().collect();
+        // Periodic snapshots plus the final one.
+        assert!(
+            lines.len() >= 2,
+            "expected >= 2 snapshots, got {}",
+            lines.len()
+        );
+        for line in &lines {
+            dcs_telemetry::validate_line(line).unwrap();
+        }
+        assert!(lines
+            .last()
+            .unwrap()
+            .contains("\"label\":\"pipeline_final\""));
+        assert!(lines.last().unwrap().contains("\"monitor_evaluations\""));
     }
 
     #[test]

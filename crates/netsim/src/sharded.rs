@@ -174,6 +174,40 @@ mod tests {
     }
 
     #[test]
+    fn merged_sketch_accumulates_shard_telemetry() {
+        let updates: Vec<FlowUpdate> = (0..8_000u32)
+            .map(|s| FlowUpdate::insert(SourceAddr(s), DestAddr(s % 50)))
+            .collect();
+        let sketch = ingest_sharded(&updates, config(), 4).unwrap();
+        let snap = sketch.telemetry_snapshot("sharded");
+        assert_eq!(snap.updates_processed, updates.len() as u64);
+        assert!(!snap.levels.is_empty(), "gauges survive the merge");
+        // With recording compiled in, every shard's recorder state must
+        // flow through `merge_from` into the merged sketch: each of the
+        // 8 000 updates was timed in exactly one shard, so the merged
+        // update histogram holds them all. (Screen counters stay zero
+        // here — the screen is the *tracking* hot path, and shards run
+        // basic sketches.)
+        #[cfg(feature = "telemetry")]
+        {
+            let latency = snap.update_latency.as_ref().expect("merged latency");
+            assert_eq!(
+                latency.count,
+                updates.len() as u64,
+                "update timings across shards"
+            );
+        }
+        // Without the feature only the always-on bookkeeping (heap
+        // counters) may appear; the no-op recorder contributes nothing.
+        #[cfg(not(feature = "telemetry"))]
+        assert!(
+            !snap.counters.keys().any(|name| name.starts_with("screen_")),
+            "no-op recorder contributes nothing: {:?}",
+            snap.counters
+        );
+    }
+
+    #[test]
     fn empty_stream_is_fine() {
         let sketch = ingest_sharded(&[], config(), 4).unwrap();
         assert!(sketch.track_top_k(5, 0.25).entries.is_empty());

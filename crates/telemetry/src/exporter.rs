@@ -1,0 +1,140 @@
+//! JSONL sidecar export.
+//!
+//! A [`JsonlExporter`] appends [`TelemetrySnapshot`]s to a text file,
+//! one JSON object per line, assigning each line a monotone `sequence`
+//! number. [`sidecar_path`] derives the conventional sidecar name from
+//! an experiment's `results/*.json` path so every driver that emits a
+//! result table can drop its telemetry next to it
+//! (`fig9_mixed_workload.json` → `fig9_mixed_workload.telemetry.jsonl`).
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::snapshot::TelemetrySnapshot;
+
+/// The conventional telemetry sidecar path for a results file:
+/// the same path with the final extension replaced by
+/// `telemetry.jsonl`.
+///
+/// ```
+/// use dcs_telemetry::sidecar_path;
+/// use std::path::Path;
+///
+/// let sidecar = sidecar_path(Path::new("results/fig8_accuracy.json"));
+/// assert_eq!(sidecar, Path::new("results/fig8_accuracy.telemetry.jsonl"));
+/// ```
+pub fn sidecar_path(results_path: &Path) -> PathBuf {
+    results_path.with_extension("telemetry.jsonl")
+}
+
+/// Appends snapshots to a JSONL file, one per line.
+#[derive(Debug)]
+pub struct JsonlExporter {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    next_sequence: u64,
+}
+
+impl JsonlExporter {
+    /// Creates (or truncates) the sidecar at `path`, creating parent
+    /// directories as needed.
+    pub fn create(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(&path)?;
+        Ok(Self {
+            writer: BufWriter::new(file),
+            path,
+            next_sequence: 0,
+        })
+    }
+
+    /// The file this exporter writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of snapshots appended so far.
+    pub fn lines_written(&self) -> u64 {
+        self.next_sequence
+    }
+
+    /// Appends one snapshot, stamping its `sequence` field with this
+    /// exporter's running line number, and flushes so partial sidecars
+    /// of killed runs stay parseable.
+    pub fn append(&mut self, snapshot: &TelemetrySnapshot) -> io::Result<()> {
+        let mut stamped = snapshot.clone();
+        stamped.sequence = self.next_sequence;
+        self.writer.write_all(stamped.to_jsonl().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.next_sequence += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dcs-telemetry-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn sidecar_path_swaps_extension() {
+        assert_eq!(
+            sidecar_path(Path::new("results/table_space.json")),
+            Path::new("results/table_space.telemetry.jsonl")
+        );
+        assert_eq!(
+            sidecar_path(Path::new("bare")),
+            Path::new("bare.telemetry.jsonl")
+        );
+    }
+
+    #[test]
+    fn append_stamps_sequence_and_writes_lines() {
+        let dir = temp_dir("append");
+        let path = dir.join("nested").join("run.telemetry.jsonl");
+        let mut exporter = JsonlExporter::create(&path).expect("create sidecar");
+        let snap = TelemetrySnapshot::new("seq-test");
+        exporter.append(&snap).expect("append 0");
+        exporter.append(&snap).expect("append 1");
+        assert_eq!(exporter.lines_written(), 2);
+        let text = fs::read_to_string(&path).expect("read sidecar");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"sequence\":0"));
+        assert!(lines[1].contains("\"sequence\":1"));
+        for line in lines {
+            crate::schema::validate_line(line).expect("line validates");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_truncates_existing_file() {
+        let dir = temp_dir("truncate");
+        let path = dir.join("run.telemetry.jsonl");
+        {
+            let mut exporter = JsonlExporter::create(&path).expect("create");
+            exporter
+                .append(&TelemetrySnapshot::new("first"))
+                .expect("append");
+        }
+        let exporter = JsonlExporter::create(&path).expect("recreate");
+        assert_eq!(exporter.lines_written(), 0);
+        let text = fs::read_to_string(&path).expect("read");
+        assert!(text.is_empty(), "recreate truncates");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,63 @@
+//! Latency summary types shared with the metrics layer.
+//!
+//! [`LatencyStats`] lives here (rather than in `dcs-metrics`, whose
+//! `TimingStats` it extends) because the dependency arrow has to point
+//! this way: `dcs-core` records into this crate's histograms, and
+//! `dcs-metrics` depends on `dcs-core`. `dcs-metrics` re-exports the
+//! type so experiment tables keep a single import surface.
+
+/// Quantile summary of a latency distribution, in microseconds.
+///
+/// `dcs_metrics::TimingStats` reports only the mean over a whole run;
+/// telemetry histograms summarize the *distribution* of individual
+/// operation latencies — tail behavior is where a "real-time" monitor
+/// (§5) actually lives or dies. Produced by [`crate::LogHistogram`];
+/// quantiles are therefore bucket-resolution approximations (within a
+/// factor of 2) while `count` and `max_micros` are exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LatencyStats {
+    /// Number of operations recorded.
+    pub count: u64,
+    /// Approximate median latency.
+    pub p50_micros: f64,
+    /// Approximate 95th-percentile latency.
+    pub p95_micros: f64,
+    /// Approximate 99th-percentile latency.
+    pub p99_micros: f64,
+    /// Exact maximum observed latency.
+    pub max_micros: f64,
+}
+
+impl LatencyStats {
+    /// An empty summary (no operations recorded).
+    pub fn empty() -> Self {
+        Self {
+            count: 0,
+            p50_micros: 0.0,
+            p95_micros: 0.0,
+            p99_micros: 0.0,
+            max_micros: 0.0,
+        }
+    }
+
+    /// Whether any operations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_empty() {
+        assert!(LatencyStats::empty().is_empty());
+        let nonempty = LatencyStats {
+            count: 1,
+            ..LatencyStats::empty()
+        };
+        assert!(!nonempty.is_empty());
+    }
+}

@@ -43,6 +43,7 @@ fn main() {
         batch_size: 512,
         evaluate_every: 2_000,
         half_open_timeout: None,
+        telemetry: None,
     };
 
     let report = run_pipeline(feeds, config);

@@ -17,6 +17,7 @@
 //! | [`streamgen`] | `dcs-streamgen` | Zipf workloads, attack scenarios, trace format |
 //! | [`netsim`] | `dcs-netsim` | TCP segments, handshake tracking, routers, DDoS monitor, pipeline |
 //! | [`metrics`] | `dcs-metrics` | recall, relative error, timing, result tables |
+//! | [`telemetry`] | `dcs-telemetry` | hot-path counters, latency histograms, JSONL snapshot export |
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -53,6 +54,7 @@ pub use dcs_hash as hash;
 pub use dcs_metrics as metrics;
 pub use dcs_netsim as netsim;
 pub use dcs_streamgen as streamgen;
+pub use dcs_telemetry as telemetry;
 
 pub use dcs_core::{
     Delta, DestAddr, DistinctCountSketch, FlowKey, FlowUpdate, GroupBy, SketchConfig, SketchError,

@@ -88,6 +88,7 @@ fn pipeline_detects_distributed_attack_single_routers_do_not() {
         batch_size: 128,
         evaluate_every: 1_000,
         half_open_timeout: None,
+        telemetry: None,
     };
     let report = run_pipeline(feeds, config);
     assert!(report.alarmed_destinations().contains(&victim.0));

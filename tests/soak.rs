@@ -49,6 +49,7 @@ fn churn_run(steps: u32, seed: u64, check_every: u32) {
             // ...the silent-failure counters stay untouched on a
             // well-formed stream (every delete cancels a live insert)...
             assert_eq!(sketch.heap_underflows(), 0, "step {step}");
+            assert_eq!(sketch.heap_overflows(), 0, "step {step}");
             assert_eq!(sketch.untracked_decrements(), 0, "step {step}");
             // ...and accuracy stays in band whenever there is enough
             // mass for the top-5 to be meaningful.

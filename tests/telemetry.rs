@@ -1,0 +1,195 @@
+//! Integration tests for the telemetry layer: snapshot contents after
+//! scripted insert/delete churn, JSONL schema conformance, the
+//! snapshot-ahead rejection, and the feature-gated recorder's
+//! all-or-nothing behavior (`--features telemetry` fills counters and
+//! latency summaries; the default build's no-op recorder contributes
+//! nothing).
+
+use dcs_core::{DestAddr, DistinctCountSketch, SketchConfig, SketchError, SourceAddr, TrackingDcs};
+use dcs_telemetry::{validate_line, JsonlExporter, TelemetrySnapshot};
+
+fn config(seed: u64) -> SketchConfig {
+    SketchConfig::builder()
+        .buckets_per_table(256)
+        .seed(seed)
+        .build()
+        .expect("valid config")
+}
+
+/// Scripted churn: 600 inserts across 3 destinations, then 150 paired
+/// deletions. Net distinct pairs: 450.
+fn churned_tracking() -> TrackingDcs {
+    let mut sketch = TrackingDcs::new(config(17));
+    for s in 0..600u32 {
+        sketch.insert(SourceAddr(s), DestAddr(s % 3));
+    }
+    for s in 0..150u32 {
+        sketch.delete(SourceAddr(s), DestAddr(s % 3));
+    }
+    sketch
+}
+
+#[test]
+fn tracking_snapshot_gauges_match_sketch_state() {
+    let sketch = churned_tracking();
+    let snap = sketch.telemetry_snapshot("churn");
+
+    assert_eq!(snap.label, "churn");
+    assert_eq!(snap.updates_processed, 750);
+    assert_eq!(snap.net_updates, 450);
+    assert!(!snap.levels.is_empty(), "churn populates levels");
+
+    // Levels arrive strictly ascending, and the tracking gauges agree
+    // with the sketch's own per-level singleton accounting.
+    let mut prev = None;
+    for gauges in &snap.levels {
+        assert!(prev.is_none_or(|p| p < gauges.level), "ascending levels");
+        prev = Some(gauges.level);
+        assert_eq!(
+            gauges.tracked_singletons,
+            sketch.num_singletons(gauges.level) as u64,
+            "level {}",
+            gauges.level
+        );
+    }
+    let tracked_total: u64 = snap.levels.iter().map(|g| g.tracked_singletons).sum();
+    assert!(tracked_total > 0, "churn leaves live singletons");
+
+    // Deletion churn exercises the heap adjust path, whose bookkeeping
+    // is always on (not gated by the telemetry feature).
+    assert_eq!(
+        snap.counters.get("heap_adjust").copied(),
+        Some(sketch.heap_adjusts())
+    );
+    assert!(sketch.heap_adjusts() > 0);
+    // Clean paired deletions never clamp.
+    assert!(!snap.counters.contains_key("heap_underflow_clamp"));
+    assert!(!snap.counters.contains_key("heap_overflow_clamp"));
+    assert_eq!(sketch.heap_overflows(), 0);
+}
+
+#[test]
+fn snapshot_serializes_to_valid_jsonl() {
+    let sketch = churned_tracking();
+    let line = sketch.telemetry_snapshot("jsonl").to_jsonl();
+    validate_line(&line).expect("snapshot conforms to its own schema");
+
+    // Round-trip through the exporter too.
+    let path = std::env::temp_dir().join(format!("dcs_telemetry_it_{}.jsonl", std::process::id()));
+    let mut exporter = JsonlExporter::create(&path).expect("create sidecar");
+    exporter
+        .append(&sketch.telemetry_snapshot("first"))
+        .expect("append");
+    exporter
+        .append(&sketch.telemetry_snapshot("second"))
+        .expect("append");
+    let contents = std::fs::read_to_string(&path).expect("read back");
+    let _ = std::fs::remove_file(&path);
+    let lines: Vec<&str> = contents.lines().collect();
+    assert_eq!(lines.len(), 2);
+    for line in &lines {
+        validate_line(line).expect("exported line validates");
+    }
+    // The exporter stamps monotonically increasing sequence numbers.
+    assert!(lines[0].contains("\"sequence\":0"));
+    assert!(lines[1].contains("\"sequence\":1"));
+}
+
+#[test]
+fn difference_rejects_snapshot_ahead_of_sketch() {
+    let mut sketch = DistinctCountSketch::new(config(23));
+    for s in 0..100u32 {
+        sketch.insert(SourceAddr(s), DestAddr(1));
+    }
+    let snapshot = sketch.clone();
+    for s in 100..120u32 {
+        sketch.insert(SourceAddr(s), DestAddr(2));
+    }
+
+    // Forward direction still works.
+    let recent = sketch.difference(&snapshot).expect("valid window");
+    assert_eq!(recent.updates_processed(), 20);
+
+    // The swapped direction is a hard error, not a silent clamp to an
+    // empty window (the pre-fix behavior under saturating_sub).
+    match snapshot.difference(&sketch) {
+        Err(SketchError::SnapshotAhead {
+            snapshot_updates,
+            current_updates,
+        }) => {
+            assert_eq!(snapshot_updates, 120);
+            assert_eq!(current_updates, 100);
+        }
+        other => panic!("expected SnapshotAhead, got {other:?}"),
+    }
+
+    // With recording compiled in, the rejection leaves counter evidence.
+    #[cfg(feature = "telemetry")]
+    {
+        let snap = snapshot.telemetry_snapshot("rejected");
+        assert_eq!(snap.counters.get("snapshot_ahead_rejected"), Some(&1));
+    }
+}
+
+#[cfg(feature = "telemetry")]
+#[test]
+fn enabled_recorder_fills_counters_and_latencies() {
+    // Screen/decode counters live on the *tracking* hot path
+    // (`screened_apply`), so exercise a TrackingDcs here.
+    let mut sketch = TrackingDcs::new(config(29));
+    for s in 0..500u32 {
+        sketch.insert(SourceAddr(s), DestAddr(s % 5));
+    }
+    let _ = sketch.track_top_k(3, 0.25);
+    let snap = sketch.telemetry_snapshot("enabled");
+
+    let screen_total: u64 = snap
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("screen_"))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(
+        screen_total > 0,
+        "screen counters recorded: {:?}",
+        snap.counters
+    );
+    let update = snap.update_latency.as_ref().expect("update latency");
+    assert_eq!(update.count, 500);
+    assert!(update.max_micros >= update.p50_micros);
+    let query = snap.query_latency.as_ref().expect("query latency");
+    assert_eq!(query.count, 1);
+
+    validate_line(&snap.to_jsonl()).expect("enabled snapshot validates");
+}
+
+#[cfg(not(feature = "telemetry"))]
+#[test]
+fn disabled_recorder_compiles_to_an_empty_snapshot() {
+    let mut sketch = DistinctCountSketch::new(config(29));
+    for s in 0..500u32 {
+        sketch.insert(SourceAddr(s), DestAddr(s % 5));
+    }
+    let _ = sketch.estimate_top_k(3, 0.25);
+    let snap = sketch.telemetry_snapshot("disabled");
+
+    // Gauges derive from sketch state and survive; everything the
+    // recorder owns is absent.
+    assert!(!snap.levels.is_empty());
+    assert!(
+        snap.counters.is_empty(),
+        "no-op recorder: {:?}",
+        snap.counters
+    );
+    assert!(snap.update_latency.is_none());
+    assert!(snap.query_latency.is_none());
+    validate_line(&snap.to_jsonl()).expect("empty snapshot still validates");
+}
+
+#[test]
+fn fresh_snapshot_is_minimal_and_valid() {
+    let snap = TelemetrySnapshot::new("fresh");
+    assert_eq!(snap.updates_processed, 0);
+    assert!(snap.levels.is_empty());
+    validate_line(&snap.to_jsonl()).expect("minimal snapshot validates");
+}
