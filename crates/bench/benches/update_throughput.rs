@@ -17,6 +17,10 @@ fn workload(n: u64) -> Vec<dcs_core::FlowUpdate> {
 }
 
 fn bench_updates(c: &mut Criterion) {
+    // `basic`/`tracking` measure the bulk-ingest path (`update_batch`,
+    // what `extend` and the netsim feeds use); the `*_per_update`
+    // variants keep the one-call-per-update path visible for
+    // comparison.
     let updates = workload(20_000);
     let mut group = c.benchmark_group("update");
     group.throughput(Throughput::Elements(updates.len() as u64));
@@ -29,21 +33,43 @@ fn bench_updates(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("basic", r), &config, |b, config| {
             b.iter(|| {
                 let mut sketch = DistinctCountSketch::new(config.clone());
-                for u in &updates {
-                    sketch.update(*u);
-                }
+                sketch.update_batch(&updates);
                 sketch
             })
         });
         group.bench_with_input(BenchmarkId::new("tracking", r), &config, |b, config| {
             b.iter(|| {
                 let mut sketch = TrackingDcs::new(config.clone());
-                for u in &updates {
-                    sketch.update(*u);
-                }
+                sketch.update_batch(&updates);
                 sketch
             })
         });
+        group.bench_with_input(
+            BenchmarkId::new("basic_per_update", r),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let mut sketch = DistinctCountSketch::new(config.clone());
+                    for u in &updates {
+                        sketch.update(*u);
+                    }
+                    sketch
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tracking_per_update", r),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let mut sketch = TrackingDcs::new(config.clone());
+                    for u in &updates {
+                        sketch.update(*u);
+                    }
+                    sketch
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -59,9 +85,7 @@ fn bench_deletions(c: &mut Criterion) {
     group.bench_function("tracking", |b| {
         b.iter(|| {
             let mut sketch = TrackingDcs::new(config.clone());
-            for u in &stream {
-                sketch.update(*u);
-            }
+            sketch.update_batch(&stream);
             sketch
         })
     });

@@ -199,7 +199,8 @@ impl SketchConfig {
     }
 
     /// Bytes of counter storage for one fully allocated level:
-    /// `r × s` signatures.
+    /// `r × s` signatures, held as three contiguous per-level slabs
+    /// (counters, key sums, fingerprint sums) — see DESIGN.md §11.
     pub fn level_bytes(&self) -> usize {
         self.num_tables * self.buckets_per_table * Self::signature_bytes()
     }

@@ -1,29 +1,106 @@
 //! First-level bucket storage: `r` second-level hash tables of `s`
-//! count-signature buckets each.
+//! count-signature buckets each, held in one flat arena per level.
 //!
 //! Levels are allocated lazily — the geometric first-level hash sends a
 //! `U`-pair stream into only ≈ `log₂ U` distinct levels, and the paper's
 //! §6.1 space accounting ("approximately 23 non-empty first-level
 //! buckets" at `U = 8·10⁶`) counts exactly those. The sketch mirrors
 //! that by materializing a level the first time a pair lands in it.
+//!
+//! ## Arena layout
+//!
+//! Instead of `r·s` individually heap-allocated signatures, a level owns
+//! exactly three slabs:
+//!
+//! * `counts`: one contiguous `Box<[i64]>` of `r·s·65` counters. Bucket
+//!   `k` of table `j` occupies the stride-indexed block
+//!   `slot·65 .. (slot+1)·65` where `slot = j·s + k` — `counts[slot·65]`
+//!   is the bucket's total, `counts[slot·65 + 1 + b]` its bit-location
+//!   count for bit `b`.
+//! * `key_sums`, `fp_sums`: parallel `Box<[u64]>` arrays of `r·s` screen
+//!   sums, indexed by the same `slot`.
+//!
+//! One update touches one 520-byte counter block (8–9 cache lines,
+//! contiguous) plus two single words, reached through a single pointer
+//! deref each — no per-bucket pointer chase. The screens live in
+//! parallel arrays rather than interleaved with the counters so the
+//! `O(1)` screen-only reject paths (`is_zero` fast reject, occupancy
+//! scans) stream through dense `u64` arrays without striding over 520
+//! bytes of counters per bucket.
+//!
+//! Whole-level operations (`merge_from`, `subtract`, `is_zero`) become
+//! single linear passes over the slabs that LLVM can auto-vectorize;
+//! per-bucket logic borrows blocks as [`SigRef`]/[`SigMut`] views, so
+//! the decode/screen algorithms in `signature.rs` are reused unchanged.
 
-use crate::signature::{BucketState, CountSignature};
+use crate::signature::{
+    merge_counter_slab, merge_sum_slab, subtract_counter_slab, subtract_sum_slab, BucketState,
+    SigMut, SigRef, SIGNATURE_LEN,
+};
 use crate::types::{Delta, FlowKey};
 
-/// Counter storage for one first-level bucket.
+/// Counter storage for one first-level bucket: a flat counter slab plus
+/// parallel screen-sum arrays (see the module docs for the layout).
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(
+    feature = "serde",
+    derive(serde::Serialize, serde::Deserialize),
+    serde(try_from = "LevelStateRepr", into = "LevelStateRepr")
+)]
 pub(crate) struct LevelState {
-    /// `tables[j][k]` is the signature of bucket `k` in table `j`.
-    tables: Vec<Vec<CountSignature>>,
+    /// Number of second-level tables (`r`).
+    num_tables: usize,
+    /// Buckets per table (`s`).
+    buckets_per_table: usize,
+    /// `r·s·65` counters, stride-indexed by bucket slot.
+    counts: Box<[i64]>,
+    /// `r·s` wrapping key sums, one per bucket slot.
+    key_sums: Box<[u64]>,
+    /// `r·s` wrapping fingerprint sums, one per bucket slot.
+    fp_sums: Box<[u64]>,
 }
 
 impl LevelState {
-    /// Allocates an all-empty level with `r` tables of `s` buckets.
+    /// Allocates an all-empty level with `r` tables of `s` buckets —
+    /// three slab allocations regardless of `r·s`.
     pub(crate) fn new(num_tables: usize, buckets_per_table: usize) -> Self {
+        let slots = num_tables * buckets_per_table;
         Self {
-            tables: vec![vec![CountSignature::new(); buckets_per_table]; num_tables],
+            num_tables,
+            buckets_per_table,
+            counts: vec![0i64; slots * SIGNATURE_LEN].into_boxed_slice(),
+            key_sums: vec![0u64; slots].into_boxed_slice(),
+            fp_sums: vec![0u64; slots].into_boxed_slice(),
         }
+    }
+
+    /// The flat slot index of bucket `bucket` in table `table`.
+    #[inline]
+    fn slot(&self, table: usize, bucket: usize) -> usize {
+        debug_assert!(table < self.num_tables && bucket < self.buckets_per_table);
+        table * self.buckets_per_table + bucket
+    }
+
+    /// A borrowed read view of one bucket's counters and screen sums.
+    #[inline]
+    pub(crate) fn sig_ref(&self, table: usize, bucket: usize) -> SigRef<'_> {
+        let slot = self.slot(table, bucket);
+        SigRef::new(
+            &self.counts[slot * SIGNATURE_LEN..(slot + 1) * SIGNATURE_LEN],
+            self.key_sums[slot],
+            self.fp_sums[slot],
+        )
+    }
+
+    /// A borrowed mutable view of one bucket's counters and screen sums.
+    #[inline]
+    fn sig_mut(&mut self, table: usize, bucket: usize) -> SigMut<'_> {
+        let slot = self.slot(table, bucket);
+        SigMut::new(
+            &mut self.counts[slot * SIGNATURE_LEN..(slot + 1) * SIGNATURE_LEN],
+            &mut self.key_sums[slot],
+            &mut self.fp_sums[slot],
+        )
     }
 
     /// Applies an update to bucket `bucket` of table `table` (hashes the
@@ -32,7 +109,13 @@ impl LevelState {
     #[cfg_attr(not(test), allow(dead_code))]
     #[inline]
     pub(crate) fn apply(&mut self, table: usize, bucket: usize, key: FlowKey, delta: Delta) {
-        self.tables[table][bucket].apply(key, delta);
+        self.apply_with_fp(
+            table,
+            bucket,
+            key,
+            delta,
+            dcs_hash::mix::fingerprint64(key.packed()),
+        );
     }
 
     /// [`apply`](Self::apply) with the key's fingerprint precomputed, so
@@ -47,28 +130,46 @@ impl LevelState {
         delta: Delta,
         fp: u64,
     ) {
-        self.tables[table][bucket].apply_with_fp(key, delta, fp);
+        self.sig_mut(table, bucket).apply_with_fp(key, delta, fp);
+    }
+
+    /// Touches the cache lines the next update to bucket `bucket` of
+    /// table `table` will need — the counter block's first, middle, and
+    /// last lines plus the two screen-sum words.
+    ///
+    /// Every crate in the workspace forbids `unsafe`, so this is not an
+    /// `_mm_prefetch` intrinsic: it issues ordinary discarded demand
+    /// loads through [`std::hint::black_box`], which forces the loads to
+    /// be emitted and lets the out-of-order engine overlap their cache
+    /// misses with the updates applied in the meantime. Same
+    /// memory-level-parallelism effect, slightly stronger ordering than
+    /// a true prefetch hint.
+    #[inline]
+    pub(crate) fn prefetch_bucket(&self, table: usize, bucket: usize) {
+        let slot = self.slot(table, bucket);
+        let base = slot * SIGNATURE_LEN;
+        // 65 × 8-byte counters span 520 bytes ≈ 9 cache lines; touching
+        // the first, middle, and last line covers the block for the
+        // adjacent-line hardware prefetchers without 9 explicit loads.
+        std::hint::black_box(self.counts[base]);
+        std::hint::black_box(self.counts[base + SIGNATURE_LEN / 2]);
+        std::hint::black_box(self.counts[base + SIGNATURE_LEN - 1]);
+        std::hint::black_box(self.key_sums[slot]);
+        std::hint::black_box(self.fp_sums[slot]);
     }
 
     /// Decodes bucket `bucket` of table `table` exhaustively (all 65
     /// counters, no screen).
     #[inline]
     pub(crate) fn decode(&self, table: usize, bucket: usize) -> BucketState {
-        self.tables[table][bucket].decode()
+        self.sig_ref(table, bucket).decode()
     }
 
     /// Screened decode of bucket `bucket` of table `table` — `O(1)` for
     /// empty and colliding buckets.
     #[inline]
     pub(crate) fn decode_fast(&self, table: usize, bucket: usize) -> BucketState {
-        self.tables[table][bucket].decode_fast()
-    }
-
-    /// Borrows the signature of bucket `bucket` of table `table` (the
-    /// tracking hot path screens it before deciding whether to decode).
-    #[inline]
-    pub(crate) fn signature(&self, table: usize, bucket: usize) -> &CountSignature {
-        &self.tables[table][bucket]
+        self.sig_ref(table, bucket).decode_fast()
     }
 
     /// The paper's `GetdSample(X, b)` (Fig. 4): scans every second-level
@@ -78,73 +179,142 @@ impl LevelState {
     /// and both are dispatched in `O(1)`. The ordered set keeps sample
     /// iteration deterministic (lint L4).
     pub(crate) fn collect_singletons(&self, out: &mut std::collections::BTreeSet<FlowKey>) {
-        for table in &self.tables {
-            for sig in table {
-                if let BucketState::Singleton { key, .. } = sig.decode_fast() {
-                    out.insert(key);
-                }
+        for (block, (&key_sum, &fp_sum)) in self
+            .counts
+            .chunks_exact(SIGNATURE_LEN)
+            .zip(self.key_sums.iter().zip(self.fp_sums.iter()))
+        {
+            let sig = SigRef::new(block, key_sum, fp_sum);
+            if let BucketState::Singleton { key, .. } = sig.decode_fast() {
+                out.insert(key);
             }
         }
     }
 
-    /// Adds another level's counters bucket-wise.
+    /// Adds another level's counters bucket-wise — three linear slab
+    /// passes (counters are linear, so the slabs add element-wise).
     pub(crate) fn merge_from(&mut self, other: &LevelState) {
-        debug_assert_eq!(self.tables.len(), other.tables.len());
-        for (mine, theirs) in self.tables.iter_mut().zip(&other.tables) {
-            debug_assert_eq!(mine.len(), theirs.len());
-            for (a, b) in mine.iter_mut().zip(theirs) {
-                a.merge_from(b);
-            }
-        }
+        debug_assert_eq!(self.num_tables, other.num_tables);
+        debug_assert_eq!(self.buckets_per_table, other.buckets_per_table);
+        merge_counter_slab(&mut self.counts, &other.counts);
+        merge_sum_slab(&mut self.key_sums, &other.key_sums);
+        merge_sum_slab(&mut self.fp_sums, &other.fp_sums);
     }
 
-    /// Subtracts another level's counters bucket-wise.
+    /// Subtracts another level's counters bucket-wise — three linear
+    /// slab passes.
     pub(crate) fn subtract(&mut self, other: &LevelState) {
-        debug_assert_eq!(self.tables.len(), other.tables.len());
-        for (mine, theirs) in self.tables.iter_mut().zip(&other.tables) {
-            debug_assert_eq!(mine.len(), theirs.len());
-            for (a, b) in mine.iter_mut().zip(theirs) {
-                a.subtract(b);
-            }
-        }
+        debug_assert_eq!(self.num_tables, other.num_tables);
+        debug_assert_eq!(self.buckets_per_table, other.buckets_per_table);
+        subtract_counter_slab(&mut self.counts, &other.counts);
+        subtract_sum_slab(&mut self.key_sums, &other.key_sums);
+        subtract_sum_slab(&mut self.fp_sums, &other.fp_sums);
     }
 
     /// Telemetry gauges for this level: `(occupied, singletons)` —
     /// buckets with any nonzero counter, and buckets currently decoding
     /// to a singleton, across all `r` tables. A full scan (`r·s`
-    /// screened decodes), so it belongs on the snapshot path, never the
-    /// update path.
+    /// screened decodes, each with an `O(1)` screen fast reject), so it
+    /// belongs on the snapshot path, never the update path.
     pub(crate) fn occupancy(&self) -> (u64, u64) {
         let mut occupied = 0u64;
         let mut singletons = 0u64;
-        for table in &self.tables {
-            for sig in table {
-                if sig.is_zero() {
-                    continue;
-                }
-                occupied += 1;
-                if matches!(sig.decode_fast(), BucketState::Singleton { .. }) {
-                    singletons += 1;
-                }
+        for (block, (&key_sum, &fp_sum)) in self
+            .counts
+            .chunks_exact(SIGNATURE_LEN)
+            .zip(self.key_sums.iter().zip(self.fp_sums.iter()))
+        {
+            let sig = SigRef::new(block, key_sum, fp_sum);
+            if sig.is_zero() {
+                continue;
+            }
+            occupied += 1;
+            if matches!(sig.decode_fast(), BucketState::Singleton { .. }) {
+                singletons += 1;
             }
         }
         (occupied, singletons)
     }
 
-    /// Whether every signature in the level is zero.
+    /// Whether every signature in the level is zero — three linear slab
+    /// scans (the screen-sum arrays first: they are 65× smaller and
+    /// almost always decide the answer).
     pub(crate) fn is_zero(&self) -> bool {
-        self.tables
-            .iter()
-            .all(|t| t.iter().all(CountSignature::is_zero))
+        self.key_sums.iter().all(|&v| v == 0)
+            && self.fp_sums.iter().all(|&v| v == 0)
+            && self.counts.iter().all(|&c| c == 0)
     }
 
-    /// Heap bytes used by the level's counter arrays.
+    /// Heap bytes used by the level's slabs: `r·s·65` counters plus
+    /// `2·r·s` screen-sum words — numerically identical to the former
+    /// per-bucket accounting (`r·s·67·8`).
     pub(crate) fn heap_bytes(&self) -> usize {
-        self.tables
-            .iter()
-            .flat_map(|t| t.iter())
-            .map(CountSignature::heap_bytes)
-            .sum()
+        self.counts.len() * std::mem::size_of::<i64>()
+            + self.key_sums.len() * std::mem::size_of::<u64>()
+            + self.fp_sums.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Wire representation of a [`LevelState`]: the slabs as plain vectors
+/// plus the dimensions needed to validate them on the way back in.
+#[cfg(feature = "serde")]
+#[derive(serde::Serialize, serde::Deserialize)]
+struct LevelStateRepr {
+    num_tables: usize,
+    buckets_per_table: usize,
+    counts: Vec<i64>,
+    key_sums: Vec<u64>,
+    fp_sums: Vec<u64>,
+}
+
+#[cfg(feature = "serde")]
+impl From<LevelState> for LevelStateRepr {
+    fn from(state: LevelState) -> Self {
+        Self {
+            num_tables: state.num_tables,
+            buckets_per_table: state.buckets_per_table,
+            counts: state.counts.into_vec(),
+            key_sums: state.key_sums.into_vec(),
+            fp_sums: state.fp_sums.into_vec(),
+        }
+    }
+}
+
+#[cfg(feature = "serde")]
+impl TryFrom<LevelStateRepr> for LevelState {
+    type Error = String;
+
+    fn try_from(repr: LevelStateRepr) -> Result<Self, Self::Error> {
+        let slots = repr
+            .num_tables
+            .checked_mul(repr.buckets_per_table)
+            .ok_or_else(|| "level dimensions overflow".to_string())?;
+        let counter_len = slots
+            .checked_mul(SIGNATURE_LEN)
+            .ok_or_else(|| "level counter length overflows".to_string())?;
+        if repr.counts.len() != counter_len {
+            return Err(format!(
+                "counter slab length {} does not match {} slots × {} counters",
+                repr.counts.len(),
+                slots,
+                SIGNATURE_LEN
+            ));
+        }
+        if repr.key_sums.len() != slots || repr.fp_sums.len() != slots {
+            return Err(format!(
+                "screen sum lengths {}/{} do not match {} slots",
+                repr.key_sums.len(),
+                repr.fp_sums.len(),
+                slots
+            ));
+        }
+        Ok(Self {
+            num_tables: repr.num_tables,
+            buckets_per_table: repr.buckets_per_table,
+            counts: repr.counts.into_boxed_slice(),
+            key_sums: repr.key_sums.into_boxed_slice(),
+            fp_sums: repr.fp_sums.into_boxed_slice(),
+        })
     }
 }
 
@@ -206,8 +376,55 @@ mod tests {
     }
 
     #[test]
-    fn heap_bytes_counts_all_signatures() {
+    fn heap_bytes_counts_all_slab_bytes() {
+        // r·s·65 counters + 2·r·s screen sums = r·s·67 words — the same
+        // total the per-bucket layout reported.
         let level = LevelState::new(2, 3);
         assert_eq!(level.heap_bytes(), 2 * 3 * 67 * 8);
+    }
+
+    #[test]
+    fn arena_bucket_isolation_matches_owned_signatures() {
+        // Updates through the arena land in exactly the addressed
+        // bucket's stride block, mirroring what owned signatures do.
+        use crate::signature::CountSignature;
+        let mut level = LevelState::new(2, 4);
+        let mut mirror: Vec<Vec<CountSignature>> = vec![vec![CountSignature::new(); 4]; 2];
+        let ops = [
+            (0usize, 0usize, key(1, 2), Delta::Insert),
+            (0, 0, key(1, 2), Delta::Insert),
+            (1, 3, key(3, 4), Delta::Insert),
+            (0, 0, key(1, 2), Delta::Delete),
+            (1, 3, key(5, 6), Delta::Insert),
+            (0, 2, key(7, 8), Delta::Insert),
+        ];
+        for (t, b, k, d) in ops {
+            level.apply(t, b, k, d);
+            mirror[t][b].apply(k, d);
+        }
+        for (t, row) in mirror.iter().enumerate() {
+            for (b, owned) in row.iter().enumerate() {
+                assert_eq!(level.decode(t, b), owned.decode(), "bucket ({t},{b})");
+                assert_eq!(level.decode_fast(t, b), owned.decode_fast());
+                assert_eq!(level.sig_ref(t, b).is_zero(), owned.is_zero());
+            }
+        }
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn serde_roundtrip_preserves_arena_and_rejects_bad_lengths() {
+        let mut level = LevelState::new(2, 4);
+        level.apply(0, 1, key(1, 2), Delta::Insert);
+        level.apply(1, 3, key(3, 4), Delta::Insert);
+        let json = serde_json::to_string(&level).unwrap();
+        let back: LevelState = serde_json::from_str(&json).unwrap();
+        assert_eq!(level, back);
+
+        // A truncated counter slab must fail validation, not panic later.
+        let mut repr = LevelStateRepr::from(level);
+        repr.counts.pop();
+        let corrupt = serde_json::to_string(&repr).unwrap();
+        assert!(serde_json::from_str::<LevelState>(&corrupt).is_err());
     }
 }

@@ -76,7 +76,7 @@ pub use dcs_hash::det::{DetHashMap, DetHashSet};
 pub use dcs_telemetry as telemetry;
 pub use error::SketchError;
 pub use estimator::{TopKEntry, TopKEstimate};
-pub use sketch::{DistinctCountSketch, DistinctSample};
+pub use sketch::{DistinctCountSketch, DistinctSample, BATCH_CHUNK, PREFETCH_AHEAD};
 pub use space::{brute_force_bytes, predicted_sketch_bytes, SpaceReport};
 pub use tracking::TrackingDcs;
 pub use types::{Delta, DestAddr, FlowKey, FlowUpdate, GroupBy, SourceAddr};

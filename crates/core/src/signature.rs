@@ -18,6 +18,23 @@
 //! `O(1)` instead of scanning all 65 counters, falling back to the full
 //! bit verification only when the screen passes. See the documentation
 //! of the crate-internal `ScreenClass` for the exact guarantees.
+//!
+//! ## Views over arena storage
+//!
+//! Since the flat-arena layout landed, the sketch's hot storage
+//! ([`crate::level::LevelState`]) does not hold owned `CountSignature`
+//! values: each level keeps one contiguous counter slab plus two
+//! parallel screen-sum arrays, and borrows individual buckets through
+//! [`SigRef`] / [`SigMut`]. All decode/screen/apply logic lives on the
+//! views; the owned [`CountSignature`] (still the public, serde-derived
+//! type for standalone use) delegates every operation through a view of
+//! its own fields, so the two representations cannot drift.
+//!
+//! This module is also the only place allowed to perform arithmetic on
+//! counter state (lint **L1**): every mutation goes through
+//! `wrapping_add`/`wrapping_sub` so merge/subtract stay linear even at
+//! the overflow boundary. The slab-wide helpers the level layer uses for
+//! its linear merge/subtract passes live here for the same reason.
 
 use dcs_hash::cast::{u64_from_i64, usize_from_u32};
 use dcs_hash::mix::fingerprint64;
@@ -55,40 +72,6 @@ impl BucketState {
             _ => None,
         }
     }
-}
-
-/// A second-level hash bucket's counter array.
-///
-/// # Examples
-///
-/// ```
-/// use dcs_core::signature::{BucketState, CountSignature};
-/// use dcs_core::{Delta, FlowKey};
-///
-/// let mut sig = CountSignature::new();
-/// let key = FlowKey::from_packed(0xdead_beef);
-/// sig.apply(key, Delta::Insert);
-/// assert_eq!(sig.decode().singleton_key(), Some(key));
-/// sig.apply(key, Delta::Delete);
-/// assert_eq!(sig.decode(), BucketState::Empty);
-/// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct CountSignature {
-    /// `counts[0]` is the total element count; `counts[1 + j]` is the
-    /// bit-location count for bit `j` of the packed pair.
-    counts: Vec<i64>,
-    /// Wrapping key sum `Σ ±key` over every update applied so far.
-    ///
-    /// For any state this sum is determined by the bit-location counts
-    /// (`key_sum ≡ Σ_j 2^j · counts[1+j] (mod 2^64)`); keeping it
-    /// explicitly makes the singleton screen a constant-time read.
-    key_sum: u64,
-    /// Wrapping fingerprint sum `Σ ±fingerprint64(key)`. Unlike the key
-    /// sum this is *not* determined by the bit counts, which is exactly
-    /// what lets it reject colliding buckets that happen to satisfy the
-    /// key-sum equation.
-    fp_sum: u64,
 }
 
 /// What the `O(1)` linear screen can tell about a signature.
@@ -129,126 +112,118 @@ fn inverse_mod_pow2(q: u64) -> u64 {
     inv
 }
 
-impl CountSignature {
-    /// Creates an all-zero (empty) signature.
-    pub fn new() -> Self {
-        Self {
-            counts: vec![0; SIGNATURE_LEN],
-            key_sum: 0,
-            fp_sum: 0,
-        }
-    }
-
-    /// Applies an update for `key` to the signature: the total count and
-    /// every bit-location count where `key` has a 1-bit move by ±1, and
-    /// the two screening sums move by `±key` / `±fingerprint64(key)`.
-    #[inline]
-    pub fn apply(&mut self, key: FlowKey, delta: Delta) {
-        self.apply_with_fp(key, delta, fingerprint64(key.packed()));
-    }
-
-    /// [`apply`](Self::apply) with the key's fingerprint precomputed —
-    /// the sketch hands one fingerprint to all `r` tables of an update.
-    #[inline]
-    pub(crate) fn apply_with_fp(&mut self, key: FlowKey, delta: Delta, fp: u64) {
-        let sign = delta.signum();
-        let packed = key.packed();
-        self.counts[0] = self.counts[0].wrapping_add(sign);
-        if sign >= 0 {
-            self.key_sum = self.key_sum.wrapping_add(packed);
-            self.fp_sum = self.fp_sum.wrapping_add(fp);
+/// Classifies `(total, key_sum, fp_sum)` in `O(1)`; `bit_count(j)`
+/// supplies the `j`-th bit-location count, consulted only for the
+/// `trailing_zeros(total)` topmost bits an even total leaves
+/// undetermined.
+fn classify(total: i64, key_sum: u64, fp_sum: u64, bit_count: impl Fn(u32) -> i64) -> ScreenClass {
+    if total <= 0 {
+        // A negative total, or a zero total with sum residue, can
+        // only arise from ill-formed streams; neither is a
+        // singleton.
+        return if total == 0 && key_sum == 0 && fp_sum == 0 {
+            ScreenClass::Empty
         } else {
-            self.key_sum = self.key_sum.wrapping_sub(packed);
-            self.fp_sum = self.fp_sum.wrapping_sub(fp);
+            ScreenClass::Fail
+        };
+    }
+    let t = u64_from_i64(total);
+    // Fail-fast prefix: a singleton's bit counters are all 0 or
+    // `total`, while a bucket colliding random keys has a counter
+    // strictly in between almost immediately (probability ≥ 1/2 per
+    // counter for two keys). Probing a short constant prefix
+    // dispatches dense collisions in a load or two, well before the
+    // modular-inverse candidate recovery below.
+    for j in 0..8 {
+        let c = bit_count(j);
+        if c != 0 && c != total {
+            return ScreenClass::Fail;
         }
-        let mut bits = packed;
-        while bits != 0 {
-            let j = usize_from_u32(bits.trailing_zeros());
-            self.counts[1 + j] = self.counts[1 + j].wrapping_add(sign);
-            bits &= bits - 1;
+    }
+    // Write t = 2^z · q with q odd. A singleton holding `key` has
+    // key_sum = t·key (mod 2^64), whose low z bits are zero.
+    let z = t.trailing_zeros();
+    if key_sum.trailing_zeros() < z {
+        return ScreenClass::Fail;
+    }
+    let q = t >> z;
+    // q == 1 (power-of-two totals, including the ubiquitous t = 1)
+    // needs no modular inverse.
+    let mut candidate = if q == 1 {
+        key_sum >> z
+    } else {
+        (key_sum >> z).wrapping_mul(inverse_mod_pow2(q))
+    };
+    if z > 0 {
+        // Only the low 64 − z candidate bits are determined by the
+        // key sum; a true singleton's top bits are read off the bit
+        // counters (counter == total exactly where the key has a
+        // 1-bit). The fingerprint check below vouches for them.
+        candidate &= u64::MAX >> z;
+        for j in (KEY_BITS - z)..KEY_BITS {
+            if bit_count(j) == total {
+                candidate |= 1 << j;
+            }
+        }
+    }
+    if t.wrapping_mul(fingerprint64(candidate)) != fp_sum {
+        return ScreenClass::Fail;
+    }
+    ScreenClass::Candidate(candidate)
+}
+
+/// A borrowed read view of one bucket's counters and screen sums.
+///
+/// The counter slice always has exactly [`SIGNATURE_LEN`] elements;
+/// the two screen sums are copied out by value (they are single words
+/// living in the level's parallel arrays). All decode/screen logic is
+/// implemented here and reused verbatim by the owned
+/// [`CountSignature`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SigRef<'a> {
+    /// `counts[0]` is the total element count; `counts[1 + j]` is the
+    /// bit-location count for bit `j` of the packed pair.
+    counts: &'a [i64],
+    key_sum: u64,
+    fp_sum: u64,
+}
+
+impl<'a> SigRef<'a> {
+    /// Wraps a borrowed counter block and its screen sums.
+    #[inline]
+    pub(crate) fn new(counts: &'a [i64], key_sum: u64, fp_sum: u64) -> Self {
+        debug_assert_eq!(counts.len(), SIGNATURE_LEN);
+        Self {
+            counts,
+            key_sum,
+            fp_sum,
         }
     }
 
     /// The net total number of pairs mapped to this bucket.
     #[inline]
-    pub fn net_total(&self) -> i64 {
+    pub(crate) fn net_total(self) -> i64 {
         self.counts[0]
     }
 
     /// Whether the signature is identically zero.
-    pub fn is_zero(&self) -> bool {
-        self.counts.iter().all(|&c| c == 0) && self.key_sum == 0 && self.fp_sum == 0
-    }
-
-    /// Classifies `(total, key_sum, fp_sum)` in `O(1)`; `bit_count(j)`
-    /// supplies the `j`-th bit-location count, consulted only for the
-    /// `trailing_zeros(total)` topmost bits an even total leaves
-    /// undetermined.
-    fn classify(
-        total: i64,
-        key_sum: u64,
-        fp_sum: u64,
-        bit_count: impl Fn(u32) -> i64,
-    ) -> ScreenClass {
-        if total <= 0 {
-            // A negative total, or a zero total with sum residue, can
-            // only arise from ill-formed streams; neither is a
-            // singleton.
-            return if total == 0 && key_sum == 0 && fp_sum == 0 {
-                ScreenClass::Empty
-            } else {
-                ScreenClass::Fail
-            };
+    ///
+    /// The always-maintained screens give an `O(1)` fast reject: any
+    /// occupied bucket has a nonzero total or (for zero-total residue
+    /// states) a nonzero screen sum with overwhelming probability, so
+    /// the 64-counter scan only runs for buckets that look empty.
+    #[inline]
+    pub(crate) fn is_zero(self) -> bool {
+        if self.counts[0] != 0 || self.key_sum != 0 || self.fp_sum != 0 {
+            return false;
         }
-        let t = u64_from_i64(total);
-        // Fail-fast prefix: a singleton's bit counters are all 0 or
-        // `total`, while a bucket colliding random keys has a counter
-        // strictly in between almost immediately (probability ≥ 1/2 per
-        // counter for two keys). Probing a short constant prefix
-        // dispatches dense collisions in a load or two, well before the
-        // modular-inverse candidate recovery below.
-        for j in 0..8 {
-            let c = bit_count(j);
-            if c != 0 && c != total {
-                return ScreenClass::Fail;
-            }
-        }
-        // Write t = 2^z · q with q odd. A singleton holding `key` has
-        // key_sum = t·key (mod 2^64), whose low z bits are zero.
-        let z = t.trailing_zeros();
-        if key_sum.trailing_zeros() < z {
-            return ScreenClass::Fail;
-        }
-        let q = t >> z;
-        // q == 1 (power-of-two totals, including the ubiquitous t = 1)
-        // needs no modular inverse.
-        let mut candidate = if q == 1 {
-            key_sum >> z
-        } else {
-            (key_sum >> z).wrapping_mul(inverse_mod_pow2(q))
-        };
-        if z > 0 {
-            // Only the low 64 − z candidate bits are determined by the
-            // key sum; a true singleton's top bits are read off the bit
-            // counters (counter == total exactly where the key has a
-            // 1-bit). The fingerprint check below vouches for them.
-            candidate &= u64::MAX >> z;
-            for j in (KEY_BITS - z)..KEY_BITS {
-                if bit_count(j) == total {
-                    candidate |= 1 << j;
-                }
-            }
-        }
-        if t.wrapping_mul(fingerprint64(candidate)) != fp_sum {
-            return ScreenClass::Fail;
-        }
-        ScreenClass::Candidate(candidate)
+        self.counts[1..].iter().all(|&c| c == 0)
     }
 
     /// The screen class of the current state.
     #[inline]
-    pub(crate) fn screen_class(&self) -> ScreenClass {
-        Self::classify(self.counts[0], self.key_sum, self.fp_sum, |j| {
+    pub(crate) fn screen_class(self) -> ScreenClass {
+        classify(self.counts[0], self.key_sum, self.fp_sum, |j| {
             self.counts[1 + usize_from_u32(j)]
         })
     }
@@ -258,7 +233,7 @@ impl CountSignature {
     /// hot path compares this against [`screen_class`](Self::screen_class)
     /// to prove most updates cause no decode transition.
     #[inline]
-    pub(crate) fn screen_class_after(&self, key: FlowKey, delta: Delta, fp: u64) -> ScreenClass {
+    pub(crate) fn screen_class_after(self, key: FlowKey, delta: Delta, fp: u64) -> ScreenClass {
         let sign = delta.signum();
         let packed = key.packed();
         let (key_sum, fp_sum) = if sign >= 0 {
@@ -272,7 +247,7 @@ impl CountSignature {
                 self.fp_sum.wrapping_sub(fp),
             )
         };
-        Self::classify(self.counts[0].wrapping_add(sign), key_sum, fp_sum, |j| {
+        classify(self.counts[0].wrapping_add(sign), key_sum, fp_sum, |j| {
             let bit_delta = if packed >> j & 1 == 1 { sign } else { 0 };
             self.counts[1 + usize_from_u32(j)].wrapping_add(bit_delta)
         })
@@ -294,7 +269,7 @@ impl CountSignature {
     /// (their trailing-zero count could exceed the verified top byte),
     /// as does a delete that would empty the bucket.
     #[inline]
-    pub(crate) fn skips_as_own_singleton(&self, key: FlowKey, delta: Delta, fp: u64) -> bool {
+    pub(crate) fn skips_as_own_singleton(self, key: FlowKey, delta: Delta, fp: u64) -> bool {
         let total = self.counts[0];
         let sign = delta.signum();
         if !(1..256).contains(&total) || total.wrapping_add(sign) < 1 {
@@ -330,7 +305,7 @@ impl CountSignature {
     /// are classified `Collision` even when the bit counters alone
     /// would spell out a phantom singleton.
     #[inline]
-    pub fn decode_fast(&self) -> BucketState {
+    pub(crate) fn decode_fast(self) -> BucketState {
         self.decode_class(self.screen_class())
     }
 
@@ -339,7 +314,7 @@ impl CountSignature {
     /// signature themselves (the tracking hot path) skip
     /// re-classification.
     #[inline]
-    pub(crate) fn decode_class(&self, class: ScreenClass) -> BucketState {
+    pub(crate) fn decode_class(self, class: ScreenClass) -> BucketState {
         match class {
             ScreenClass::Empty => BucketState::Empty,
             ScreenClass::Fail => BucketState::Collision,
@@ -349,7 +324,7 @@ impl CountSignature {
 
     /// Full bit verification of a screened candidate — the deterministic
     /// half of [`decode_fast`](Self::decode_fast).
-    fn verify_candidate(&self, candidate: u64) -> BucketState {
+    fn verify_candidate(self, candidate: u64) -> BucketState {
         let total = self.counts[0];
         for j in 0..KEY_BITS {
             let expected = if candidate >> j & 1 == 1 { total } else { 0 };
@@ -375,7 +350,7 @@ impl CountSignature {
     /// bit `j` and that bit's count then lies strictly between `0` and
     /// the total.
     #[inline]
-    pub fn decode(&self) -> BucketState {
+    pub(crate) fn decode(self) -> BucketState {
         let total = self.counts[0];
         if total == 0 {
             // A zero total with nonzero bit counts can only arise from
@@ -404,14 +379,222 @@ impl CountSignature {
             net_count: total,
         }
     }
+}
+
+/// A borrowed mutable view of one bucket's counters and screen sums.
+///
+/// The single mutation entry point of the whole sketch: every counter
+/// write — owned signature or arena slab — funnels through
+/// [`apply_with_fp`](Self::apply_with_fp) here, keeping lint L1's
+/// wrapping-arithmetic guarantee in one file.
+#[derive(Debug)]
+pub(crate) struct SigMut<'a> {
+    counts: &'a mut [i64],
+    key_sum: &'a mut u64,
+    fp_sum: &'a mut u64,
+}
+
+impl<'a> SigMut<'a> {
+    /// Wraps mutable borrows of a counter block and its screen sums.
+    #[inline]
+    pub(crate) fn new(counts: &'a mut [i64], key_sum: &'a mut u64, fp_sum: &'a mut u64) -> Self {
+        debug_assert_eq!(counts.len(), SIGNATURE_LEN);
+        Self {
+            counts,
+            key_sum,
+            fp_sum,
+        }
+    }
+
+    /// Applies an update for `key`: the total count and every
+    /// bit-location count where `key` has a 1-bit move by ±1, and the
+    /// two screening sums move by `±key` / `±fingerprint64(key)`.
+    #[inline]
+    pub(crate) fn apply_with_fp(&mut self, key: FlowKey, delta: Delta, fp: u64) {
+        let sign = delta.signum();
+        let packed = key.packed();
+        self.counts[0] = self.counts[0].wrapping_add(sign);
+        if sign >= 0 {
+            *self.key_sum = self.key_sum.wrapping_add(packed);
+            *self.fp_sum = self.fp_sum.wrapping_add(fp);
+        } else {
+            *self.key_sum = self.key_sum.wrapping_sub(packed);
+            *self.fp_sum = self.fp_sum.wrapping_sub(fp);
+        }
+        let mut bits = packed;
+        while bits != 0 {
+            let j = usize_from_u32(bits.trailing_zeros());
+            self.counts[1 + j] = self.counts[1 + j].wrapping_add(sign);
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// Adds `src` into `dst` element-wise with wrapping arithmetic — the
+/// linear-pass half of level merging over whole counter slabs.
+#[inline]
+pub(crate) fn merge_counter_slab(dst: &mut [i64], src: &[i64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (a, b) in dst.iter_mut().zip(src) {
+        *a = a.wrapping_add(*b);
+    }
+}
+
+/// Subtracts `src` from `dst` element-wise with wrapping arithmetic.
+#[inline]
+pub(crate) fn subtract_counter_slab(dst: &mut [i64], src: &[i64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (a, b) in dst.iter_mut().zip(src) {
+        *a = a.wrapping_sub(*b);
+    }
+}
+
+/// Adds `src` into `dst` element-wise — the screen-sum arrays merge by
+/// the same linearity argument as the counters.
+#[inline]
+pub(crate) fn merge_sum_slab(dst: &mut [u64], src: &[u64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (a, b) in dst.iter_mut().zip(src) {
+        *a = a.wrapping_add(*b);
+    }
+}
+
+/// Subtracts `src` from `dst` element-wise (wrapping).
+#[inline]
+pub(crate) fn subtract_sum_slab(dst: &mut [u64], src: &[u64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (a, b) in dst.iter_mut().zip(src) {
+        *a = a.wrapping_sub(*b);
+    }
+}
+
+/// A second-level hash bucket's counter array (the owned form).
+///
+/// The sketch's arena storage borrows buckets as [`SigRef`]/[`SigMut`]
+/// instead of holding `CountSignature` values; this owned type remains
+/// the public, serializable unit for standalone signatures and
+/// delegates all logic to the same view implementations.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_core::signature::{BucketState, CountSignature};
+/// use dcs_core::{Delta, FlowKey};
+///
+/// let mut sig = CountSignature::new();
+/// let key = FlowKey::from_packed(0xdead_beef);
+/// sig.apply(key, Delta::Insert);
+/// assert_eq!(sig.decode().singleton_key(), Some(key));
+/// sig.apply(key, Delta::Delete);
+/// assert_eq!(sig.decode(), BucketState::Empty);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CountSignature {
+    /// `counts[0]` is the total element count; `counts[1 + j]` is the
+    /// bit-location count for bit `j` of the packed pair.
+    counts: Vec<i64>,
+    /// Wrapping key sum `Σ ±key` over every update applied so far.
+    ///
+    /// For any state this sum is determined by the bit-location counts
+    /// (`key_sum ≡ Σ_j 2^j · counts[1+j] (mod 2^64)`); keeping it
+    /// explicitly makes the singleton screen a constant-time read.
+    key_sum: u64,
+    /// Wrapping fingerprint sum `Σ ±fingerprint64(key)`. Unlike the key
+    /// sum this is *not* determined by the bit counts, which is exactly
+    /// what lets it reject colliding buckets that happen to satisfy the
+    /// key-sum equation.
+    fp_sum: u64,
+}
+
+impl CountSignature {
+    /// Creates an all-zero (empty) signature.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; SIGNATURE_LEN],
+            key_sum: 0,
+            fp_sum: 0,
+        }
+    }
+
+    /// A read view over this signature's own storage.
+    #[inline]
+    pub(crate) fn view(&self) -> SigRef<'_> {
+        SigRef::new(&self.counts, self.key_sum, self.fp_sum)
+    }
+
+    /// A mutable view over this signature's own storage.
+    #[inline]
+    fn view_mut(&mut self) -> SigMut<'_> {
+        SigMut::new(&mut self.counts, &mut self.key_sum, &mut self.fp_sum)
+    }
+
+    /// Applies an update for `key` to the signature: the total count and
+    /// every bit-location count where `key` has a 1-bit move by ±1, and
+    /// the two screening sums move by `±key` / `±fingerprint64(key)`.
+    #[inline]
+    pub fn apply(&mut self, key: FlowKey, delta: Delta) {
+        self.apply_with_fp(key, delta, fingerprint64(key.packed()));
+    }
+
+    /// [`apply`](Self::apply) with the key's fingerprint precomputed —
+    /// the sketch hands one fingerprint to all `r` tables of an update.
+    #[inline]
+    pub(crate) fn apply_with_fp(&mut self, key: FlowKey, delta: Delta, fp: u64) {
+        self.view_mut().apply_with_fp(key, delta, fp);
+    }
+
+    /// The net total number of pairs mapped to this bucket.
+    #[inline]
+    pub fn net_total(&self) -> i64 {
+        self.view().net_total()
+    }
+
+    /// Whether the signature is identically zero. The screen sums and
+    /// the total give an `O(1)` fast reject before the 65-counter scan.
+    pub fn is_zero(&self) -> bool {
+        self.view().is_zero()
+    }
+
+    /// The screen class of the current state.
+    #[inline]
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn screen_class(&self) -> ScreenClass {
+        self.view().screen_class()
+    }
+
+    /// The screen class the signature *would* have after applying
+    /// `(key, delta)` — see [`SigRef::screen_class_after`].
+    #[inline]
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn screen_class_after(&self, key: FlowKey, delta: Delta, fp: u64) -> ScreenClass {
+        self.view().screen_class_after(key, delta, fp)
+    }
+
+    /// Hot-path fast skip — see [`SigRef::skips_as_own_singleton`].
+    #[inline]
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn skips_as_own_singleton(&self, key: FlowKey, delta: Delta, fp: u64) -> bool {
+        self.view().skips_as_own_singleton(key, delta, fp)
+    }
+
+    /// Screened decode — see [`SigRef::decode_fast`].
+    #[inline]
+    pub fn decode_fast(&self) -> BucketState {
+        self.view().decode_fast()
+    }
+
+    /// Exhaustive decode — see [`SigRef::decode`].
+    #[inline]
+    pub fn decode(&self) -> BucketState {
+        self.view().decode()
+    }
 
     /// Adds another signature counter-wise (used by sketch merging).
     /// The screening sums are linear too, so they merge by wrapping
     /// addition.
     pub fn merge_from(&mut self, other: &CountSignature) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a = a.wrapping_add(*b);
-        }
+        merge_counter_slab(&mut self.counts, &other.counts);
         self.key_sum = self.key_sum.wrapping_add(other.key_sum);
         self.fp_sum = self.fp_sum.wrapping_add(other.fp_sum);
     }
@@ -420,9 +603,7 @@ impl CountSignature {
     /// differencing — counters are linear, so subtracting a snapshot
     /// leaves exactly the updates that arrived after it).
     pub fn subtract(&mut self, other: &CountSignature) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a = a.wrapping_sub(*b);
-        }
+        subtract_counter_slab(&mut self.counts, &other.counts);
         self.key_sum = self.key_sum.wrapping_sub(other.key_sum);
         self.fp_sum = self.fp_sum.wrapping_sub(other.fp_sum);
     }
@@ -577,6 +758,24 @@ mod tests {
         assert_eq!(sig.net_total(), 0);
         assert!(!sig.is_zero());
         assert_eq!(sig.decode(), BucketState::Collision);
+    }
+
+    #[test]
+    fn zero_total_screen_residue_is_not_zero() {
+        // The O(1) fast reject must not misreport a zero-total residue
+        // state: insert a, delete b leaves total == 0 but both screen
+        // sums nonzero, so the fast path answers `false` before the
+        // bit-counter scan even runs.
+        let mut sig = CountSignature::new();
+        sig.apply(key(9, 9), Delta::Insert);
+        sig.apply(key(8, 8), Delta::Delete);
+        assert_eq!(sig.net_total(), 0);
+        assert!(!sig.is_zero());
+        // And a genuinely reverted signature is zero again.
+        let mut clean = CountSignature::new();
+        clean.apply(key(9, 9), Delta::Insert);
+        clean.apply(key(9, 9), Delta::Delete);
+        assert!(clean.is_zero());
     }
 
     #[test]

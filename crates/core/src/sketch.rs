@@ -18,6 +18,49 @@ use crate::signature::BucketState;
 use crate::telem::{Counter, Telem};
 use crate::types::{Delta, FlowKey, FlowUpdate};
 
+/// Updates per internal batch chunk: bounds the scratch buffers of
+/// [`DistinctCountSketch::update_batch`] (and the tracking equivalent)
+/// and keeps one chunk's routing tables comfortably inside L1/L2.
+pub const BATCH_CHUNK: usize = 1024;
+
+/// How many updates ahead the batched path prefetches bucket lines.
+/// Far enough ahead to cover a main-memory miss under the ~r·65-counter
+/// work per update, close enough that the lines survive in cache.
+pub const PREFETCH_AHEAD: usize = 8;
+
+/// Per-update routing computed by pass 1 of a batch chunk: the
+/// (materialized) first-level bucket and the key's fingerprint. The
+/// `r` second-level buckets live in a parallel flattened array.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BatchRoute {
+    pub(crate) level: usize,
+    pub(crate) fp: u64,
+}
+
+/// Fills `order` with the indices of `routes` stably counting-sorted by
+/// level, so a chunk's updates can be applied one level arena at a time
+/// (levels are capped at 64, see `route_chunk`). Only the basic sketch
+/// may use this order: its counter updates commute, whereas the
+/// tracking layer's heap adjustments are order-sensitive.
+fn group_by_level(routes: &[BatchRoute], order: &mut Vec<usize>) {
+    let mut offsets = [0usize; 64];
+    for route in routes {
+        offsets[route.level] += 1;
+    }
+    let mut acc = 0usize;
+    for slot in &mut offsets {
+        let count = *slot;
+        *slot = acc;
+        acc += count;
+    }
+    order.clear();
+    order.resize(routes.len(), 0);
+    for (i, route) in routes.iter().enumerate() {
+        order[offsets[route.level]] = i;
+        offsets[route.level] += 1;
+    }
+}
+
 /// A distinct sample extracted from a sketch, with its inference level.
 ///
 /// `keys` is a uniform sample (rate `2^-level`) over the *distinct*
@@ -196,10 +239,142 @@ impl DistinctCountSketch {
         self.update(FlowUpdate::delete(source, dest));
     }
 
-    /// Processes a batch of updates.
+    /// Processes a batch of updates through the batched fast path —
+    /// equivalent to calling [`update`](Self::update) for each element
+    /// in order (bit-identical final counters), but substantially
+    /// faster on large batches.
+    ///
+    /// The batch is split into chunks of [`BATCH_CHUNK`] updates. Each
+    /// chunk makes two passes: pass 1 hashes every key exactly once
+    /// (first-level bucket, fingerprint, and all `r` second-level
+    /// buckets) and materializes every touched level up front; pass 2
+    /// applies the updates **grouped by level** (counter updates are
+    /// commutative wrapping adds, so any order yields the same state,
+    /// and grouping keeps one level's arena hot in cache), issuing
+    /// software prefetches for the bucket lines of the update
+    /// [`PREFETCH_AHEAD`] positions ahead so its cache misses overlap
+    /// with the counter arithmetic of the current one.
+    pub fn update_batch(&mut self, updates: &[FlowUpdate]) {
+        if updates.is_empty() {
+            return;
+        }
+        let chunk_cap = updates.len().min(BATCH_CHUNK);
+        let mut routes = Vec::with_capacity(chunk_cap);
+        let mut buckets = Vec::with_capacity(chunk_cap * self.config.num_tables());
+        let mut order = Vec::with_capacity(chunk_cap);
+        for chunk in updates.chunks(BATCH_CHUNK) {
+            self.update_chunk(chunk, &mut routes, &mut buckets, &mut order);
+        }
+        self.telem.record_batch(u64_from_usize(updates.len()));
+    }
+
+    /// One [`BATCH_CHUNK`]-bounded chunk of [`update_batch`]
+    /// (`routes`/`buckets`/`order` are caller-owned scratch, reused
+    /// across chunks).
+    ///
+    /// [`update_batch`]: Self::update_batch
+    fn update_chunk(
+        &mut self,
+        chunk: &[FlowUpdate],
+        routes: &mut Vec<BatchRoute>,
+        buckets: &mut Vec<usize>,
+        order: &mut Vec<usize>,
+    ) {
+        let timer = self.telem.start_timer();
+        self.route_chunk(chunk, routes, buckets);
+        group_by_level(routes, order);
+        let num_tables = self.config.num_tables();
+        let mut net = 0i64;
+        for (pos, &i) in order.iter().enumerate() {
+            let ahead = pos + PREFETCH_AHEAD;
+            if ahead < order.len() {
+                let j = order[ahead];
+                self.prefetch_routed(routes[j], &buckets[j * num_tables..]);
+            }
+            let update = chunk[i];
+            let route = routes[i];
+            if let Some(state) = self.levels[route.level].as_mut() {
+                for (table, &bucket) in buckets[i * num_tables..(i + 1) * num_tables]
+                    .iter()
+                    .enumerate()
+                {
+                    state.apply_with_fp(table, bucket, update.key, update.delta, route.fp);
+                }
+            }
+            net += update.delta.signum();
+        }
+        self.updates_processed += u64_from_usize(chunk.len());
+        self.net_updates += net;
+        self.telem.record_update_batch(timer, chunk.len());
+    }
+
+    /// Pass 1 of a batch chunk: hashes every key exactly once — the
+    /// first-level bucket, the fingerprint, and the `r` second-level
+    /// buckets (flattened into `buckets` with stride `r`) — and
+    /// materializes every touched level, so pass 2 only ever sees
+    /// allocated arenas (and prefetches never fault a level in).
+    /// Shared with the tracking layer's batch path.
+    pub(crate) fn route_chunk(
+        &mut self,
+        chunk: &[FlowUpdate],
+        routes: &mut Vec<BatchRoute>,
+        buckets: &mut Vec<usize>,
+    ) {
+        debug_assert!(chunk.len() <= BATCH_CHUNK);
+        routes.clear();
+        buckets.clear();
+        let num_buckets = self.config.buckets_per_table();
+        // Levels are capped at 64, so a u64 bitmask tracks which ones
+        // this chunk touches.
+        let mut touched = 0u64;
+        for update in chunk {
+            let packed = update.key.packed();
+            let level = usize_from_u32(self.level_of(update.key));
+            touched |= 1u64 << level;
+            routes.push(BatchRoute {
+                level,
+                fp: fingerprint64(packed),
+            });
+            for hash in &self.table_hashes {
+                buckets.push(hash.hash_to_range(packed, num_buckets));
+            }
+        }
+        let mut bits = touched;
+        while bits != 0 {
+            let level = usize_from_u32(bits.trailing_zeros());
+            self.level_mut(level);
+            bits &= bits - 1;
+        }
+    }
+
+    /// Prefetches the bucket lines one routed update will touch in
+    /// every table (`buckets` is the flattened bucket array starting at
+    /// that update's stride offset). The level is already materialized
+    /// by [`route_chunk`](Self::route_chunk); the `if let` is belt and
+    /// braces.
+    #[inline]
+    pub(crate) fn prefetch_routed(&self, route: BatchRoute, buckets: &[usize]) {
+        if let Some(state) = &self.levels[route.level] {
+            for (table, &bucket) in buckets.iter().take(self.config.num_tables()).enumerate() {
+                state.prefetch_bucket(table, bucket);
+            }
+        }
+    }
+
+    /// Processes a stream of updates, chunking it through
+    /// [`update_batch`](Self::update_batch) so iterator callers get the
+    /// batched fast path for free.
     pub fn extend<I: IntoIterator<Item = FlowUpdate>>(&mut self, updates: I) {
+        let mut buf: Vec<FlowUpdate> = Vec::with_capacity(BATCH_CHUNK);
         for u in updates {
-            self.update(u);
+            buf.push(u);
+            if buf.len() == BATCH_CHUNK {
+                self.update_batch(&buf);
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            self.update_batch(&buf);
         }
     }
 
@@ -253,7 +428,7 @@ impl DistinctCountSketch {
     ) -> Option<(BucketState, BucketState)> {
         use crate::signature::ScreenClass::{Candidate, Empty, Fail};
         let state = self.level_mut(level);
-        let sig = state.signature(table, bucket);
+        let sig = state.sig_ref(table, bucket);
         // Dominant case first: a repeated packet on a flow that owns
         // its bucket. Proves `(Candidate(key), Candidate(key))` with
         // sixteen counter reads and no inverse or fingerprint mixing.
@@ -262,7 +437,7 @@ impl DistinctCountSketch {
             self.telem.incr(Counter::ScreenFastSkip);
             return None;
         }
-        let sig = state.signature(table, bucket);
+        let sig = state.sig_ref(table, bucket);
         let class_before = sig.screen_class();
         let class_after = sig.screen_class_after(key, delta, fp);
         let no_transition = match (class_before, class_after) {
@@ -280,7 +455,7 @@ impl DistinctCountSketch {
         // `class_after` predicted the post-update sums and counters
         // exactly, so materializing it against the updated signature
         // equals a fresh `decode_fast`.
-        let after = state.signature(table, bucket).decode_class(class_after);
+        let after = state.sig_ref(table, bucket).decode_class(class_after);
         self.telem.incr(Counter::ScreenMiss);
         for decoded in [&before, &after] {
             if matches!(decoded, BucketState::Singleton { .. }) {

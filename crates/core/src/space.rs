@@ -12,7 +12,8 @@ use crate::config::SketchConfig;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SpaceReport {
-    /// Bytes in count-signature counter arrays.
+    /// Bytes in count-signature counter slabs (each allocated level
+    /// holds its `r·s` signatures in three flat arrays).
     pub counter_bytes: usize,
     /// Bytes in tracking structures (singleton sets + heaps); zero for
     /// a basic sketch.

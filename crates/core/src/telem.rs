@@ -41,6 +41,10 @@ mod enabled {
         counters: CounterSet,
         update_hist: LogHistogram,
         query_hist: LogHistogram,
+        /// Distribution of `update_batch` call sizes (raw counts, not
+        /// nanoseconds — summarized with the histogram's raw-unit
+        /// summary).
+        batch_hist: LogHistogram,
     }
 
     impl Telem {
@@ -68,10 +72,31 @@ mod enabled {
             self.query_hist.record(elapsed_ns(timer.0));
         }
 
+        /// Records one chunk of `n` updates applied through the batched
+        /// path: `n` update-latency samples of the amortized per-update
+        /// cost, so `update_latency.count` keeps meaning "updates
+        /// measured" whichever path processed them.
+        #[inline]
+        pub(crate) fn record_update_batch(&self, timer: TelemTimer, n: usize) {
+            if n == 0 {
+                return;
+            }
+            let n_u64 = u64::try_from(n).unwrap_or(u64::MAX);
+            self.update_hist
+                .record_n(elapsed_ns(timer.0) / n_u64, n_u64);
+        }
+
+        /// Records the size of one `update_batch` call.
+        #[inline]
+        pub(crate) fn record_batch(&self, size: u64) {
+            self.batch_hist.record(size);
+        }
+
         pub(crate) fn merge_from(&self, other: &Telem) {
             self.counters.merge_from(&other.counters);
             self.update_hist.merge_from(&other.update_hist);
             self.query_hist.merge_from(&other.query_hist);
+            self.batch_hist.merge_from(&other.batch_hist);
         }
 
         /// Copies nonzero counters and non-empty latency summaries into
@@ -85,6 +110,9 @@ mod enabled {
             }
             if self.query_hist.count() > 0 {
                 snapshot.query_latency = Some(self.query_hist.summary());
+            }
+            if self.batch_hist.count() > 0 {
+                snapshot.batch_size = Some(self.batch_hist.size_summary());
             }
         }
     }
@@ -127,6 +155,12 @@ mod disabled {
         pub(crate) fn record_query(&self, _timer: TelemTimer) {}
 
         #[inline(always)]
+        pub(crate) fn record_update_batch(&self, _timer: TelemTimer, _n: usize) {}
+
+        #[inline(always)]
+        pub(crate) fn record_batch(&self, _size: u64) {}
+
+        #[inline(always)]
         pub(crate) fn merge_from(&self, _other: &Telem) {}
 
         #[inline(always)]
@@ -147,6 +181,8 @@ mod tests {
         let timer = telem.start_timer();
         telem.record_update(timer);
         telem.record_query(telem.start_timer());
+        telem.record_update_batch(telem.start_timer(), 3);
+        telem.record_batch(3);
         telem.merge_from(&telem.clone());
         let mut snap = dcs_telemetry::TelemetrySnapshot::new("telem");
         telem.fill_snapshot(&mut snap);
@@ -154,13 +190,16 @@ mod tests {
         {
             assert!(snap.counters.is_empty(), "no-op recorder stays empty");
             assert!(snap.update_latency.is_none());
+            assert!(snap.batch_size.is_none());
         }
         #[cfg(feature = "telemetry")]
         {
-            // merge_from(clone) doubled everything recorded above.
+            // merge_from(clone) doubled everything recorded above:
+            // 1 single update + a 3-update batch chunk = 4 samples.
             assert_eq!(snap.counters.get("screen_miss"), Some(&2));
-            assert_eq!(snap.update_latency.map(|l| l.count), Some(2));
+            assert_eq!(snap.update_latency.map(|l| l.count), Some(8));
             assert_eq!(snap.query_latency.map(|l| l.count), Some(2));
+            assert_eq!(snap.batch_size.map(|b| b.count), Some(2));
         }
     }
 }

@@ -29,7 +29,7 @@ use crate::estimator::{
     threshold_from_frequencies, top_k_from_frequencies, TopKEntry, TopKEstimate,
 };
 use crate::heap::IndexedMaxHeap;
-use crate::sketch::DistinctCountSketch;
+use crate::sketch::{BatchRoute, DistinctCountSketch, BATCH_CHUNK, PREFETCH_AHEAD};
 use crate::types::{FlowKey, FlowUpdate};
 
 /// Per-level tracking state: the incrementally maintained distinct
@@ -226,10 +226,81 @@ impl TrackingDcs {
         self.update(FlowUpdate::delete(source, dest));
     }
 
-    /// Processes a batch of updates.
+    /// Processes a batch of updates through the batched fast path —
+    /// equivalent to calling [`update`](Self::update) for each element
+    /// in order (bit-identical counters, decode transitions, and heap
+    /// arrangement), but routing each chunk in one up-front hashing
+    /// pass and prefetching upcoming bucket lines, exactly as
+    /// [`DistinctCountSketch::update_batch`] does.
+    pub fn update_batch(&mut self, updates: &[FlowUpdate]) {
+        if updates.is_empty() {
+            return;
+        }
+        let chunk_cap = updates.len().min(BATCH_CHUNK);
+        let mut routes = Vec::with_capacity(chunk_cap);
+        let mut buckets = Vec::with_capacity(chunk_cap * self.config().num_tables());
+        for chunk in updates.chunks(BATCH_CHUNK) {
+            self.update_chunk(chunk, &mut routes, &mut buckets);
+        }
+        self.sketch
+            .telem
+            .record_batch(u64_from_usize(updates.len()));
+    }
+
+    /// One [`BATCH_CHUNK`]-bounded chunk of
+    /// [`update_batch`](Self::update_batch): route (pass 1, shared with
+    /// the basic sketch), then screen/apply/patch in original update
+    /// order (pass 2) — order preservation is what keeps the heap
+    /// arrangement, and therefore tie-breaking in `track_top_k`,
+    /// bit-identical to the one-at-a-time path.
+    fn update_chunk(
+        &mut self,
+        chunk: &[FlowUpdate],
+        routes: &mut Vec<BatchRoute>,
+        buckets: &mut Vec<usize>,
+    ) {
+        let timer = self.sketch.telem.start_timer();
+        self.sketch.route_chunk(chunk, routes, buckets);
+        let num_tables = self.config().num_tables();
+        for (i, update) in chunk.iter().enumerate() {
+            let ahead = i + PREFETCH_AHEAD;
+            if ahead < chunk.len() {
+                self.sketch
+                    .prefetch_routed(routes[ahead], &buckets[ahead * num_tables..]);
+            }
+            let route = routes[i];
+            for table in 0..num_tables {
+                let bucket = buckets[i * num_tables + table];
+                if let Some((before, after)) = self.sketch.screened_apply(
+                    route.level,
+                    table,
+                    bucket,
+                    update.key,
+                    update.delta,
+                    route.fp,
+                ) {
+                    self.handle_transition(route.level, before, after);
+                }
+            }
+            self.sketch.note_update(update.delta);
+        }
+        self.sketch.telem.record_update_batch(timer, chunk.len());
+    }
+
+    /// Processes a stream of updates, chunking it through
+    /// [`update_batch`](Self::update_batch) so iterator callers get the
+    /// batched fast path for free.
     pub fn extend<I: IntoIterator<Item = FlowUpdate>>(&mut self, updates: I) {
+        let mut buf: Vec<FlowUpdate> = Vec::with_capacity(BATCH_CHUNK);
         for u in updates {
-            self.update(u);
+            buf.push(u);
+            if buf.len() == BATCH_CHUNK {
+                self.update_batch(&buf);
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            self.update_batch(&buf);
         }
     }
 

@@ -141,11 +141,16 @@ impl DdosMonitor {
         self.sketch.update(update);
     }
 
-    /// Ingests a batch of flow updates.
+    /// Ingests a slice of flow updates through the sketch's batched
+    /// fast path ([`TrackingDcs::update_batch`]).
+    pub fn ingest_batch(&mut self, updates: &[FlowUpdate]) {
+        self.sketch.update_batch(updates);
+    }
+
+    /// Ingests a stream of flow updates (chunked through the batched
+    /// fast path by [`TrackingDcs::extend`]).
     pub fn ingest<I: IntoIterator<Item = FlowUpdate>>(&mut self, updates: I) {
-        for u in updates {
-            self.sketch.update(u);
-        }
+        self.sketch.extend(updates);
     }
 
     /// The current top-k view (without alarm evaluation).

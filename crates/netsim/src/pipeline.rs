@@ -183,9 +183,22 @@ pub fn run_pipeline(router_feeds: Vec<Vec<TcpSegment>>, config: PipelineConfig) 
             let mut next_eval = evaluate_every;
             let mut next_snapshot = snapshot_every;
             for batch in update_rx {
-                for update in batch {
-                    monitor.ingest_one(update);
-                    ingested += 1;
+                // Feed the batched fast path in sub-chunks that stop
+                // exactly at the next evaluation/snapshot boundary, so
+                // alarms and snapshots fire at the same ingested counts
+                // as the old per-update loop.
+                let mut offset = 0usize;
+                while offset < batch.len() {
+                    let remaining = batch.len() - offset;
+                    let until_boundary = next_eval
+                        .saturating_sub(ingested)
+                        .min(next_snapshot.saturating_sub(ingested));
+                    let take = usize::try_from(until_boundary)
+                        .unwrap_or(remaining)
+                        .min(remaining);
+                    monitor.ingest_batch(&batch[offset..offset + take]);
+                    offset += take;
+                    ingested += take as u64;
                     if ingested >= next_eval {
                         alarms.extend(monitor.evaluate());
                         next_eval += evaluate_every;

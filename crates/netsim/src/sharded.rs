@@ -54,9 +54,7 @@ pub fn ingest_sharded(
     let shard_sketches = run_sharded(updates, shards, |rx| {
         let mut sketch = DistinctCountSketch::new(config.clone());
         for batch in rx {
-            for update in batch {
-                sketch.update(update);
-            }
+            sketch.update_batch(&batch);
         }
         sketch
     });

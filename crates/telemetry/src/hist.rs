@@ -9,7 +9,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::stats::LatencyStats;
+use crate::stats::{LatencyStats, SizeStats};
 
 const BUCKETS: usize = 64;
 
@@ -72,8 +72,20 @@ impl LogHistogram {
     /// Records one sample of `ns` nanoseconds.
     #[inline]
     pub fn record(&self, ns: u64) {
-        self.counts[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
-        self.total.fetch_add(1, Ordering::Relaxed);
+        self.record_n(ns, 1);
+    }
+
+    /// Records `n` identical samples of `ns` in one shot — how batched
+    /// hot paths amortize instrumentation: time the whole chunk once,
+    /// record the per-element cost with the chunk's weight, and `count`
+    /// still means "elements measured".
+    #[inline]
+    pub fn record_n(&self, ns: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_of(ns)].fetch_add(n, Ordering::Relaxed);
+        self.total.fetch_add(n, Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
     }
 
@@ -128,6 +140,22 @@ impl LogHistogram {
             p95_micros: self.quantile_ns(0.95) / 1e3,
             p99_micros: self.quantile_ns(0.99) / 1e3,
             max_micros: self.max_ns.load(Ordering::Relaxed) as f64 / 1e3,
+        }
+    }
+
+    /// Summarizes the distribution as raw-unit [`SizeStats`] — for
+    /// histograms whose samples are counts (batch sizes) rather than
+    /// nanoseconds, so no unit conversion is applied.
+    pub fn size_summary(&self) -> SizeStats {
+        if self.count() == 0 {
+            return SizeStats::empty();
+        }
+        SizeStats {
+            count: self.count(),
+            p50: self.quantile_ns(0.50),
+            p95: self.quantile_ns(0.95),
+            p99: self.quantile_ns(0.99),
+            max: self.max_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -195,6 +223,34 @@ mod tests {
         for q in [0.01, 0.5, 0.99, 1.0] {
             assert_eq!(h.quantile_ns(q), 768.0, "q = {q}");
         }
+    }
+
+    #[test]
+    fn record_n_weights_like_repeated_record() {
+        let batched = LogHistogram::new();
+        let looped = LogHistogram::new();
+        batched.record_n(300, 50);
+        batched.record_n(0, 0); // no-op
+        for _ in 0..50 {
+            looped.record(300);
+        }
+        assert_eq!(batched.count(), looped.count());
+        assert_eq!(batched.summary(), looped.summary());
+    }
+
+    #[test]
+    fn size_summary_reports_raw_units() {
+        let h = LogHistogram::new();
+        for _ in 0..9 {
+            h.record(1024);
+        }
+        h.record(4096);
+        let s = h.size_summary();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.max, 4096);
+        // p50 is the mid of [1024, 2048): 1536 — no /1e3 scaling.
+        assert_eq!(s.p50, 1536.0);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
     }
 
     #[test]

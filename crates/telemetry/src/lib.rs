@@ -43,4 +43,4 @@ pub use exporter::{sidecar_path, JsonlExporter};
 pub use hist::LogHistogram;
 pub use schema::validate_line;
 pub use snapshot::{LevelGauges, TelemetrySnapshot};
-pub use stats::LatencyStats;
+pub use stats::{LatencyStats, SizeStats};

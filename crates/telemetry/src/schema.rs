@@ -33,7 +33,7 @@ pub fn validate_line(line: &str) -> Result<(), String> {
         return Err("top level is not a JSON object".to_string());
     };
 
-    const REQUIRED: [&str; 8] = [
+    const REQUIRED: [&str; 9] = [
         "label",
         "sequence",
         "updates_processed",
@@ -42,6 +42,7 @@ pub fn validate_line(line: &str) -> Result<(), String> {
         "levels",
         "update_latency",
         "query_latency",
+        "batch_size",
     ];
     for key in REQUIRED {
         if !fields.contains_key(key) {
@@ -125,6 +126,25 @@ pub fn validate_line(line: &str) -> Result<(), String> {
             }
             _ => return Err(format!("\"{key}\" is neither null nor a latency object")),
         }
+    }
+
+    match fields.get("batch_size") {
+        Some(Json::Null) => {}
+        Some(Json::Object(stats)) => {
+            const STATS: [&str; 5] = ["count", "p50", "p95", "p99", "max"];
+            for stat in STATS {
+                expect_number(stats, stat).map_err(|e| format!("\"batch_size\": {e}"))?;
+            }
+            for stat in stats.keys() {
+                if !STATS.contains(&stat.as_str()) {
+                    return Err(format!("\"batch_size\" has unknown key \"{stat}\""));
+                }
+            }
+            for stat in ["count", "max"] {
+                expect_count(stats, stat).map_err(|e| format!("\"batch_size\": {e}"))?;
+            }
+        }
+        _ => return Err("\"batch_size\" is neither null nor a size object".to_string()),
     }
     Ok(())
 }
@@ -355,6 +375,13 @@ mod tests {
             p99_micros: 1.536,
             max_micros: 12.5,
         });
+        snap.batch_size = Some(crate::stats::SizeStats {
+            count: 3,
+            p50: 1536.0,
+            p95: 1536.0,
+            p99: 1536.0,
+            max: 2048,
+        });
         validate_line(&snap.to_jsonl()).expect("populated snapshot");
     }
 
@@ -421,5 +448,31 @@ mod tests {
             validate_line(&fractional_count).is_err(),
             "fractional count"
         );
+    }
+
+    #[test]
+    fn rejects_malformed_batch_size_objects() {
+        let base = TelemetrySnapshot::new("x").to_jsonl();
+        let missing = base.replace(",\"batch_size\":null", "");
+        assert!(validate_line(&missing).is_err(), "missing batch_size");
+        let partial = base.replace(
+            "\"batch_size\":null",
+            "\"batch_size\":{\"count\":1,\"p50\":2.0}",
+        );
+        assert!(validate_line(&partial).is_err(), "partial size object");
+        let micros_named = base.replace(
+            "\"batch_size\":null",
+            "\"batch_size\":{\"count\":1,\"p50_micros\":2.0,\"p95_micros\":2.0,\
+             \"p99_micros\":2.0,\"max_micros\":2.0}",
+        );
+        assert!(
+            validate_line(&micros_named).is_err(),
+            "latency-shaped batch_size"
+        );
+        let fractional_max = base.replace(
+            "\"batch_size\":null",
+            "\"batch_size\":{\"count\":1,\"p50\":2.0,\"p95\":2.0,\"p99\":2.0,\"max\":2.5}",
+        );
+        assert!(validate_line(&fractional_max).is_err(), "fractional max");
     }
 }

@@ -14,7 +14,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::stats::LatencyStats;
+use crate::stats::{LatencyStats, SizeStats};
 
 /// Per-first-level-bucket (level) occupancy gauges.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -64,6 +64,9 @@ pub struct TelemetrySnapshot {
     pub update_latency: Option<LatencyStats>,
     /// Latency distribution of top-k queries, if any were timed.
     pub query_latency: Option<LatencyStats>,
+    /// Distribution of `update_batch` call sizes, if any batches were
+    /// processed (raw update counts, not microseconds).
+    pub batch_size: Option<SizeStats>,
 }
 
 impl TelemetrySnapshot {
@@ -138,6 +141,23 @@ impl TelemetrySnapshot {
                 }
             }
         }
+        match &self.batch_size {
+            Some(stats) => {
+                let _ = write!(
+                    out,
+                    ",\"batch_size\":{{\"count\":{},\"p50\":{},\"p95\":{},\
+                     \"p99\":{},\"max\":{}}}",
+                    stats.count,
+                    json_number(stats.p50),
+                    json_number(stats.p95),
+                    json_number(stats.p99),
+                    stats.max
+                );
+            }
+            None => {
+                out.push_str(",\"batch_size\":null");
+            }
+        }
         out.push('}');
         out
     }
@@ -191,7 +211,8 @@ mod tests {
         assert_eq!(
             line,
             "{\"label\":\"t\",\"sequence\":0,\"updates_processed\":0,\"net_updates\":0,\
-             \"counters\":{},\"levels\":[],\"update_latency\":null,\"query_latency\":null}"
+             \"counters\":{},\"levels\":[],\"update_latency\":null,\"query_latency\":null,\
+             \"batch_size\":null}"
         );
     }
 
@@ -216,6 +237,13 @@ mod tests {
             p99_micros: 1.536,
             max_micros: 98.0,
         });
+        snap.batch_size = Some(SizeStats {
+            count: 12,
+            p50: 1536.0,
+            p95: 1536.0,
+            p99: 1536.0,
+            max: 4096,
+        });
         let line = snap.to_jsonl();
         assert!(line.contains("\"label\":\"fig9 \\\"quick\\\"\""));
         assert!(line.contains("\"net_updates\":-4"));
@@ -223,6 +251,8 @@ mod tests {
         assert!(line.contains("\"level\":2,\"occupied_buckets\":10"));
         assert!(line.contains("\"p50_micros\":0.192"));
         assert!(line.contains("\"query_latency\":null"));
+        assert!(line.contains("\"batch_size\":{\"count\":12,\"p50\":1536.0"));
+        assert!(line.contains("\"max\":4096}"));
     }
 
     #[test]

@@ -47,6 +47,47 @@ impl LatencyStats {
     }
 }
 
+/// Quantile summary of a *size* distribution (e.g. `update_batch` call
+/// sizes), in raw units.
+///
+/// The same shape as [`LatencyStats`] but unit-free: samples are counts,
+/// not nanoseconds, so nothing is divided by 1e3 and `max` stays an
+/// exact integer. Produced by [`crate::LogHistogram::size_summary`];
+/// quantiles are bucket-resolution approximations (within a factor of
+/// 2) while `count` and `max` are exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SizeStats {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Approximate median size.
+    pub p50: f64,
+    /// Approximate 95th-percentile size.
+    pub p95: f64,
+    /// Approximate 99th-percentile size.
+    pub p99: f64,
+    /// Exact maximum observed size.
+    pub max: u64,
+}
+
+impl SizeStats {
+    /// An empty summary (no samples recorded).
+    pub fn empty() -> Self {
+        Self {
+            count: 0,
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+            max: 0,
+        }
+    }
+
+    /// Whether any samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,6 +98,16 @@ mod tests {
         let nonempty = LatencyStats {
             count: 1,
             ..LatencyStats::empty()
+        };
+        assert!(!nonempty.is_empty());
+    }
+
+    #[test]
+    fn empty_size_summary_is_empty() {
+        assert!(SizeStats::empty().is_empty());
+        let nonempty = SizeStats {
+            count: 1,
+            ..SizeStats::empty()
         };
         assert!(!nonempty.is_empty());
     }

@@ -11,10 +11,20 @@
 //! `sample_size` samples, each running enough iterations to cover a
 //! minimum sample duration; the report prints the minimum / median /
 //! maximum per-iteration time (and element throughput when configured).
-//! `--test` (the CI smoke mode) runs each body exactly once with no
-//! timing. Unknown CLI flags (e.g. `--bench`, filter strings) are
-//! accepted and ignored so `cargo bench` invocations work unchanged.
+//! `--test` runs each body exactly once with no timing. `--quick` (the
+//! CI smoke mode) shrinks the warm-up, per-sample duration, and sample
+//! count ~10× so a full bench binary finishes in seconds while still
+//! producing real (if noisier) numbers. Unknown CLI flags (e.g.
+//! `--bench`, filter strings) are accepted and ignored so `cargo bench`
+//! invocations work unchanged.
+//!
+//! When the `CRITERION_JSON_OUT` environment variable names a file,
+//! every reported benchmark is also appended to a process-global
+//! registry and [`write_json_results`] (invoked by `criterion_main!`
+//! after all groups run) writes them as one JSON document — the hook CI
+//! uses to emit machine-readable `BENCH_*.json` artifacts.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier — re-export of [`std::hint::black_box`].
@@ -90,21 +100,40 @@ impl IntoBenchmarkId for String {
 /// Timing loop handle passed to benchmark bodies.
 pub struct Bencher {
     test_mode: bool,
+    quick: bool,
     sample_size: usize,
     /// Measured per-iteration times, one entry per sample.
     samples: Vec<Duration>,
 }
 
 impl Bencher {
+    /// Warm-up budget: ~200ms normally, ~20ms in `--quick` mode.
+    fn warmup_budget(&self) -> Duration {
+        if self.quick {
+            Duration::from_millis(20)
+        } else {
+            Duration::from_millis(200)
+        }
+    }
+
+    /// Per-sample duration target: ~20ms normally, ~2ms in `--quick`.
+    fn target_sample_ns(&self) -> u128 {
+        if self.quick {
+            Duration::from_millis(2).as_nanos()
+        } else {
+            Duration::from_millis(20).as_nanos()
+        }
+    }
+
     /// Measures `body` (or runs it once in `--test` mode).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
         if self.test_mode {
             black_box(body());
             return;
         }
-        // Warm-up: run until ~200ms have elapsed to stabilize caches
+        // Warm-up: run until the budget has elapsed to stabilize caches
         // and clocks, and estimate the per-iteration cost.
-        let warmup = Duration::from_millis(200);
+        let warmup = self.warmup_budget();
         let warmup_start = Instant::now();
         let mut warmup_iters: u64 = 0;
         while warmup_start.elapsed() < warmup {
@@ -112,9 +141,10 @@ impl Bencher {
             warmup_iters += 1;
         }
         let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters.max(1));
-        // Size each sample to take ~20ms so short bodies are timed over
-        // many iterations and the clock's resolution is immaterial.
-        let target_sample = Duration::from_millis(20).as_nanos();
+        // Size each sample to hit the target duration so short bodies
+        // are timed over many iterations and the clock's resolution is
+        // immaterial.
+        let target_sample = self.target_sample_ns();
         let iters_per_sample = (target_sample / per_iter.max(1)).clamp(1, 1_000_000_000) as u64;
         self.samples.clear();
         for _ in 0..self.sample_size {
@@ -148,7 +178,7 @@ impl Bencher {
         }
         // Warm-up sized by routine time alone (setup excluded), to
         // mirror the measurement below.
-        let warmup = Duration::from_millis(200);
+        let warmup = self.warmup_budget();
         let mut warmup_spent = Duration::ZERO;
         let mut warmup_iters: u64 = 0;
         while warmup_spent < warmup {
@@ -159,7 +189,7 @@ impl Bencher {
             warmup_iters += 1;
         }
         let per_iter = warmup_spent.as_nanos().max(1) / u128::from(warmup_iters.max(1));
-        let target_sample = Duration::from_millis(20).as_nanos();
+        let target_sample = self.target_sample_ns();
         let iters_per_sample = (target_sample / per_iter.max(1)).clamp(1, 1_000_000_000) as u64;
         self.samples.clear();
         for _ in 0..self.sample_size {
@@ -239,14 +269,19 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full_name = format!("{}/{}", self.name, id.into_benchmark_id());
+        let sample_size = if self.criterion.quick {
+            self.sample_size.min(10)
+        } else {
+            self.sample_size
+        };
         let mut bencher = Bencher {
             test_mode: self.criterion.test_mode,
-            sample_size: self.sample_size,
+            quick: self.criterion.quick,
+            sample_size,
             samples: Vec::new(),
         };
         body(&mut bencher);
-        self.criterion
-            .report(&full_name, self.throughput, &bencher);
+        self.criterion.report(&full_name, self.throughput, &bencher);
         self
     }
 
@@ -268,19 +303,88 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 }
 
+/// One reported benchmark measurement, as registered for JSON export.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    name: String,
+    min_ns: u128,
+    median_ns: u128,
+    max_ns: u128,
+    /// Elements per iteration, when the group declared a throughput.
+    elements: Option<u64>,
+}
+
+/// Process-global registry of reported measurements, drained by
+/// [`write_json_results`].
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Writes every benchmark reported so far to the file named by the
+/// `CRITERION_JSON_OUT` environment variable, as a single JSON document
+/// `{"benchmarks": [{name, median_ns, min_ns, max_ns, elements,
+/// melem_per_s}, …]}`. A no-op when the variable is unset. Called by
+/// `criterion_main!` after all groups run; callable directly from
+/// custom harness mains.
+pub fn write_json_results() {
+    let Ok(path) = std::env::var("CRITERION_JSON_OUT") else {
+        return;
+    };
+    let records = match RESULTS.lock() {
+        Ok(guard) => guard.clone(),
+        Err(poisoned) => poisoned.into_inner().clone(),
+    };
+    let mut out = String::from("{\"benchmarks\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let name_escaped: String = r
+            .name
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c => vec![c],
+            })
+            .collect();
+        out.push_str(&format!(
+            "{{\"name\":\"{name_escaped}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{}",
+            r.median_ns, r.min_ns, r.max_ns
+        ));
+        match r.elements {
+            Some(n) => {
+                let melem_per_s = if r.median_ns > 0 {
+                    n as f64 * 1e3 / r.median_ns as f64
+                } else {
+                    0.0
+                };
+                out.push_str(&format!(
+                    ",\"elements\":{n},\"melem_per_s\":{melem_per_s:.4}}}"
+                ));
+            }
+            None => out.push_str(",\"elements\":null,\"melem_per_s\":null}"),
+        }
+    }
+    out.push_str("]}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion: cannot write {path}: {e}");
+    }
+}
+
 /// Benchmark harness entry point.
 pub struct Criterion {
     test_mode: bool,
+    quick: bool,
     filter: Option<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         let mut test_mode = false;
+        let mut quick = false;
         let mut filter = None;
         for arg in std::env::args().skip(1) {
             match arg.as_str() {
                 "--test" => test_mode = true,
+                "--quick" => quick = true,
                 // Cargo's bench harness protocol flag, plus criterion
                 // flags this stand-in accepts but does not implement.
                 "--bench" => {}
@@ -288,7 +392,11 @@ impl Default for Criterion {
                 a => filter = Some(a.to_string()),
             }
         }
-        Criterion { test_mode, filter }
+        Criterion {
+            test_mode,
+            quick,
+            filter,
+        }
     }
 }
 
@@ -331,6 +439,18 @@ impl Criterion {
         let min = samples[0];
         let median = samples[samples.len() / 2];
         let max = samples[samples.len() - 1];
+        if let Ok(mut results) = RESULTS.lock() {
+            results.push(BenchRecord {
+                name: name.to_string(),
+                min_ns: min.as_nanos(),
+                median_ns: median.as_nanos(),
+                max_ns: max.as_nanos(),
+                elements: match throughput {
+                    Some(Throughput::Elements(n)) => Some(n),
+                    _ => None,
+                },
+            });
+        }
         let mut line = format!(
             "{name:<50} time: [{} {} {}]",
             format_duration(min),
@@ -358,12 +478,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the benchmark binary's `main`, running each group.
+/// Declares the benchmark binary's `main`, running each group, then
+/// flushing JSON results (see [`write_json_results`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_results();
         }
     };
 }
@@ -387,15 +509,34 @@ mod tests {
     fn harness_runs_in_test_mode() {
         let mut criterion = Criterion {
             test_mode: true,
+            quick: false,
             filter: None,
         };
         bench_example(&mut criterion);
     }
 
     #[test]
+    fn quick_mode_still_measures() {
+        let mut criterion = Criterion {
+            test_mode: false,
+            quick: true,
+            filter: None,
+        };
+        bench_example(&mut criterion);
+        let results = RESULTS.lock().unwrap();
+        let sum = results
+            .iter()
+            .find(|r| r.name == "example/sum")
+            .expect("quick mode registers results");
+        assert!(sum.median_ns > 0);
+        assert_eq!(sum.elements, Some(64));
+    }
+
+    #[test]
     fn timed_samples_are_collected_and_sorted() {
         let mut bencher = Bencher {
             test_mode: false,
+            quick: true,
             sample_size: 5,
             samples: Vec::new(),
         };
@@ -408,6 +549,7 @@ mod tests {
     fn batched_samples_time_routine_only() {
         let mut bencher = Bencher {
             test_mode: false,
+            quick: true,
             sample_size: 4,
             samples: Vec::new(),
         };

@@ -53,7 +53,9 @@ pub mod channel {
         /// Blocks until the message is enqueued, or errors if the
         /// receiver has been dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
         }
     }
 

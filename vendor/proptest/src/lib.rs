@@ -568,11 +568,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "property")]
     fn failing_property_reports() {
-        crate::test_runner::run_cases(
-            ProptestConfig::with_cases(4),
-            "always_fails",
-            |_rng| Err(TestCaseError::fail("nope")),
-        );
+        crate::test_runner::run_cases(ProptestConfig::with_cases(4), "always_fails", |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
     }
 
     #[test]
