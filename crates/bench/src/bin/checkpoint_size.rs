@@ -1,0 +1,116 @@
+//! Checkpoint cost profile: encoded size and save/load latency as the
+//! stream grows.
+//!
+//! The checkpoint format stores the materialized level slabs plus the
+//! tracking structures, so its size tracks the sketch's `heap_bytes`
+//! (the configuration header and section framing are a fixed few dozen
+//! bytes). This binary measures, for several stream lengths:
+//!
+//! * encoded checkpoint bytes vs in-memory sketch bytes,
+//! * atomic save latency (encode + write-temp + fsync + rename),
+//! * load latency (read + CRC walk + decode + rebuild).
+//!
+//! It also leaves a canonical `results/sample.ckpt` behind — CI uploads
+//! it as an artifact so any build's checkpoint output can be inspected
+//! (and decoded by any other build of the same format version).
+//!
+//! Run: `cargo run -p dcs-bench --release --bin checkpoint_size [--scale full]`
+
+use std::time::Instant;
+
+use dcs_bench::{emit_record, Scale};
+use dcs_core::{SketchConfig, TrackingDcs};
+use dcs_metrics::{ExperimentRecord, Table};
+use dcs_persist::{Checkpoint, CheckpointManager};
+use dcs_streamgen::{PaperWorkload, WorkloadConfig};
+
+fn kb(bytes: u64) -> String {
+    format!("{:.1} KB", bytes as f64 / 1e3)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let sizes: &[u64] = match scale {
+        Scale::Quick => &[10_000, 100_000, 400_000],
+        Scale::Full => &[10_000, 100_000, 1_000_000, 8_000_000],
+    };
+    println!("checkpoint size/latency — scale {}", scale.label());
+
+    let config = SketchConfig::builder().seed(3).build().expect("valid");
+    let results_dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(results_dir) {
+        eprintln!("warning: cannot create results dir: {e}");
+    }
+    let sample_path = results_dir.join("sample.ckpt");
+
+    let mut table = Table::new(vec![
+        "U".into(),
+        "checkpoint".into(),
+        "sketch heap".into(),
+        "ratio".into(),
+        "save".into(),
+        "load".into(),
+    ]);
+    let mut series_u = Vec::new();
+    let mut series_bytes = Vec::new();
+    let mut series_save_ms = Vec::new();
+    let mut series_load_ms = Vec::new();
+
+    for &u in sizes {
+        let workload = PaperWorkload::generate(WorkloadConfig {
+            distinct_pairs: u,
+            num_destinations: (u / 160).max(10) as u32,
+            skew: 1.0,
+            seed: 3,
+        });
+        let mut sketch = TrackingDcs::new(config.clone());
+        sketch.update_batch(workload.updates());
+
+        let mut manager = CheckpointManager::new(&sample_path);
+        let checkpoint = Checkpoint::Tracking(sketch.to_state());
+        let save_started = Instant::now();
+        let bytes = manager.save(&checkpoint).expect("save sample checkpoint");
+        let save = save_started.elapsed();
+        let load_started = Instant::now();
+        let restored = manager.load().expect("load sample checkpoint");
+        let Checkpoint::Tracking(state) = restored else {
+            unreachable!("just saved a tracking document");
+        };
+        let rebuilt = TrackingDcs::from_state(state).expect("restore sample checkpoint");
+        let load = load_started.elapsed();
+        assert_eq!(
+            rebuilt.to_state(),
+            sketch.to_state(),
+            "restore must be exact"
+        );
+
+        let heap = sketch.heap_bytes() as u64;
+        table.row(vec![
+            u.to_string(),
+            kb(bytes),
+            kb(heap),
+            format!("{:.2}", bytes as f64 / heap as f64),
+            format!("{:.2} ms", save.as_secs_f64() * 1e3),
+            format!("{:.2} ms", load.as_secs_f64() * 1e3),
+        ]);
+        series_u.push(u as f64);
+        series_bytes.push(bytes as f64);
+        series_save_ms.push(save.as_secs_f64() * 1e3);
+        series_load_ms.push(load.as_secs_f64() * 1e3);
+    }
+
+    println!("\ncheckpoint cost profile:");
+    print!("{}", table.render());
+    println!("sample checkpoint left at {}", sample_path.display());
+
+    let record = ExperimentRecord::new("checkpoint_size")
+        .parameter("scale", scale.label())
+        .parameter("format_version", i64::from(dcs_persist::FORMAT_VERSION))
+        .with_series("u", series_u)
+        .with_series("checkpoint_bytes", series_bytes)
+        .with_series("save_ms", series_save_ms)
+        .with_series("load_ms", series_load_ms);
+    if let Some(path) = emit_record(&record) {
+        println!("wrote {}", path.display());
+    }
+}

@@ -30,6 +30,16 @@ pub enum SketchError {
         /// Updates the current sketch has processed.
         current_updates: u64,
     },
+    /// A captured state (see [`crate::state`]) failed structural
+    /// validation on restore: slab lengths inconsistent with the
+    /// configuration, level indices out of range or out of order,
+    /// duplicate or zero-count singletons, or a heap that is not
+    /// heap-ordered. Restoration rejects the whole state — a sketch is
+    /// never left partially reconstructed.
+    InvalidState {
+        /// Description of the first structural violation found.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SketchError {
@@ -51,6 +61,9 @@ impl fmt::Display for SketchError {
                      {snapshot_updates} updates, sketch only {current_updates}; \
                      it cannot be an earlier state of this sketch"
                 )
+            }
+            SketchError::InvalidState { reason } => {
+                write!(f, "captured sketch state failed validation: {reason}")
             }
         }
     }

@@ -215,6 +215,52 @@ impl<K: Ord + Hash + Clone> IndexedMaxHeap<K> {
         out
     }
 
+    /// The heap-ordered `(priority, key)` slots in exact array order —
+    /// the persistence view. Restoring this array verbatim through
+    /// [`from_parts`](Self::from_parts) reproduces not just the heap's
+    /// content but its internal arrangement, so subsequent adjustments
+    /// permute a restored heap exactly as they would the original.
+    pub fn slots(&self) -> &[(u64, K)] {
+        &self.slots
+    }
+
+    /// Rebuilds a heap from slots captured by [`slots`](Self::slots)
+    /// (plus the anomaly counters), re-deriving the key → slot position
+    /// map.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural violation if the
+    /// slots contain a duplicate key or are not max-heap ordered —
+    /// callers get either a heap bit-identical to the captured one or
+    /// an error, never a silently repaired structure.
+    pub fn from_parts(
+        slots: Vec<(u64, K)>,
+        underflows: u64,
+        overflows: u64,
+        adjusts: u64,
+    ) -> Result<Self, String> {
+        let mut positions = DetHashMap::default();
+        for (i, (_, key)) in slots.iter().enumerate() {
+            if positions.insert(key.clone(), i).is_some() {
+                return Err(format!("duplicate heap key at slot {i}"));
+            }
+        }
+        for i in 1..slots.len() {
+            let parent = (i - 1) / 2;
+            if slots[i] > slots[parent] {
+                return Err(format!("heap order violated at slot {i}"));
+            }
+        }
+        Ok(Self {
+            slots,
+            positions,
+            underflows,
+            overflows,
+            adjusts,
+        })
+    }
+
     /// Iterates over all `(key, priority)` entries in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
         self.slots.iter().map(|(p, k)| (k, *p))
@@ -425,6 +471,35 @@ mod tests {
         }
         assert_eq!(h.iter().count(), 10);
         assert!(h.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn from_parts_restores_exact_arrangement_and_validates() {
+        let mut h = IndexedMaxHeap::new();
+        for i in 0..40u32 {
+            h.adjust(i % 7, 1);
+        }
+        h.adjust(3u32, -1);
+        let slots = h.slots().to_vec();
+        let back = IndexedMaxHeap::from_parts(
+            slots.clone(),
+            h.underflow_count(),
+            h.overflow_count(),
+            h.adjust_count(),
+        )
+        .unwrap();
+        back.assert_invariants();
+        assert_eq!(back.slots(), h.slots(), "exact arrangement, not a rebuild");
+        assert_eq!(back.adjust_count(), h.adjust_count());
+
+        let mut dup = slots.clone();
+        dup.push(dup[0]);
+        assert!(IndexedMaxHeap::from_parts(dup, 0, 0, 0).is_err());
+
+        let mut bad = slots;
+        assert!(bad.len() >= 2, "need a child slot to violate order");
+        bad[1].0 = u64::MAX;
+        assert!(IndexedMaxHeap::from_parts(bad, 0, 0, 0).is_err());
     }
 
     /// Model-based property test against a BTreeMap.

@@ -74,6 +74,62 @@ impl LevelState {
         }
     }
 
+    /// Rebuilds a level from raw slabs, validating the lengths against
+    /// the `(r, s)` dimensions — the single reconstruction path shared
+    /// by the persistence state layer and the serde representation.
+    pub(crate) fn from_parts(
+        num_tables: usize,
+        buckets_per_table: usize,
+        counts: Vec<i64>,
+        key_sums: Vec<u64>,
+        fp_sums: Vec<u64>,
+    ) -> Result<Self, String> {
+        let slots = num_tables
+            .checked_mul(buckets_per_table)
+            .ok_or_else(|| "level dimensions overflow".to_string())?;
+        let counter_len = slots
+            .checked_mul(SIGNATURE_LEN)
+            .ok_or_else(|| "level counter length overflows".to_string())?;
+        if counts.len() != counter_len {
+            return Err(format!(
+                "counter slab length {} does not match {} slots × {} counters",
+                counts.len(),
+                slots,
+                SIGNATURE_LEN
+            ));
+        }
+        if key_sums.len() != slots || fp_sums.len() != slots {
+            return Err(format!(
+                "screen sum lengths {}/{} do not match {} slots",
+                key_sums.len(),
+                fp_sums.len(),
+                slots
+            ));
+        }
+        Ok(Self {
+            num_tables,
+            buckets_per_table,
+            counts: counts.into_boxed_slice(),
+            key_sums: key_sums.into_boxed_slice(),
+            fp_sums: fp_sums.into_boxed_slice(),
+        })
+    }
+
+    /// The raw counter slab (`r·s·65` counters) — persistence view.
+    pub(crate) fn counts(&self) -> &[i64] {
+        &self.counts
+    }
+
+    /// The raw key-sum slab (`r·s` words) — persistence view.
+    pub(crate) fn key_sums(&self) -> &[u64] {
+        &self.key_sums
+    }
+
+    /// The raw fingerprint-sum slab (`r·s` words) — persistence view.
+    pub(crate) fn fp_sums(&self) -> &[u64] {
+        &self.fp_sums
+    }
+
     /// The flat slot index of bucket `bucket` in table `table`.
     #[inline]
     fn slot(&self, table: usize, bucket: usize) -> usize {
@@ -285,36 +341,13 @@ impl TryFrom<LevelStateRepr> for LevelState {
     type Error = String;
 
     fn try_from(repr: LevelStateRepr) -> Result<Self, Self::Error> {
-        let slots = repr
-            .num_tables
-            .checked_mul(repr.buckets_per_table)
-            .ok_or_else(|| "level dimensions overflow".to_string())?;
-        let counter_len = slots
-            .checked_mul(SIGNATURE_LEN)
-            .ok_or_else(|| "level counter length overflows".to_string())?;
-        if repr.counts.len() != counter_len {
-            return Err(format!(
-                "counter slab length {} does not match {} slots × {} counters",
-                repr.counts.len(),
-                slots,
-                SIGNATURE_LEN
-            ));
-        }
-        if repr.key_sums.len() != slots || repr.fp_sums.len() != slots {
-            return Err(format!(
-                "screen sum lengths {}/{} do not match {} slots",
-                repr.key_sums.len(),
-                repr.fp_sums.len(),
-                slots
-            ));
-        }
-        Ok(Self {
-            num_tables: repr.num_tables,
-            buckets_per_table: repr.buckets_per_table,
-            counts: repr.counts.into_boxed_slice(),
-            key_sums: repr.key_sums.into_boxed_slice(),
-            fp_sums: repr.fp_sums.into_boxed_slice(),
-        })
+        LevelState::from_parts(
+            repr.num_tables,
+            repr.buckets_per_table,
+            repr.counts,
+            repr.key_sums,
+            repr.fp_sums,
+        )
     }
 }
 

@@ -62,6 +62,7 @@ pub(crate) mod level;
 pub mod signature;
 pub mod sketch;
 pub mod space;
+pub mod state;
 pub(crate) mod telem;
 pub mod theory;
 pub mod tracking;
@@ -78,6 +79,7 @@ pub use error::SketchError;
 pub use estimator::{TopKEntry, TopKEstimate};
 pub use sketch::{DistinctCountSketch, DistinctSample, BATCH_CHUNK, PREFETCH_AHEAD};
 pub use space::{brute_force_bytes, predicted_sketch_bytes, SpaceReport};
+pub use state::{LevelSlabs, SketchState, TrackingLevelState, TrackingState};
 pub use tracking::TrackingDcs;
 pub use types::{Delta, DestAddr, FlowKey, FlowUpdate, GroupBy, SourceAddr};
 

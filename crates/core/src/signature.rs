@@ -22,10 +22,10 @@
 //! ## Views over arena storage
 //!
 //! Since the flat-arena layout landed, the sketch's hot storage
-//! ([`crate::level::LevelState`]) does not hold owned `CountSignature`
+//! (`crate::level::LevelState`) does not hold owned `CountSignature`
 //! values: each level keeps one contiguous counter slab plus two
 //! parallel screen-sum arrays, and borrows individual buckets through
-//! [`SigRef`] / [`SigMut`]. All decode/screen/apply logic lives on the
+//! `SigRef` / `SigMut`. All decode/screen/apply logic lives on the
 //! views; the owned [`CountSignature`] (still the public, serde-derived
 //! type for standalone use) delegates every operation through a view of
 //! its own fields, so the two representations cannot drift.
@@ -470,7 +470,7 @@ pub(crate) fn subtract_sum_slab(dst: &mut [u64], src: &[u64]) {
 
 /// A second-level hash bucket's counter array (the owned form).
 ///
-/// The sketch's arena storage borrows buckets as [`SigRef`]/[`SigMut`]
+/// The sketch's arena storage borrows buckets as `SigRef`/`SigMut`
 /// instead of holding `CountSignature` values; this owned type remains
 /// the public, serializable unit for standalone signatures and
 /// delegates all logic to the same view implementations.
@@ -578,13 +578,13 @@ impl CountSignature {
         self.view().skips_as_own_singleton(key, delta, fp)
     }
 
-    /// Screened decode — see [`SigRef::decode_fast`].
+    /// Screened decode — see `SigRef::decode_fast`.
     #[inline]
     pub fn decode_fast(&self) -> BucketState {
         self.view().decode_fast()
     }
 
-    /// Exhaustive decode — see [`SigRef::decode`].
+    /// Exhaustive decode — see `SigRef::decode`.
     #[inline]
     pub fn decode(&self) -> BucketState {
         self.view().decode()

@@ -15,6 +15,7 @@ use crate::estimator::{
 };
 use crate::level::LevelState;
 use crate::signature::BucketState;
+use crate::state::{LevelSlabs, SketchState};
 use crate::telem::{Counter, Telem};
 use crate::types::{Delta, FlowKey, FlowUpdate};
 
@@ -740,6 +741,86 @@ impl DistinctCountSketch {
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn level_state(&self, level: usize) -> Option<&LevelState> {
         self.levels[level].as_ref()
+    }
+
+    /// Captures the complete persistent state of the sketch as plain
+    /// data (see [`crate::state`]): the configuration, the update
+    /// counters, and every materialized level's slabs — including
+    /// levels that have returned to all-zero, so `to_state` equality is
+    /// a true bit-identity check between two sketches.
+    ///
+    /// Hash functions are not captured; they re-derive from the
+    /// configuration seed on restore.
+    pub fn to_state(&self) -> SketchState {
+        let mut levels = Vec::with_capacity(self.allocated_levels());
+        for (index, state) in self.levels.iter().enumerate() {
+            let Some(state) = state else { continue };
+            levels.push(LevelSlabs {
+                // Bounded by max_levels ≤ 64, so the fallback is
+                // unreachable.
+                level: u32::try_from(index).unwrap_or(u32::MAX),
+                counts: state.counts().to_vec(),
+                key_sums: state.key_sums().to_vec(),
+                fp_sums: state.fp_sums().to_vec(),
+            });
+        }
+        SketchState {
+            config: self.config.clone(),
+            updates_processed: self.updates_processed,
+            net_updates: self.net_updates,
+            levels,
+        }
+    }
+
+    /// Reconstructs a sketch from a captured [`SketchState`], validating
+    /// every structural property before any level is installed.
+    ///
+    /// Restore + suffix replay is bit-identical to the uninterrupted
+    /// run: counters are restored verbatim, hash functions re-derive
+    /// deterministically from the configuration seed, and the basic
+    /// sketch carries no other state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidState`] if a level index is out of
+    /// range or not strictly ascending, or a slab's length disagrees
+    /// with the configuration's `(r, s)` dimensions.
+    pub fn from_state(state: SketchState) -> Result<Self, SketchError> {
+        let mut sketch = Self::new(state.config);
+        let max_levels = sketch.config.max_levels();
+        let mut prev: Option<u32> = None;
+        for slab in state.levels {
+            if slab.level >= max_levels {
+                return Err(SketchError::InvalidState {
+                    reason: format!(
+                        "level {} out of range (max_levels {max_levels})",
+                        slab.level
+                    ),
+                });
+            }
+            if let Some(p) = prev {
+                if p >= slab.level {
+                    return Err(SketchError::InvalidState {
+                        reason: format!("levels not strictly ascending at level {}", slab.level),
+                    });
+                }
+            }
+            prev = Some(slab.level);
+            let level = LevelState::from_parts(
+                sketch.config.num_tables(),
+                sketch.config.buckets_per_table(),
+                slab.counts,
+                slab.key_sums,
+                slab.fp_sums,
+            )
+            .map_err(|reason| SketchError::InvalidState {
+                reason: format!("level {}: {reason}", slab.level),
+            })?;
+            sketch.levels[usize_from_u32(slab.level)] = Some(level);
+        }
+        sketch.updates_processed = state.updates_processed;
+        sketch.net_updates = state.net_updates;
+        Ok(sketch)
     }
 
     /// Assembles a telemetry snapshot of the sketch: per-level bucket

@@ -1,0 +1,287 @@
+//! Plain-data snapshots of sketch state for persistence.
+//!
+//! A checkpoint layer (see the `dcs-persist` crate) needs every word of
+//! a synopsis' internal state — the per-level counter/key-sum/fp-sum
+//! slabs, the tracking layer's singleton multisets and heap slot
+//! arrays, the bookkeeping counters — but the storage types themselves
+//! are deliberately private. This module is the boundary: public
+//! structure-of-vectors types that hold *exactly* the persistent state,
+//! produced by [`DistinctCountSketch::to_state`] /
+//! [`TrackingDcs::to_state`] and consumed by the matching
+//! `from_state` constructors.
+//!
+//! Two design rules make checkpoint/restore *bit-identical* rather
+//! than merely equivalent:
+//!
+//! * **Hash functions are never serialized.** Every hash is derived
+//!   deterministically from `SketchConfig::seed` via `SeedSequence`,
+//!   so persisting the config reconstructs them exactly.
+//! * **Heap slots are captured in array order, singletons in sorted
+//!   order.** The tracking heaps break ties by arrangement-independent
+//!   ordering, but the *internal slot arrangement* still determines
+//!   how future `adjust` calls permute the array. Restoring slots
+//!   verbatim (and rebuilding the derived position map) means a
+//!   restored sketch replaying the suffix stream reaches the same
+//!   arrangement as the uninterrupted run. Singleton maps have no
+//!   observable order, so they are canonicalized by packed key.
+//!
+//! [`DistinctCountSketch::to_state`]: crate::DistinctCountSketch::to_state
+//! [`TrackingDcs::to_state`]: crate::TrackingDcs::to_state
+
+use crate::config::SketchConfig;
+
+/// The three storage slabs of one materialized level, as plain vectors.
+///
+/// Lengths are redundant with the sketch configuration (`counts` holds
+/// `r·s·65` counters, the sums `r·s` words each) and are re-validated
+/// against it on restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelSlabs {
+    /// The first-level bucket index this slab belongs to.
+    pub level: u32,
+    /// `r·s·65` signature counters, stride-indexed by bucket slot.
+    pub counts: Vec<i64>,
+    /// `r·s` wrapping key sums, one per bucket slot.
+    pub key_sums: Vec<u64>,
+    /// `r·s` wrapping fingerprint sums, one per bucket slot.
+    pub fp_sums: Vec<u64>,
+}
+
+/// Complete persistent state of a [`DistinctCountSketch`].
+///
+/// Captures every materialized level — including levels that were
+/// touched and have since returned to all-zero — so a restored sketch
+/// allocates exactly the same levels and `to_state` round-trips to an
+/// equal value.
+///
+/// [`DistinctCountSketch`]: crate::DistinctCountSketch
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchState {
+    /// Shape, seed, grouping, and hash family (hashes re-derive from
+    /// the seed).
+    pub config: SketchConfig,
+    /// Total updates processed.
+    pub updates_processed: u64,
+    /// Net sum of update signs.
+    pub net_updates: i64,
+    /// Materialized levels, strictly ascending by `level`.
+    pub levels: Vec<LevelSlabs>,
+}
+
+/// Persistent state of one tracking level: the singleton multiset and
+/// the destination heap, plus the heap's anomaly counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackingLevelState {
+    /// The first-level bucket index.
+    pub level: u32,
+    /// `(packed pair, table count)` entries sorted ascending by packed
+    /// pair — the canonical order (the live map has none).
+    pub singletons: Vec<(u64, u32)>,
+    /// `(priority, group)` heap slots in *exact array order*; the
+    /// key → slot position map is derived on restore.
+    pub heap_slots: Vec<(u64, u32)>,
+    /// Clamped negative heap adjustments observed so far.
+    pub heap_underflows: u64,
+    /// Clamped positive heap adjustments observed so far.
+    pub heap_overflows: u64,
+    /// Total heap adjustments observed so far.
+    pub heap_adjusts: u64,
+}
+
+/// Complete persistent state of a [`TrackingDcs`]: the underlying
+/// basic sketch plus the incrementally maintained tracking structures.
+///
+/// The tracking structures *could* be rebuilt from the counters
+/// (`TrackingDcs::from_sketch` does exactly that), but a rebuild
+/// produces a different internal heap arrangement than the incremental
+/// history did — and then a restored run's future tie-breaking state
+/// diverges from the uninterrupted run's, even though every query
+/// answer agrees. Persisting them verbatim keeps recovery bit-identical.
+///
+/// [`TrackingDcs`]: crate::TrackingDcs
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackingState {
+    /// The underlying counter storage and configuration.
+    pub sketch: SketchState,
+    /// Non-empty tracking levels, strictly ascending by `level`.
+    /// (Levels with no singletons, an empty heap, and zero counters are
+    /// omitted; restore fills them with fresh empties.)
+    pub levels: Vec<TrackingLevelState>,
+    /// Decrements of never-tracked pairs observed so far.
+    pub untracked_decrements: u64,
+}
+
+impl TrackingLevelState {
+    /// Whether this level carries no state worth persisting.
+    pub fn is_empty(&self) -> bool {
+        self.singletons.is_empty()
+            && self.heap_slots.is_empty()
+            && self.heap_underflows == 0
+            && self.heap_overflows == 0
+            && self.heap_adjusts == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::DistinctCountSketch;
+    use crate::tracking::TrackingDcs;
+    use crate::types::{DestAddr, SourceAddr};
+
+    fn config(seed: u64) -> SketchConfig {
+        SketchConfig::builder()
+            .num_tables(3)
+            .buckets_per_table(64)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sketch_state_roundtrips_bit_identically() {
+        let mut sketch = DistinctCountSketch::new(config(1));
+        for s in 0..500u32 {
+            sketch.insert(SourceAddr(s), DestAddr(s % 9));
+        }
+        for s in 0..100u32 {
+            sketch.delete(SourceAddr(s), DestAddr(s % 9));
+        }
+        let state = sketch.to_state();
+        let restored = DistinctCountSketch::from_state(state.clone()).unwrap();
+        assert_eq!(restored.to_state(), state);
+        assert_eq!(
+            restored.estimate_top_k(5, 0.25),
+            sketch.estimate_top_k(5, 0.25)
+        );
+        assert_eq!(restored.updates_processed(), sketch.updates_processed());
+        assert_eq!(restored.net_updates(), sketch.net_updates());
+    }
+
+    #[test]
+    fn restored_sketch_continues_identically() {
+        // Linearity in action: restore mid-stream, replay the suffix,
+        // land on the uninterrupted run's exact counters.
+        let mut full = DistinctCountSketch::new(config(2));
+        let mut prefix = DistinctCountSketch::new(config(2));
+        for s in 0..400u32 {
+            full.insert(SourceAddr(s), DestAddr(s % 7));
+            if s < 250 {
+                prefix.insert(SourceAddr(s), DestAddr(s % 7));
+            }
+        }
+        let mut resumed = DistinctCountSketch::from_state(prefix.to_state()).unwrap();
+        for s in 250..400u32 {
+            resumed.insert(SourceAddr(s), DestAddr(s % 7));
+        }
+        assert_eq!(resumed.to_state(), full.to_state());
+    }
+
+    #[test]
+    fn tracking_state_roundtrips_bit_identically() {
+        let mut t = TrackingDcs::new(config(3));
+        for s in 0..600u32 {
+            t.insert(SourceAddr(s), DestAddr(s % 11));
+        }
+        for s in 0..120u32 {
+            t.delete(SourceAddr(s), DestAddr(s % 11));
+        }
+        let state = t.to_state();
+        let restored = TrackingDcs::from_state(state.clone()).unwrap();
+        assert_eq!(restored.to_state(), state);
+        restored.check_tracking_invariants().unwrap();
+        assert_eq!(restored.track_top_k(5, 0.25), t.track_top_k(5, 0.25));
+        assert_eq!(restored.heap_adjusts(), t.heap_adjusts());
+    }
+
+    #[test]
+    fn tracking_restore_preserves_heap_arrangement_not_just_content() {
+        // from_sketch rebuilds and generally lands on a different slot
+        // arrangement; from_state must not.
+        let mut t = TrackingDcs::new(config(4));
+        for s in 0..800u32 {
+            t.insert(SourceAddr(s), DestAddr(s % 23));
+        }
+        let state = t.to_state();
+        let restored = TrackingDcs::from_state(state.clone()).unwrap();
+        // Exact slot vectors, not merely equal top-k answers.
+        for (a, b) in state.levels.iter().zip(restored.to_state().levels.iter()) {
+            assert_eq!(a.heap_slots, b.heap_slots, "level {}", a.level);
+        }
+    }
+
+    #[test]
+    fn from_state_rejects_wrong_dimensions() {
+        let mut sketch = DistinctCountSketch::new(config(5));
+        sketch.insert(SourceAddr(1), DestAddr(2));
+        let mut state = sketch.to_state();
+        state.levels[0].counts.pop();
+        assert!(DistinctCountSketch::from_state(state).is_err());
+    }
+
+    #[test]
+    fn from_state_rejects_out_of_range_and_unsorted_levels() {
+        let mut sketch = DistinctCountSketch::new(config(6));
+        sketch.insert(SourceAddr(1), DestAddr(2));
+        let good = sketch.to_state();
+
+        let mut out_of_range = good.clone();
+        out_of_range.levels[0].level = 64;
+        assert!(DistinctCountSketch::from_state(out_of_range).is_err());
+
+        let mut duplicated = good.clone();
+        let dup = duplicated.levels[0].clone();
+        duplicated.levels.push(dup);
+        assert!(DistinctCountSketch::from_state(duplicated).is_err());
+    }
+
+    #[test]
+    fn tracking_from_state_rejects_corrupt_structures() {
+        let mut t = TrackingDcs::new(config(7));
+        for s in 0..200u32 {
+            t.insert(SourceAddr(s), DestAddr(s % 7));
+        }
+        let good = t.to_state();
+        let with_singletons = good
+            .levels
+            .iter()
+            .position(|l| !l.singletons.is_empty())
+            .expect("a 200-pair stream must track singletons somewhere");
+        let with_big_heap = good
+            .levels
+            .iter()
+            .position(|l| l.heap_slots.len() >= 2)
+            .expect("7 destinations must give some heap two entries");
+
+        // Duplicate singleton key.
+        let mut dup_singleton = good.clone();
+        let first = dup_singleton.levels[with_singletons].singletons[0];
+        dup_singleton.levels[with_singletons].singletons.push(first);
+        assert!(TrackingDcs::from_state(dup_singleton).is_err());
+
+        // Zero-count singleton.
+        let mut zero_count = good.clone();
+        zero_count.levels[with_singletons].singletons[0].1 = 0;
+        assert!(TrackingDcs::from_state(zero_count).is_err());
+
+        // Heap-order violation: force a child above its parent.
+        let mut bad_heap = good;
+        bad_heap.levels[with_big_heap].heap_slots[0].0 = 1;
+        bad_heap.levels[with_big_heap].heap_slots[1].0 = u64::MAX;
+        assert!(TrackingDcs::from_state(bad_heap).is_err());
+    }
+
+    #[test]
+    fn empty_tracking_levels_are_omitted_and_restored() {
+        let mut t = TrackingDcs::new(config(8));
+        t.insert(SourceAddr(1), DestAddr(2));
+        let state = t.to_state();
+        assert!(
+            state.levels.len() <= 3,
+            "only touched levels persisted, got {}",
+            state.levels.len()
+        );
+        let restored = TrackingDcs::from_state(state).unwrap();
+        restored.check_tracking_invariants().unwrap();
+    }
+}

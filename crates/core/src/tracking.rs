@@ -30,6 +30,7 @@ use crate::estimator::{
 };
 use crate::heap::IndexedMaxHeap;
 use crate::sketch::{BatchRoute, DistinctCountSketch, BATCH_CHUNK, PREFETCH_AHEAD};
+use crate::state::{TrackingLevelState, TrackingState};
 use crate::types::{FlowKey, FlowUpdate};
 
 /// Per-level tracking state: the incrementally maintained distinct
@@ -557,6 +558,129 @@ impl TrackingDcs {
                 self.incr_singleton(level, key);
             }
         }
+    }
+
+    /// Captures the complete persistent state of the tracking sketch as
+    /// plain data (see [`crate::state`]): the underlying basic sketch's
+    /// state plus, per non-empty tracking level, the singleton multiset
+    /// (sorted by packed key) and the heap's slot array *in exact array
+    /// order* with its anomaly counters.
+    ///
+    /// Capturing the heap arrangement verbatim — rather than rebuilding
+    /// from counters on restore, as [`from_sketch`](Self::from_sketch)
+    /// does — is what makes restore + suffix replay bit-identical to
+    /// the uninterrupted run, arrangement included.
+    pub fn to_state(&self) -> TrackingState {
+        let mut levels = Vec::new();
+        for (index, level) in self.levels.iter().enumerate() {
+            let mut singletons: Vec<(u64, u32)> =
+                level.singletons.iter().map(|(&k, &c)| (k, c)).collect();
+            singletons.sort_unstable();
+            let heap = &level.heap;
+            let state = TrackingLevelState {
+                // Bounded by max_levels ≤ 64, so the fallback is
+                // unreachable.
+                level: u32::try_from(index).unwrap_or(u32::MAX),
+                singletons,
+                heap_slots: heap.slots().to_vec(),
+                heap_underflows: heap.underflow_count(),
+                heap_overflows: heap.overflow_count(),
+                heap_adjusts: heap.adjust_count(),
+            };
+            if !state.is_empty() {
+                levels.push(state);
+            }
+        }
+        TrackingState {
+            sketch: self.sketch.to_state(),
+            levels,
+            untracked_decrements: self.untracked_decrements,
+        }
+    }
+
+    /// Reconstructs a tracking sketch from a captured [`TrackingState`],
+    /// validating every structural property before anything is
+    /// installed: the underlying sketch state (see
+    /// [`DistinctCountSketch::from_state`]), singleton lists sorted
+    /// strictly ascending with positive counts, and heaps that are
+    /// max-heap ordered with unique keys.
+    ///
+    /// The tracking structures are restored verbatim, not rebuilt —
+    /// heap slot arrangements survive the round trip, so a restored
+    /// sketch replaying the suffix stream stays bit-identical to the
+    /// uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidState`] on any structural
+    /// violation; the sketch is never left partially reconstructed.
+    pub fn from_state(state: TrackingState) -> Result<Self, SketchError> {
+        let sketch = DistinctCountSketch::from_state(state.sketch)?;
+        let max_levels = sketch.config().max_levels();
+        let mut levels: Vec<TrackingLevel> =
+            (0..max_levels).map(|_| TrackingLevel::default()).collect();
+        let mut prev: Option<u32> = None;
+        for level_state in state.levels {
+            if level_state.level >= max_levels {
+                return Err(SketchError::InvalidState {
+                    reason: format!(
+                        "tracking level {} out of range (max_levels {max_levels})",
+                        level_state.level
+                    ),
+                });
+            }
+            if let Some(p) = prev {
+                if p >= level_state.level {
+                    return Err(SketchError::InvalidState {
+                        reason: format!(
+                            "tracking levels not strictly ascending at level {}",
+                            level_state.level
+                        ),
+                    });
+                }
+            }
+            prev = Some(level_state.level);
+            let mut singletons: DetHashMap<u64, u32> = DetHashMap::default();
+            let mut prev_key: Option<u64> = None;
+            for (packed, count) in level_state.singletons {
+                if count == 0 {
+                    return Err(SketchError::InvalidState {
+                        reason: format!(
+                            "tracking level {}: singleton {packed:#x} has zero count",
+                            level_state.level
+                        ),
+                    });
+                }
+                if let Some(pk) = prev_key {
+                    if pk >= packed {
+                        return Err(SketchError::InvalidState {
+                            reason: format!(
+                                "tracking level {}: singleton keys not strictly \
+                                 ascending at {packed:#x}",
+                                level_state.level
+                            ),
+                        });
+                    }
+                }
+                prev_key = Some(packed);
+                singletons.insert(packed, count);
+            }
+            let heap = IndexedMaxHeap::from_parts(
+                level_state.heap_slots,
+                level_state.heap_underflows,
+                level_state.heap_overflows,
+                level_state.heap_adjusts,
+            )
+            .map_err(|reason| SketchError::InvalidState {
+                reason: format!("tracking level {} heap: {reason}", level_state.level),
+            })?;
+            levels[usize_from_u32(level_state.level)] = TrackingLevel { singletons, heap };
+        }
+        Ok(Self {
+            sketch,
+            levels,
+            untracked_decrements: state.untracked_decrements,
+        })
     }
 
     /// Heap bytes used: counter storage plus tracking structures.

@@ -11,7 +11,10 @@
 
 use std::collections::VecDeque;
 
-use dcs_core::{FlowUpdate, SketchConfig, SketchError, TopKEstimate, TrackingDcs};
+use dcs_core::{
+    DistinctCountSketch, FlowUpdate, SketchConfig, SketchError, TopKEstimate, TrackingDcs,
+};
+use dcs_persist::{EpochCheckpoint, PersistError};
 
 /// A running sketch with a snapshot ring for windowed queries.
 ///
@@ -129,6 +132,76 @@ impl EpochManager {
         epsilon: f64,
     ) -> Result<TopKEstimate, SketchError> {
         Ok(self.recent_activity(window)?.track_top_k(k, epsilon))
+    }
+
+    /// Captures the manager's full state — the live tracking sketch,
+    /// the snapshot ring (oldest first), and the rotation counter — as
+    /// a checkpoint document for `dcs_persist`.
+    pub fn to_checkpoint(&self) -> EpochCheckpoint {
+        EpochCheckpoint {
+            current: self.current.to_state(),
+            max_snapshots: u64::try_from(self.max_snapshots).unwrap_or(u64::MAX),
+            epochs_rotated: self.epochs_rotated,
+            snapshots: self
+                .snapshots
+                .iter()
+                .map(DistinctCountSketch::to_state)
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a manager from a checkpoint, including a partially
+    /// filled (or empty) snapshot ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Incompatible`] when the ring capacity is
+    /// zero, the checkpoint carries more snapshots than its declared
+    /// capacity, or a snapshot's configuration differs from the live
+    /// sketch's (all snapshots must share hash functions or
+    /// `difference()` would silently produce garbage); propagates
+    /// [`PersistError::State`] when any embedded state fails the
+    /// sketches' own validation.
+    pub fn from_checkpoint(checkpoint: EpochCheckpoint) -> Result<Self, PersistError> {
+        let max_snapshots =
+            usize::try_from(checkpoint.max_snapshots).map_err(|_| PersistError::Incompatible {
+                reason: format!(
+                    "snapshot ring capacity {} does not fit in memory",
+                    checkpoint.max_snapshots
+                ),
+            })?;
+        if max_snapshots == 0 {
+            return Err(PersistError::Incompatible {
+                reason: "snapshot ring capacity is zero".into(),
+            });
+        }
+        if checkpoint.snapshots.len() > max_snapshots {
+            return Err(PersistError::Incompatible {
+                reason: format!(
+                    "checkpoint holds {} snapshot(s) but the ring capacity is {max_snapshots}",
+                    checkpoint.snapshots.len()
+                ),
+            });
+        }
+        let config = checkpoint.current.sketch.config.clone();
+        let current = TrackingDcs::from_state(checkpoint.current)?;
+        let mut snapshots = VecDeque::with_capacity(checkpoint.snapshots.len());
+        for (index, state) in checkpoint.snapshots.into_iter().enumerate() {
+            if state.config != config {
+                return Err(PersistError::Incompatible {
+                    reason: format!(
+                        "snapshot {index} was built with a different sketch configuration"
+                    ),
+                });
+            }
+            snapshots.push_back(DistinctCountSketch::from_state(state)?);
+        }
+        Ok(Self {
+            current,
+            snapshots,
+            max_snapshots,
+            epochs_rotated: checkpoint.epochs_rotated,
+        })
     }
 
     /// Heap bytes: running sketch plus all snapshots.

@@ -50,9 +50,11 @@ pub use impair::Impairment;
 pub use monitor::{Alarm, AlarmEvent, AlarmPolicy, DdosMonitor};
 pub use netflow::{FlowAggregator, FlowRecord, RecordConverter};
 pub use packet::{TcpFlags, TcpSegment};
-pub use pipeline::{run_pipeline, DetectionReport, PipelineConfig, TelemetrySidecar};
+pub use pipeline::{
+    run_pipeline, CheckpointSidecar, DetectionReport, PipelineConfig, TelemetrySidecar,
+};
 pub use router::EdgeRouter;
-pub use sharded::ingest_sharded;
+pub use sharded::{ingest_sharded, ShardedIngest};
 pub use simulation::{run_simulation, SimulationConfig, SimulationOutcome};
 pub use topology::IspTopology;
 pub use traffic::TrafficDriver;

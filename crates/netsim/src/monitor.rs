@@ -136,6 +136,20 @@ impl DdosMonitor {
         }
     }
 
+    /// Creates a monitor around an already-populated sketch — the
+    /// restore path after a crash. Baselines and alarm hysteresis are
+    /// *not* part of a checkpoint (they are advisory smoothing state,
+    /// re-warmed within a few evaluations), so they start empty.
+    pub fn with_sketch(sketch: TrackingDcs, policy: AlarmPolicy) -> Self {
+        Self {
+            sketch,
+            policy,
+            baselines: HashMap::new(),
+            active_alarms: std::collections::HashSet::new(),
+            evaluations: 0,
+        }
+    }
+
     /// Ingests one flow update.
     pub fn ingest_one(&mut self, update: FlowUpdate) {
         self.sketch.update(update);

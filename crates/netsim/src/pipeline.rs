@@ -11,12 +11,14 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 use crossbeam::channel;
 use parking_lot::Mutex;
 
-use dcs_core::{FlowUpdate, SketchConfig};
-use dcs_telemetry::JsonlExporter;
+use dcs_core::{FlowUpdate, SketchConfig, TrackingDcs};
+use dcs_persist::{Checkpoint, CheckpointManager};
+use dcs_telemetry::{JsonlExporter, LogHistogram};
 
 use crate::monitor::{Alarm, AlarmPolicy, DdosMonitor};
 use crate::packet::TcpSegment;
@@ -43,6 +45,19 @@ impl TelemetrySidecar {
     }
 }
 
+/// Where and how often the monitor thread writes crash-recovery
+/// checkpoints (see `dcs_persist`).
+#[derive(Debug, Clone)]
+pub struct CheckpointSidecar {
+    /// Checkpoint file, atomically replaced on every save. If a valid,
+    /// configuration-compatible checkpoint already exists there at
+    /// startup, the monitor resumes from it instead of starting empty.
+    pub path: PathBuf,
+    /// Checkpoint every this many ingested updates (a final checkpoint
+    /// is always written at shutdown regardless).
+    pub every: u64,
+}
+
 /// Pipeline tuning knobs.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
@@ -58,6 +73,8 @@ pub struct PipelineConfig {
     pub half_open_timeout: Option<u64>,
     /// Optional telemetry JSONL sidecar written by the monitor thread.
     pub telemetry: Option<TelemetrySidecar>,
+    /// Optional crash-recovery checkpoint written by the monitor thread.
+    pub checkpoint: Option<CheckpointSidecar>,
 }
 
 impl Default for PipelineConfig {
@@ -69,6 +86,7 @@ impl Default for PipelineConfig {
             evaluate_every: 10_000,
             half_open_timeout: None,
             telemetry: None,
+            checkpoint: None,
         }
     }
 }
@@ -82,6 +100,12 @@ pub struct DetectionReport {
     pub updates_ingested: u64,
     /// Total segments observed across all routers.
     pub segments_observed: u64,
+    /// Checkpoints successfully written during the run (0 when no
+    /// [`PipelineConfig::checkpoint`] sidecar was configured).
+    pub checkpoints_written: u64,
+    /// Whether the monitor resumed from an existing checkpoint file
+    /// rather than starting with an empty sketch.
+    pub restored_from_checkpoint: bool,
     /// The final monitor state (sketch + baselines).
     pub monitor: DdosMonitor,
 }
@@ -96,17 +120,125 @@ impl DetectionReport {
     }
 }
 
-/// Appends one monitor snapshot, disabling the exporter on I/O failure
-/// so a full disk degrades to a warning rather than a panic or a flood
-/// of repeated errors.
-fn append_snapshot(exporter: &mut Option<JsonlExporter>, monitor: &DdosMonitor, label: &str) {
+/// Checkpoint bookkeeping the monitor thread folds into its telemetry
+/// snapshots.
+#[derive(Debug, Default)]
+struct CheckpointStats {
+    written: u64,
+    bytes_last: u64,
+    latency: LogHistogram,
+}
+
+/// Appends one monitor snapshot (extended with checkpoint counters when
+/// checkpointing is active), disabling the exporter on I/O failure so a
+/// full disk degrades to a warning rather than a panic or a flood of
+/// repeated errors.
+fn append_snapshot(
+    exporter: &mut Option<JsonlExporter>,
+    monitor: &DdosMonitor,
+    label: &str,
+    ckpt: Option<&CheckpointStats>,
+) {
     if let Some(exp) = exporter {
-        if let Err(e) = exp.append(&monitor.telemetry_snapshot(label)) {
+        let mut snap = monitor.telemetry_snapshot(label);
+        if let Some(stats) = ckpt {
+            snap.set_counter("checkpoints_written", stats.written);
+            snap.set_counter("checkpoint_bytes_last", stats.bytes_last);
+            snap.set_counter(
+                "checkpoint_save_p50_ns",
+                stats.latency.quantile_ns(0.5) as u64,
+            );
+            snap.set_counter(
+                "checkpoint_save_p99_ns",
+                stats.latency.quantile_ns(0.99) as u64,
+            );
+        }
+        if let Err(e) = exp.append(&snap) {
             eprintln!(
                 "telemetry sidecar {}: {e}; disabling export",
                 exp.path().display()
             );
             *exporter = None;
+        }
+    }
+}
+
+/// Tries to resume the monitor from an existing checkpoint file.
+/// Any problem — missing file aside — degrades to a fresh start with a
+/// warning on stderr: a monitor must never refuse to boot because its
+/// own recovery file is damaged or stale.
+fn restore_monitor(
+    manager: &CheckpointManager,
+    config: &SketchConfig,
+    policy: AlarmPolicy,
+) -> (DdosMonitor, bool) {
+    let fresh = |policy: AlarmPolicy| DdosMonitor::new(config.clone(), policy);
+    match manager.try_load() {
+        Ok(None) => (fresh(policy), false),
+        Ok(Some(Checkpoint::Tracking(state))) => {
+            if state.sketch.config != *config {
+                eprintln!(
+                    "checkpoint {}: sketch configuration differs from the \
+                     pipeline's; starting fresh",
+                    manager.path().display()
+                );
+                return (fresh(policy), false);
+            }
+            match TrackingDcs::from_state(state) {
+                Ok(sketch) => (DdosMonitor::with_sketch(sketch, policy), true),
+                Err(e) => {
+                    eprintln!(
+                        "checkpoint {}: restored state rejected ({e}); starting fresh",
+                        manager.path().display()
+                    );
+                    (fresh(policy), false)
+                }
+            }
+        }
+        Ok(Some(other)) => {
+            eprintln!(
+                "checkpoint {}: holds a {} document, not a tracking sketch; \
+                 starting fresh",
+                manager.path().display(),
+                other.kind_name()
+            );
+            (fresh(policy), false)
+        }
+        Err(e) => {
+            eprintln!(
+                "checkpoint {}: unreadable ({e}); starting fresh",
+                manager.path().display()
+            );
+            (fresh(policy), false)
+        }
+    }
+}
+
+/// Writes one checkpoint of the monitor's sketch, timing the save and
+/// disabling checkpointing on failure (same degradation contract as the
+/// telemetry exporter: warn once, carry on).
+fn write_checkpoint(
+    manager: &mut Option<CheckpointManager>,
+    monitor: &DdosMonitor,
+    stats: &mut CheckpointStats,
+) {
+    if let Some(mgr) = manager {
+        let checkpoint = Checkpoint::Tracking(monitor.sketch().to_state());
+        let started = Instant::now();
+        match mgr.save(&checkpoint) {
+            Ok(bytes) => {
+                let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                stats.latency.record(nanos);
+                stats.written += 1;
+                stats.bytes_last = bytes;
+            }
+            Err(e) => {
+                eprintln!(
+                    "checkpoint {}: save failed ({e}); disabling checkpointing",
+                    mgr.path().display()
+                );
+                *manager = None;
+            }
         }
     }
 }
@@ -168,8 +300,16 @@ pub fn run_pipeline(router_feeds: Vec<Vec<TcpSegment>>, config: PipelineConfig) 
         let policy = config.policy.clone();
         let evaluate_every = config.evaluate_every.max(1);
         let sidecar = config.telemetry.clone();
+        let ckpt_sidecar = config.checkpoint.clone();
         thread::spawn(move || {
-            let mut monitor = DdosMonitor::new(sketch, policy);
+            let mut ckpt_manager = ckpt_sidecar
+                .as_ref()
+                .map(|c| CheckpointManager::new(&c.path));
+            let (mut monitor, restored) = match &ckpt_manager {
+                Some(manager) => restore_monitor(manager, &sketch, policy),
+                None => (DdosMonitor::new(sketch.clone(), policy), false),
+            };
+            let mut ckpt_stats = CheckpointStats::default();
             // A failed sidecar must not kill the detection run: report
             // on stderr and carry on without telemetry.
             let mut exporter = sidecar.as_ref().and_then(|s| {
@@ -178,21 +318,24 @@ pub fn run_pipeline(router_feeds: Vec<Vec<TcpSegment>>, config: PipelineConfig) 
                     .ok()
             });
             let snapshot_every = sidecar.map_or(u64::MAX, |s| s.every.max(1));
+            let checkpoint_every = ckpt_sidecar.map_or(u64::MAX, |c| c.every.max(1));
             let mut alarms = Vec::new();
             let mut ingested = 0u64;
             let mut next_eval = evaluate_every;
             let mut next_snapshot = snapshot_every;
+            let mut next_checkpoint = checkpoint_every;
             for batch in update_rx {
                 // Feed the batched fast path in sub-chunks that stop
-                // exactly at the next evaluation/snapshot boundary, so
-                // alarms and snapshots fire at the same ingested counts
-                // as the old per-update loop.
+                // exactly at the next evaluation/snapshot/checkpoint
+                // boundary, so alarms, snapshots, and checkpoints fire
+                // at the same ingested counts as a per-update loop.
                 let mut offset = 0usize;
                 while offset < batch.len() {
                     let remaining = batch.len() - offset;
                     let until_boundary = next_eval
                         .saturating_sub(ingested)
-                        .min(next_snapshot.saturating_sub(ingested));
+                        .min(next_snapshot.saturating_sub(ingested))
+                        .min(next_checkpoint.saturating_sub(ingested));
                     let take = usize::try_from(until_boundary)
                         .unwrap_or(remaining)
                         .min(remaining);
@@ -204,14 +347,30 @@ pub fn run_pipeline(router_feeds: Vec<Vec<TcpSegment>>, config: PipelineConfig) 
                         next_eval += evaluate_every;
                     }
                     if ingested >= next_snapshot {
-                        append_snapshot(&mut exporter, &monitor, "pipeline");
+                        append_snapshot(
+                            &mut exporter,
+                            &monitor,
+                            "pipeline",
+                            ckpt_manager.as_ref().map(|_| &ckpt_stats),
+                        );
                         next_snapshot += snapshot_every;
+                    }
+                    if ingested >= next_checkpoint {
+                        write_checkpoint(&mut ckpt_manager, &monitor, &mut ckpt_stats);
+                        next_checkpoint += checkpoint_every;
                     }
                 }
             }
             alarms.extend(monitor.evaluate());
-            append_snapshot(&mut exporter, &monitor, "pipeline_final");
-            (monitor, alarms, ingested)
+            // One final checkpoint so a clean shutdown is resumable too.
+            write_checkpoint(&mut ckpt_manager, &monitor, &mut ckpt_stats);
+            append_snapshot(
+                &mut exporter,
+                &monitor,
+                "pipeline_final",
+                ckpt_manager.as_ref().map(|_| &ckpt_stats),
+            );
+            (monitor, alarms, ingested, ckpt_stats.written, restored)
         })
     };
 
@@ -223,15 +382,18 @@ pub fn run_pipeline(router_feeds: Vec<Vec<TcpSegment>>, config: PipelineConfig) 
             std::panic::resume_unwind(payload);
         }
     }
-    let (monitor, alarms, updates_ingested) = match monitor_handle.join() {
-        Ok(result) => result,
-        Err(payload) => std::panic::resume_unwind(payload),
-    };
+    let (monitor, alarms, updates_ingested, checkpoints_written, restored_from_checkpoint) =
+        match monitor_handle.join() {
+            Ok(result) => result,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
     let segments_observed = *segments_total.lock();
     DetectionReport {
         alarms,
         updates_ingested,
         segments_observed,
+        checkpoints_written,
+        restored_from_checkpoint,
         monitor,
     }
 }
@@ -257,6 +419,7 @@ mod tests {
             evaluate_every: 500,
             half_open_timeout: None,
             telemetry: None,
+            checkpoint: None,
         }
     }
 
@@ -344,6 +507,60 @@ mod tests {
             .unwrap()
             .contains("\"label\":\"pipeline_final\""));
         assert!(lines.last().unwrap().contains("\"monitor_evaluations\""));
+    }
+
+    #[test]
+    fn checkpoint_sidecar_roundtrips_across_runs() {
+        let path = std::env::temp_dir().join(format!(
+            "dcs_pipeline_checkpoint_{}.ckpt",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut cfg = config(300);
+        cfg.checkpoint = Some(CheckpointSidecar {
+            path: path.clone(),
+            every: 250,
+        });
+        let mut driver = TrafficDriver::new(9);
+        driver.syn_flood(DestAddr(0x0a000008), 600);
+        let first = run_pipeline(vec![driver.into_segments()], cfg.clone());
+        assert!(!first.restored_from_checkpoint);
+        // Periodic saves plus the final shutdown save.
+        assert!(
+            first.checkpoints_written >= 2,
+            "{}",
+            first.checkpoints_written
+        );
+        let first_count = first.monitor.sketch().updates_processed();
+
+        // Second run resumes from the final checkpoint of the first.
+        let mut driver = TrafficDriver::new(10).with_source_base(0x3000_0000);
+        driver.syn_flood(DestAddr(0x0a000008), 100);
+        let second = run_pipeline(vec![driver.into_segments()], cfg);
+        assert!(second.restored_from_checkpoint);
+        assert_eq!(
+            second.monitor.sketch().updates_processed(),
+            first_count + second.updates_ingested
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn incompatible_checkpoint_degrades_to_fresh_start() {
+        let path =
+            std::env::temp_dir().join(format!("dcs_pipeline_badckpt_{}.ckpt", std::process::id()));
+        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+        let mut cfg = config(300);
+        cfg.checkpoint = Some(CheckpointSidecar {
+            path: path.clone(),
+            every: 10_000,
+        });
+        let mut driver = TrafficDriver::new(11);
+        driver.syn_flood(DestAddr(0x0a00000a), 500);
+        let report = run_pipeline(vec![driver.into_segments()], cfg);
+        assert!(!report.restored_from_checkpoint);
+        assert!(report.alarmed_destinations().contains(&0x0a00_000a));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

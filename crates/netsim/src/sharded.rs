@@ -11,6 +11,7 @@ use std::thread;
 use crossbeam::channel;
 
 use dcs_core::{DistinctCountSketch, FlowUpdate, SketchConfig, SketchError, TrackingDcs};
+use dcs_persist::{PersistError, ShardedCheckpoint};
 
 /// Ingests a stream across `shards` worker threads and returns the
 /// merged tracking sketch.
@@ -121,6 +122,201 @@ fn run_sharded<T: Send>(
     })
 }
 
+/// Updates per routing chunk — the same granularity as
+/// [`ingest_sharded`]'s internal batching, so both produce the same
+/// shard partition for the same stream.
+const SHARD_CHUNK: u64 = 4096;
+
+/// An incremental, checkpointable version of [`ingest_sharded`].
+///
+/// Routing is a pure function of *absolute stream position*: the update
+/// at position `p` belongs to chunk `p / 4096`, and chunk `c` goes to
+/// shard `c % shards`. Because the partition depends only on the
+/// position cursor (which is part of the checkpoint), a run that is
+/// killed and restored routes every remaining update to the same shard
+/// a never-interrupted run would — so by sketch linearity the restored
+/// shards end bit-identical to the uninterrupted ones, regardless of
+/// where the cut fell (mid-chunk included).
+///
+/// # Examples
+///
+/// ```
+/// use dcs_core::{DestAddr, FlowUpdate, SketchConfig, SourceAddr};
+/// use dcs_netsim::sharded::ShardedIngest;
+///
+/// let updates: Vec<FlowUpdate> = (0..1000u32)
+///     .map(|s| FlowUpdate::insert(SourceAddr(s), DestAddr(7)))
+///     .collect();
+/// let mut ingest = ShardedIngest::new(SketchConfig::paper_default(), 4);
+/// ingest.ingest(&updates[..500]);
+/// let checkpoint = ingest.checkpoint();           // …crash here…
+/// let mut resumed = ShardedIngest::from_checkpoint(checkpoint)?;
+/// resumed.ingest(&updates[500..]);                // replay the suffix
+/// let sketch = resumed.merged()?;
+/// assert_eq!(sketch.track_top_k(1, 0.25).entries[0].group, 7);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedIngest {
+    config: SketchConfig,
+    shards: Vec<DistinctCountSketch>,
+    updates_distributed: u64,
+}
+
+impl ShardedIngest {
+    /// Creates `shards` empty shard sketches sharing `config` (and
+    /// therefore hash functions — required for the final merge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(config: SketchConfig, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        Self {
+            shards: (0..shards)
+                .map(|_| DistinctCountSketch::new(config.clone()))
+                .collect(),
+            config,
+            updates_distributed: 0,
+        }
+    }
+
+    /// Distributes `updates` to the shards (in parallel, one scoped
+    /// thread per shard with work this call) and advances the position
+    /// cursor.
+    pub fn ingest(&mut self, updates: &[FlowUpdate]) {
+        if updates.is_empty() {
+            return;
+        }
+        let shard_count = u64::try_from(self.shards.len()).unwrap_or(u64::MAX);
+        // Split the slice at absolute chunk boundaries and hand each
+        // piece to its owner; a shard applies its pieces in stream
+        // order, so its sub-stream is identical however the caller
+        // chops the overall stream into `ingest` calls.
+        let mut assignments: Vec<Vec<&[FlowUpdate]>> = vec![Vec::new(); self.shards.len()];
+        let mut pos = self.updates_distributed;
+        let mut offset = 0usize;
+        while offset < updates.len() {
+            let chunk = pos / SHARD_CHUNK;
+            let owner = usize::try_from(chunk % shard_count).unwrap_or(0);
+            let until_boundary = (chunk + 1) * SHARD_CHUNK - pos;
+            let remaining = updates.len() - offset;
+            let take = usize::try_from(until_boundary)
+                .unwrap_or(remaining)
+                .min(remaining);
+            assignments[owner].push(&updates[offset..offset + take]);
+            offset += take;
+            pos += take as u64;
+        }
+        thread::scope(|scope| {
+            for (shard, pieces) in self.shards.iter_mut().zip(assignments) {
+                if pieces.is_empty() {
+                    continue;
+                }
+                scope.spawn(move || {
+                    for piece in pieces {
+                        shard.update_batch(piece);
+                    }
+                });
+            }
+        });
+        self.updates_distributed = pos;
+    }
+
+    /// Total updates distributed so far (the absolute stream position).
+    pub fn updates_distributed(&self) -> u64 {
+        self.updates_distributed
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shared sketch configuration.
+    pub fn config(&self) -> &SketchConfig {
+        &self.config
+    }
+
+    /// Captures all shard states and the position cursor as a
+    /// checkpoint document. Valid at *any* stream position — the
+    /// cursor, not chunk alignment, is what routing resumes from.
+    pub fn checkpoint(&self) -> ShardedCheckpoint {
+        ShardedCheckpoint {
+            updates_distributed: self.updates_distributed,
+            shards: self
+                .shards
+                .iter()
+                .map(DistinctCountSketch::to_state)
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a sharded ingest from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Incompatible`] when the checkpoint has
+    /// no shards, the shards disagree on configuration, or the cursor
+    /// does not equal the sum of per-shard update counts (every update
+    /// goes to exactly one shard, so the two must match); propagates
+    /// [`PersistError::State`] when a shard state fails validation.
+    pub fn from_checkpoint(checkpoint: ShardedCheckpoint) -> Result<Self, PersistError> {
+        let Some(first) = checkpoint.shards.first() else {
+            return Err(PersistError::Incompatible {
+                reason: "sharded checkpoint has no shards".into(),
+            });
+        };
+        let config = first.config.clone();
+        let mut total = 0u64;
+        let mut shards = Vec::with_capacity(checkpoint.shards.len());
+        for (index, state) in checkpoint.shards.into_iter().enumerate() {
+            if state.config != config {
+                return Err(PersistError::Incompatible {
+                    reason: format!(
+                        "shard {index} was built with a different sketch configuration"
+                    ),
+                });
+            }
+            total = total.saturating_add(state.updates_processed);
+            shards.push(DistinctCountSketch::from_state(state)?);
+        }
+        if total != checkpoint.updates_distributed {
+            return Err(PersistError::Incompatible {
+                reason: format!(
+                    "cursor says {} update(s) distributed but the shards \
+                     together processed {total}",
+                    checkpoint.updates_distributed
+                ),
+            });
+        }
+        Ok(Self {
+            config,
+            shards,
+            updates_distributed: checkpoint.updates_distributed,
+        })
+    }
+
+    /// Merges the shards into one tracking sketch (the shards are left
+    /// intact, so ingestion can continue afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SketchError`] from the merge (unreachable when all
+    /// shards share a configuration, which this type guarantees).
+    pub fn merged(&self) -> Result<TrackingDcs, SketchError> {
+        let mut iter = self.shards.iter();
+        let Some(first) = iter.next() else {
+            return Ok(TrackingDcs::new(self.config.clone()));
+        };
+        let mut merged = first.clone();
+        for shard in iter {
+            merged.merge_from(shard)?;
+        }
+        Ok(TrackingDcs::from_sketch(merged))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +399,67 @@ mod tests {
             "no-op recorder contributes nothing: {:?}",
             snap.counters
         );
+    }
+
+    #[test]
+    fn incremental_ingest_matches_one_shot_exactly() {
+        let updates: Vec<FlowUpdate> = (0..20_000u32)
+            .map(|s| FlowUpdate::insert(SourceAddr(s), DestAddr(s % 40)))
+            .collect();
+        let one_shot = ingest_sharded(&updates, config(), 3).unwrap();
+        let mut incremental = ShardedIngest::new(config(), 3);
+        // Deliberately awkward split points: mid-chunk, chunk-aligned,
+        // and a 1-update sliver.
+        for range in [0..1_000, 1_000..4_096, 4_096..4_097, 4_097..20_000] {
+            incremental.ingest(&updates[range]);
+        }
+        assert_eq!(incremental.updates_distributed(), 20_000);
+        let merged = incremental.merged().unwrap();
+        assert_eq!(merged.to_state(), one_shot.to_state());
+    }
+
+    #[test]
+    fn checkpoint_restore_resume_is_bit_identical() {
+        let updates: Vec<FlowUpdate> = (0..15_000u32)
+            .map(|s| FlowUpdate::insert(SourceAddr(s), DestAddr(s % 25)))
+            .collect();
+        let mut uninterrupted = ShardedIngest::new(config(), 4);
+        uninterrupted.ingest(&updates);
+        // Cut mid-chunk (position 6000 is inside chunk 1).
+        let mut first_half = ShardedIngest::new(config(), 4);
+        first_half.ingest(&updates[..6_000]);
+        let checkpoint = first_half.checkpoint();
+        drop(first_half);
+        let mut resumed = ShardedIngest::from_checkpoint(checkpoint).unwrap();
+        resumed.ingest(&updates[6_000..]);
+        assert_eq!(resumed.checkpoint(), uninterrupted.checkpoint());
+        assert_eq!(
+            resumed.merged().unwrap().to_state(),
+            uninterrupted.merged().unwrap().to_state()
+        );
+    }
+
+    #[test]
+    fn from_checkpoint_rejects_inconsistent_cursor() {
+        let mut ingest = ShardedIngest::new(config(), 2);
+        let updates: Vec<FlowUpdate> = (0..100u32)
+            .map(|s| FlowUpdate::insert(SourceAddr(s), DestAddr(1)))
+            .collect();
+        ingest.ingest(&updates);
+        let mut checkpoint = ingest.checkpoint();
+        checkpoint.updates_distributed += 1;
+        assert!(matches!(
+            ShardedIngest::from_checkpoint(checkpoint),
+            Err(PersistError::Incompatible { .. })
+        ));
+        let empty = ShardedCheckpoint {
+            updates_distributed: 0,
+            shards: vec![],
+        };
+        assert!(matches!(
+            ShardedIngest::from_checkpoint(empty),
+            Err(PersistError::Incompatible { .. })
+        ));
     }
 
     #[test]

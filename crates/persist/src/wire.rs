@@ -1,0 +1,283 @@
+//! Hand-rolled little-endian wire primitives and CRC-32.
+//!
+//! Same philosophy as `dcs-telemetry`'s hand-rolled JSONL: the build
+//! environment vendors no serialization crates, so the checkpoint codec
+//! writes and reads its bytes directly. Everything is little-endian
+//! with fixed widths; readers return typed
+//! [`PersistError::Truncated`] errors instead of panicking on short
+//! input.
+
+use crate::error::PersistError;
+
+/// Precomputed table for the reflected IEEE CRC-32 (polynomial
+/// `0xEDB88320`) — the same checksum gzip, PNG, and zlib use.
+const CRC32_TABLE: [u32; 256] = build_crc32_table();
+
+const fn build_crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// The reflected IEEE CRC-32 of `data`.
+///
+/// Detects every single-bit error (and all burst errors up to 32 bits),
+/// which is what the corruption-matrix tests lean on: any one flipped
+/// bit in a section payload is guaranteed to surface as a
+/// [`PersistError::ChecksumMismatch`].
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &byte in data {
+        let index = usize::from((c ^ u32::from(byte)) as u8);
+        c = CRC32_TABLE[index] ^ (c >> 8);
+    }
+    !c
+}
+
+/// An append-only little-endian byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`, little-endian two's complement.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Consumes the writer, returning the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A bounds-checked little-endian reader over a byte slice.
+///
+/// Every read names what it was reading, so a short file produces
+/// `Truncated { context: "level counter slab" }` rather than an index
+/// panic.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a byte slice for reading from the start.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consumes the next `n` bytes, or fails with the reading context.
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated {
+                context: what.to_string(),
+            });
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &str) -> Result<u8, PersistError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> Result<u32, PersistError> {
+        let bytes = self.take(4, what)?;
+        let mut arr = [0u8; 4];
+        arr.copy_from_slice(bytes);
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64, PersistError> {
+        let bytes = self.take(8, what)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Reads a little-endian two's-complement `i64`.
+    pub fn i64(&mut self, what: &str) -> Result<i64, PersistError> {
+        let bytes = self.take(8, what)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(bytes);
+        Ok(i64::from_le_bytes(arr))
+    }
+
+    /// Reads a `u64` count of fixed-width elements, pre-checking that
+    /// the claimed `count × width` bytes actually remain — a corrupted
+    /// length can therefore never trigger an over-allocation or a long
+    /// sequence of element-wise truncation errors.
+    pub fn element_count(&mut self, width: usize, what: &str) -> Result<usize, PersistError> {
+        let raw = self.u64(what)?;
+        let count = usize::try_from(raw).map_err(|_| PersistError::Corrupt {
+            context: format!("{what}: count {raw} does not fit in memory"),
+        })?;
+        let needed = count
+            .checked_mul(width)
+            .ok_or_else(|| PersistError::Corrupt {
+                context: format!("{what}: count {count} × width {width} overflows"),
+            })?;
+        if self.remaining() < needed {
+            return Err(PersistError::Truncated {
+                context: what.to_string(),
+            });
+        }
+        Ok(count)
+    }
+
+    /// Fails with [`PersistError::TrailingBytes`] unless the reader is
+    /// exactly exhausted.
+    pub fn expect_end(&self) -> Result<(), PersistError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(PersistError::TrailingBytes {
+                remaining: self.remaining(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xe8b7_be43);
+    }
+
+    #[test]
+    fn crc32_detects_every_single_bit_flip() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let clean = crc32(data);
+        for byte in 0..data.len() {
+            for bit in 0..8u8 {
+                let mut flipped = data.to_vec();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(
+                    crc32(&flipped),
+                    clean,
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(-42);
+        w.put_bytes(b"xyz");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 0xdead_beef);
+        assert_eq!(r.u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64("d").unwrap(), -42);
+        assert_eq!(r.take(3, "e").unwrap(), b"xyz");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn short_reads_name_their_context() {
+        let mut r = ByteReader::new(&[1, 2]);
+        let err = r.u32("test field").unwrap_err();
+        match err {
+            PersistError::Truncated { context } => assert_eq!(context, "test field"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let r = ByteReader::new(&[1, 2, 3]);
+        match r.expect_end().unwrap_err() {
+            PersistError::TrailingBytes { remaining } => assert_eq!(remaining, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn element_count_rejects_absurd_lengths() {
+        // Claims u64::MAX elements with only a few payload bytes behind.
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX);
+        w.put_bytes(&[0; 16]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.element_count(8, "slab").is_err());
+    }
+}

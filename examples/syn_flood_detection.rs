@@ -44,6 +44,7 @@ fn main() {
         evaluate_every: 2_000,
         half_open_timeout: None,
         telemetry: None,
+        checkpoint: None,
     };
 
     let report = run_pipeline(feeds, config);

@@ -18,6 +18,7 @@
 //! | [`netsim`] | `dcs-netsim` | TCP segments, handshake tracking, routers, DDoS monitor, pipeline |
 //! | [`metrics`] | `dcs-metrics` | recall, relative error, timing, result tables |
 //! | [`telemetry`] | `dcs-telemetry` | hot-path counters, latency histograms, JSONL snapshot export |
+//! | [`persist`] | `dcs-persist` | crash-safe checkpoint/restore: versioned binary codec, atomic file manager |
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -53,6 +54,7 @@ pub use dcs_core as core;
 pub use dcs_hash as hash;
 pub use dcs_metrics as metrics;
 pub use dcs_netsim as netsim;
+pub use dcs_persist as persist;
 pub use dcs_streamgen as streamgen;
 pub use dcs_telemetry as telemetry;
 
@@ -61,4 +63,5 @@ pub use dcs_core::{
     SourceAddr, TopKEntry, TopKEstimate, TrackingDcs,
 };
 pub use dcs_netsim::{AlarmPolicy, DdosMonitor, EdgeRouter, HandshakeTracker, TcpSegment};
+pub use dcs_persist::{Checkpoint, CheckpointManager, PersistError};
 pub use dcs_streamgen::{PaperWorkload, ScenarioBuilder, WorkloadConfig};

@@ -1,0 +1,265 @@
+//! Kill-and-resume equivalence for the checkpoint layer.
+//!
+//! The recovery contract rides on sketch linearity: a sketch restored
+//! from a checkpoint taken at stream position `p` and then fed updates
+//! `p..n` must be **bit-identical** — same slabs, same heap slot order,
+//! same top-k — to a sketch that processed all `n` updates without
+//! interruption. These tests kill runs at deliberately awkward offsets
+//! (mid-`update_batch` chunk, one update in, one update before the
+//! end, across an epoch `rotate()`) and check exact state equality
+//! after the restored run replays its suffix, going through real
+//! checkpoint files on disk each time.
+
+use std::path::PathBuf;
+
+use ddos_streams::netsim::epoch::EpochManager;
+use ddos_streams::netsim::sharded::ShardedIngest;
+use ddos_streams::persist::{Checkpoint, CheckpointManager};
+use ddos_streams::{
+    Delta, DestAddr, DistinctCountSketch, FlowUpdate, SketchConfig, SourceAddr, TrackingDcs,
+};
+
+fn config(seed: u64) -> SketchConfig {
+    SketchConfig::builder()
+        .buckets_per_table(64)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+/// A deterministic insert/delete stream: mostly inserts across a skewed
+/// set of destinations, with every third source completing its
+/// handshake (insert + later delete) so the delete path is exercised.
+fn stream(n: u32) -> Vec<FlowUpdate> {
+    let mut updates = Vec::new();
+    for s in 0..n {
+        let dest = DestAddr(s % 17);
+        updates.push(FlowUpdate::new(SourceAddr(s), dest, Delta::Insert));
+        if s % 3 == 0 && s >= 30 {
+            let done = s - 30;
+            updates.push(FlowUpdate::new(
+                SourceAddr(done),
+                DestAddr(done % 17),
+                Delta::Delete,
+            ));
+        }
+    }
+    updates
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dcs-resume-{tag}-{}.ckpt", std::process::id()))
+}
+
+/// Round-trips a checkpoint through an actual file (encode → atomic
+/// write → read → decode), so every equivalence test below also covers
+/// the on-disk path, not just in-memory state capture.
+fn through_disk(tag: &str, checkpoint: &Checkpoint) -> Checkpoint {
+    let path = temp_path(tag);
+    let mut manager = CheckpointManager::new(&path);
+    manager.save(checkpoint).unwrap();
+    let restored = manager.load().unwrap();
+    let _ = std::fs::remove_file(&path);
+    restored
+}
+
+/// Cut points chosen to land everywhere interesting relative to the
+/// sketch's internal `BATCH_CHUNK = 1024` batching: first update, a
+/// mid-chunk offset, an exact chunk boundary, one past it, and the
+/// penultimate update.
+fn cut_points(len: usize) -> Vec<usize> {
+    vec![1, 500, 1024, 1025, len - 1]
+}
+
+#[test]
+fn basic_sketch_restore_plus_replay_is_bit_identical() {
+    let updates = stream(4_000);
+    let mut full = DistinctCountSketch::new(config(1));
+    full.update_batch(&updates);
+    for cut in cut_points(updates.len()) {
+        let mut prefix = DistinctCountSketch::new(config(1));
+        prefix.update_batch(&updates[..cut]);
+        let saved = through_disk("basic", &Checkpoint::Sketch(prefix.to_state()));
+        drop(prefix); // the "crash"
+        let Checkpoint::Sketch(state) = saved else {
+            panic!("wrong document kind");
+        };
+        let mut resumed = DistinctCountSketch::from_state(state).unwrap();
+        resumed.update_batch(&updates[cut..]);
+        assert_eq!(
+            resumed.to_state(),
+            full.to_state(),
+            "cut at {cut}: slabs diverged"
+        );
+    }
+}
+
+#[test]
+fn tracking_restore_preserves_heap_order_and_top_k() {
+    let updates = stream(4_000);
+    let mut full = TrackingDcs::new(config(2));
+    full.update_batch(&updates);
+    for cut in cut_points(updates.len()) {
+        let mut prefix = TrackingDcs::new(config(2));
+        prefix.update_batch(&updates[..cut]);
+        let saved = through_disk("tracking", &Checkpoint::Tracking(prefix.to_state()));
+        drop(prefix);
+        let Checkpoint::Tracking(state) = saved else {
+            panic!("wrong document kind");
+        };
+        let mut resumed = TrackingDcs::from_state(state).unwrap();
+        resumed.update_batch(&updates[cut..]);
+        // Bit-identical state covers slabs, singleton multisets, *and*
+        // the exact heap slot arrangement (tie-breaking depends on it).
+        assert_eq!(
+            resumed.to_state(),
+            full.to_state(),
+            "cut at {cut}: tracking state diverged"
+        );
+        assert_eq!(
+            resumed.track_top_k(10, 0.25),
+            full.track_top_k(10, 0.25),
+            "cut at {cut}: top-k diverged"
+        );
+        resumed.check_tracking_invariants().unwrap();
+    }
+}
+
+#[test]
+fn restore_mid_stream_then_immediate_checkpoint_is_stable() {
+    // Checkpoint → restore → checkpoint again with no updates in
+    // between must produce byte-identical files (no state is lost or
+    // invented by a round trip).
+    let updates = stream(2_000);
+    let mut sketch = TrackingDcs::new(config(3));
+    sketch.update_batch(&updates[..1_234]);
+    let first = ddos_streams::persist::encode(&Checkpoint::Tracking(sketch.to_state()));
+    let Checkpoint::Tracking(state) = ddos_streams::persist::decode(&first).unwrap() else {
+        panic!("wrong document kind");
+    };
+    let restored = TrackingDcs::from_state(state).unwrap();
+    let second = ddos_streams::persist::encode(&Checkpoint::Tracking(restored.to_state()));
+    assert_eq!(first, second);
+}
+
+#[test]
+fn epoch_manager_survives_a_kill_across_rotations() {
+    let updates = stream(6_000);
+    // Uninterrupted: rotate every 1500 updates.
+    let mut full = EpochManager::new(config(4), 3);
+    for (i, u) in updates.iter().enumerate() {
+        full.ingest(*u);
+        if (i + 1) % 1_500 == 0 {
+            full.rotate();
+        }
+    }
+    // Kill at several points: mid-epoch, immediately after a rotate()
+    // (the ring just changed), and immediately before one.
+    for cut in [700usize, 3_000, 2_999, 4_501] {
+        let mut prefix = EpochManager::new(config(4), 3);
+        for (i, u) in updates[..cut].iter().enumerate() {
+            prefix.ingest(*u);
+            if (i + 1) % 1_500 == 0 {
+                prefix.rotate();
+            }
+        }
+        let saved = through_disk("epoch", &Checkpoint::Epoch(prefix.to_checkpoint()));
+        drop(prefix);
+        let Checkpoint::Epoch(checkpoint) = saved else {
+            panic!("wrong document kind");
+        };
+        let mut resumed = EpochManager::from_checkpoint(checkpoint).unwrap();
+        for (i, u) in updates[cut..].iter().enumerate() {
+            resumed.ingest(*u);
+            if (cut + i + 1) % 1_500 == 0 {
+                resumed.rotate();
+            }
+        }
+        assert_eq!(
+            resumed.to_checkpoint(),
+            full.to_checkpoint(),
+            "cut at {cut}: epoch state diverged"
+        );
+        assert_eq!(
+            resumed.recent_top_k(2, 5, 0.25).unwrap(),
+            full.recent_top_k(2, 5, 0.25).unwrap(),
+            "cut at {cut}: windowed query diverged"
+        );
+    }
+}
+
+#[test]
+fn sharded_ingest_restores_every_shard_bit_identically() {
+    let updates = stream(20_000);
+    let mut full = ShardedIngest::new(config(5), 4);
+    full.ingest(&updates);
+    // 5000 is mid-chunk (chunk = 4096 updates), 8192 is a boundary.
+    for cut in [5_000usize, 8_192, 1] {
+        let mut prefix = ShardedIngest::new(config(5), 4);
+        prefix.ingest(&updates[..cut]);
+        let saved = through_disk("sharded", &Checkpoint::Sharded(prefix.checkpoint()));
+        drop(prefix);
+        let Checkpoint::Sharded(checkpoint) = saved else {
+            panic!("wrong document kind");
+        };
+        let mut resumed = ShardedIngest::from_checkpoint(checkpoint).unwrap();
+        resumed.ingest(&updates[cut..]);
+        // Per-shard slab equality, not just merged-query equality.
+        assert_eq!(
+            resumed.checkpoint(),
+            full.checkpoint(),
+            "cut at {cut}: a shard diverged"
+        );
+        assert_eq!(
+            resumed.merged().unwrap().track_top_k(5, 0.25),
+            full.merged().unwrap().track_top_k(5, 0.25),
+            "cut at {cut}: merged top-k diverged"
+        );
+    }
+}
+
+#[test]
+fn per_shard_checkpoint_files_restore_independently() {
+    // Deployment variant: each shard persists to its *own* file (as
+    // independent workers would), and recovery reassembles the sharded
+    // checkpoint from the per-shard documents plus the saved cursor.
+    let updates = stream(12_000);
+    let mut full = ShardedIngest::new(config(6), 3);
+    full.ingest(&updates);
+
+    let cut = 7_777usize; // mid-chunk
+    let mut prefix = ShardedIngest::new(config(6), 3);
+    prefix.ingest(&updates[..cut]);
+    let checkpoint = prefix.checkpoint();
+    let cursor = checkpoint.updates_distributed;
+    let mut paths = Vec::new();
+    for (i, shard_state) in checkpoint.shards.iter().enumerate() {
+        let path = temp_path(&format!("per-shard-{i}"));
+        let mut manager = CheckpointManager::new(&path);
+        manager
+            .save(&Checkpoint::Sketch(shard_state.clone()))
+            .unwrap();
+        paths.push(path);
+    }
+    drop(prefix);
+    drop(checkpoint);
+
+    // Recovery: read the shard files back in shard order.
+    let mut shards = Vec::new();
+    for path in &paths {
+        let Checkpoint::Sketch(state) = CheckpointManager::new(path).load().unwrap() else {
+            panic!("wrong document kind");
+        };
+        shards.push(state);
+    }
+    for path in &paths {
+        let _ = std::fs::remove_file(path);
+    }
+    let reassembled = ddos_streams::persist::ShardedCheckpoint {
+        updates_distributed: cursor,
+        shards,
+    };
+    let mut resumed = ShardedIngest::from_checkpoint(reassembled).unwrap();
+    resumed.ingest(&updates[cut..]);
+    assert_eq!(resumed.checkpoint(), full.checkpoint());
+}

@@ -89,6 +89,7 @@ fn pipeline_detects_distributed_attack_single_routers_do_not() {
         evaluate_every: 1_000,
         half_open_timeout: None,
         telemetry: None,
+        checkpoint: None,
     };
     let report = run_pipeline(feeds, config);
     assert!(report.alarmed_destinations().contains(&victim.0));

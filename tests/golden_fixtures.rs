@@ -1,0 +1,185 @@
+//! Golden fixtures: committed byte-level baselines that pin down (a)
+//! the checkpoint format and (b) the seeded hash families it depends
+//! on. If either ever changes shape, these tests fail **before** a
+//! deployed monitor discovers it cannot read last week's checkpoint.
+//!
+//! Two fixture classes live under `tests/fixtures/`:
+//! * `*.ckpt` — canonical checkpoint files for deterministic sample
+//!   states. Drift check: re-encoding the same state today must be
+//!   byte-identical to the committed file, and decoding the committed
+//!   file must reproduce the state.
+//! * `hash_vectors.txt` — golden input → output vectors for the
+//!   geometric, tabulation, and multiply-shift hash families. The
+//!   checkpoint format persists *only* the seed, so restore
+//!   correctness requires that seeded hash construction never changes
+//!   across versions — these vectors are that guarantee's tripwire.
+//!
+//! Regenerate intentionally with `UPDATE_FIXTURES=1 cargo test --test
+//! golden_fixtures` and commit the diff (a format-version bump must
+//! accompany any `.ckpt` change).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use ddos_streams::hash::{GeometricLevelHash, Hash64, MultiplyShiftHash, TabulationHash};
+use ddos_streams::persist::{decode, encode, Checkpoint};
+use ddos_streams::{
+    Delta, DestAddr, DistinctCountSketch, FlowUpdate, SketchConfig, SourceAddr, TrackingDcs,
+};
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn updating() -> bool {
+    std::env::var_os("UPDATE_FIXTURES").is_some_and(|v| v == "1")
+}
+
+/// Compares `actual` against the committed fixture, or rewrites the
+/// fixture when `UPDATE_FIXTURES=1`.
+fn check_fixture(name: &str, actual: &[u8]) {
+    let path = fixtures_dir().join(name);
+    if updating() {
+        std::fs::create_dir_all(fixtures_dir()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let committed = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!("fixture {name} unreadable ({e}); regenerate with UPDATE_FIXTURES=1")
+    });
+    assert_eq!(
+        committed, actual,
+        "fixture {name} drifted: the serialized form changed. If intentional, \
+         bump FORMAT_VERSION and regenerate with UPDATE_FIXTURES=1."
+    );
+}
+
+/// The canonical sample state: fixed seed, fixed stream, both inserts
+/// and deletes. Changing this function invalidates the fixtures.
+fn canonical_tracking() -> TrackingDcs {
+    // Small dimensions keep the committed fixture compact (~150 KB):
+    // each materialized level stores 3 slabs of r x s x 65 counters.
+    let config = SketchConfig::builder()
+        .num_tables(2)
+        .buckets_per_table(8)
+        .max_levels(6)
+        .seed(0xDC5_2007)
+        .build()
+        .unwrap();
+    let mut sketch = TrackingDcs::new(config);
+    for s in 0..500u32 {
+        sketch.update(FlowUpdate::new(
+            SourceAddr(s.wrapping_mul(2_654_435_761)),
+            DestAddr(s % 9),
+            Delta::Insert,
+        ));
+        if s % 5 == 0 {
+            sketch.update(FlowUpdate::new(
+                SourceAddr(s.wrapping_mul(2_654_435_761)),
+                DestAddr(s % 9),
+                Delta::Delete,
+            ));
+        }
+    }
+    sketch
+}
+
+#[test]
+fn tracking_checkpoint_fixture_has_not_drifted() {
+    let state = canonical_tracking().to_state();
+    let bytes = encode(&Checkpoint::Tracking(state.clone()));
+    check_fixture("tracking_v1.ckpt", &bytes);
+    if updating() {
+        return;
+    }
+    // The committed file must also decode back to exactly this state —
+    // both directions of the format are pinned.
+    let committed = std::fs::read(fixtures_dir().join("tracking_v1.ckpt")).unwrap();
+    let Checkpoint::Tracking(decoded) = decode(&committed).unwrap() else {
+        panic!("fixture decodes to the wrong document kind");
+    };
+    assert_eq!(decoded, state);
+    // And the restored sketch must answer queries identically.
+    let restored = TrackingDcs::from_state(decoded).unwrap();
+    assert_eq!(
+        restored.track_top_k(5, 0.25),
+        canonical_tracking().track_top_k(5, 0.25)
+    );
+}
+
+#[test]
+fn basic_checkpoint_fixture_has_not_drifted() {
+    // Small dimensions keep the committed fixture compact (~150 KB):
+    // each materialized level stores 3 slabs of r x s x 65 counters.
+    let config = SketchConfig::builder()
+        .num_tables(2)
+        .buckets_per_table(8)
+        .max_levels(6)
+        .seed(0xDC5_2007)
+        .build()
+        .unwrap();
+    let mut sketch = DistinctCountSketch::new(config);
+    for s in 0..300u32 {
+        sketch.insert(SourceAddr(s.wrapping_mul(0x9E37_79B9)), DestAddr(s % 6));
+    }
+    let bytes = encode(&Checkpoint::Sketch(sketch.to_state()));
+    check_fixture("sketch_v1.ckpt", &bytes);
+    if updating() {
+        return;
+    }
+    let committed = std::fs::read(fixtures_dir().join("sketch_v1.ckpt")).unwrap();
+    assert_eq!(
+        decode(&committed).unwrap(),
+        Checkpoint::Sketch(sketch.to_state())
+    );
+}
+
+/// Golden vectors for the seeded hash families. A checkpoint stores
+/// only `config.seed`; the full hash state is re-derived at restore
+/// time, so any change to seeded construction or evaluation silently
+/// breaks every existing checkpoint. This fixture turns "silently"
+/// into a test failure.
+fn hash_vector_text() -> String {
+    let keys: [u64; 6] = [
+        0,
+        1,
+        0xDEAD_BEEF,
+        0x0123_4567_89AB_CDEF,
+        u64::from(u32::MAX),
+        u64::MAX,
+    ];
+    let seeds: [u64; 3] = [7, 0xDC5_2007, 0xFFFF_FFFF_FFFF_FFFF];
+    let mut out = String::from(
+        "# Golden vectors for the seeded hash families (dcs-hash).\n\
+         # family seed key value\n",
+    );
+    for &seed in &seeds {
+        let geometric = GeometricLevelHash::new(seed, 32);
+        let tabulation = TabulationHash::new(seed);
+        let multiply = MultiplyShiftHash::new(seed);
+        for &key in &keys {
+            writeln!(out, "geometric {seed} {key} {}", geometric.level(key)).unwrap();
+            writeln!(out, "tabulation {seed} {key} {}", tabulation.hash(key)).unwrap();
+            writeln!(out, "multiply_shift {seed} {key} {}", multiply.hash(key)).unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn hash_golden_vectors_have_not_drifted() {
+    check_fixture("hash_vectors.txt", hash_vector_text().as_bytes());
+}
+
+#[test]
+fn fixture_directory_is_complete() {
+    if updating() {
+        return;
+    }
+    for name in ["tracking_v1.ckpt", "sketch_v1.ckpt", "hash_vectors.txt"] {
+        assert!(
+            fixtures_dir().join(name).exists(),
+            "missing fixture {name}; regenerate with UPDATE_FIXTURES=1"
+        );
+    }
+}
