@@ -1,0 +1,45 @@
+//! Aggregates a `CRITERION_RUNS_LOG` JSONL sidecar into the
+//! median-of-medians `BENCH_*.json` document that gets committed.
+//!
+//! The recording protocol (crates/bench/README.md):
+//!
+//! ```text
+//! rm -f /tmp/runs.jsonl
+//! for i in 1 2 3 4 5; do
+//!   CRITERION_RUNS_LOG=/tmp/runs.jsonl cargo bench -p dcs-bench --bench update_throughput
+//! done
+//! cargo run --release -p dcs-bench --bin bench_report -- /tmp/runs.jsonl \
+//!   update_throughput "capture note" > BENCH_update_throughput.json
+//! ```
+//!
+//! Every run is recorded; the report is the median of the per-run
+//! medians, with the min/max run medians kept alongside so the spread
+//! is visible in the committed artifact.
+
+use std::io::Read;
+
+use dcs_bench::report;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: bench_report <runs.jsonl> [bench-name] [note]");
+        std::process::exit(2);
+    };
+    let bench = args.next().unwrap_or_else(|| "bench".to_string());
+    let note = args.next().unwrap_or_default();
+    let mut raw = String::new();
+    let opened = std::fs::File::open(&path).and_then(|mut f| f.read_to_string(&mut raw));
+    if let Err(e) = opened {
+        eprintln!("bench_report: cannot read {path}: {e}");
+        std::process::exit(2);
+    }
+    let runs: Vec<_> = raw.lines().filter_map(report::parse_run_line).collect();
+    if runs.is_empty() {
+        eprintln!("bench_report: no criterion export lines in {path}");
+        std::process::exit(2);
+    }
+    eprintln!("bench_report: {} run(s) from {path}", runs.len());
+    let aggregates = report::aggregate(&runs);
+    print!("{}", report::render(&bench, &note, &aggregates));
+}

@@ -1,0 +1,101 @@
+//! CI guard for the batch-ingest fast path: `update_batch` must not be
+//! slower than the per-update loop it replaces.
+//!
+//! Re-measures the `update/basic/{r}` vs `update/basic_per_update/{r}`
+//! comparison of `benches/update_throughput.rs` — same workload, same
+//! configurations, same steady-state long-lived-sketch protocol —
+//! without the criterion harness, reporting the **minimum** of many
+//! alternating repetitions per plan. The minimum is the right statistic
+//! for a pass/fail gate on a noisy shared host: it estimates the code's
+//! uncontended cost, and alternating the two plans rep by rep exposes
+//! both to the same allocator and frequency state (see the bench README
+//! for the protocol rationale).
+//!
+//! Exit status 0 when, for every `r`, the batch path's best time is
+//! within `SLACK` (10%) of the per-update path's best time; exit 1
+//! otherwise. CI runs this as the throughput smoke job; locally it is a
+//! quick regression probe:
+//!
+//! ```text
+//! cargo run --release -p dcs-bench --bin throughput_guard
+//! ```
+
+use std::time::Instant;
+
+use dcs_core::{DistinctCountSketch, FlowUpdate, SketchConfig};
+use dcs_streamgen::{PaperWorkload, WorkloadConfig};
+
+/// Batch may exceed per-update by at most this factor before the guard
+/// fails.
+const SLACK: f64 = 1.10;
+
+/// Alternating measurement repetitions per plan.
+const REPS: usize = 30;
+
+fn workload() -> Vec<FlowUpdate> {
+    PaperWorkload::generate(WorkloadConfig {
+        distinct_pairs: 20_000,
+        num_destinations: 1_000,
+        skew: 1.0,
+        seed: 42,
+    })
+    .into_updates()
+}
+
+fn main() {
+    let updates = workload();
+    let mut failed = false;
+    println!("throughput_guard: {REPS} alternating reps, slack {SLACK}x");
+    for r in [2usize, 3, 4] {
+        let config = SketchConfig::builder()
+            .num_tables(r)
+            .seed(1)
+            .build()
+            .expect("valid benchmark config");
+        let mut best_batch = f64::MAX;
+        let mut best_scalar = f64::MAX;
+        let mut sum_batch = 0.0;
+        let mut sum_scalar = 0.0;
+        // Steady-state protocol (same as the criterion bench): each
+        // plan ingests into its own long-lived sketch, so level-arena
+        // allocation happens once per plan and no rep times glibc.
+        // Alternating rep by rep keeps both plans exposed to the same
+        // allocator and frequency state.
+        let mut batch_sketch = DistinctCountSketch::new(config.clone());
+        let mut scalar_sketch = DistinctCountSketch::new(config.clone());
+        for _ in 0..REPS {
+            let start = Instant::now();
+            batch_sketch.update_batch(&updates);
+            let elapsed = start.elapsed().as_secs_f64();
+            best_batch = best_batch.min(elapsed);
+            sum_batch += elapsed;
+            std::hint::black_box(&batch_sketch);
+
+            let start = Instant::now();
+            for update in &updates {
+                scalar_sketch.update(*update);
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            best_scalar = best_scalar.min(elapsed);
+            sum_scalar += elapsed;
+            std::hint::black_box(&scalar_sketch);
+        }
+        let reps_f = REPS as f64;
+        let ratio = best_batch / best_scalar;
+        let verdict = if ratio <= SLACK { "ok" } else { "FAIL" };
+        println!(
+            "r={r}: batch min {:.3} mean {:.3} ms, per-update min {:.3} mean {:.3} ms, min-ratio {ratio:.3} [{verdict}]",
+            best_batch * 1e3,
+            sum_batch / reps_f * 1e3,
+            best_scalar * 1e3,
+            sum_scalar / reps_f * 1e3,
+        );
+        if ratio > SLACK {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("throughput_guard: update_batch regressed past the per-update path");
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,8 @@
 
 use dcs_streamgen::WorkloadConfig;
 
+pub mod report;
+
 /// Experiment scale: quick (CI/laptop) or the paper's full parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

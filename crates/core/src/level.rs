@@ -189,31 +189,6 @@ impl LevelState {
         self.sig_mut(table, bucket).apply_with_fp(key, delta, fp);
     }
 
-    /// Touches the cache lines the next update to bucket `bucket` of
-    /// table `table` will need — the counter block's first, middle, and
-    /// last lines plus the two screen-sum words.
-    ///
-    /// Every crate in the workspace forbids `unsafe`, so this is not an
-    /// `_mm_prefetch` intrinsic: it issues ordinary discarded demand
-    /// loads through [`std::hint::black_box`], which forces the loads to
-    /// be emitted and lets the out-of-order engine overlap their cache
-    /// misses with the updates applied in the meantime. Same
-    /// memory-level-parallelism effect, slightly stronger ordering than
-    /// a true prefetch hint.
-    #[inline]
-    pub(crate) fn prefetch_bucket(&self, table: usize, bucket: usize) {
-        let slot = self.slot(table, bucket);
-        let base = slot * SIGNATURE_LEN;
-        // 65 × 8-byte counters span 520 bytes ≈ 9 cache lines; touching
-        // the first, middle, and last line covers the block for the
-        // adjacent-line hardware prefetchers without 9 explicit loads.
-        std::hint::black_box(self.counts[base]);
-        std::hint::black_box(self.counts[base + SIGNATURE_LEN / 2]);
-        std::hint::black_box(self.counts[base + SIGNATURE_LEN - 1]);
-        std::hint::black_box(self.key_sums[slot]);
-        std::hint::black_box(self.fp_sums[slot]);
-    }
-
     /// Decodes bucket `bucket` of table `table` exhaustively (all 65
     /// counters, no screen).
     #[inline]

@@ -132,13 +132,19 @@ fn classify(total: i64, key_sum: u64, fp_sum: u64, bit_count: impl Fn(u32) -> i6
     // `total`, while a bucket colliding random keys has a counter
     // strictly in between almost immediately (probability ≥ 1/2 per
     // counter for two keys). Probing a short constant prefix
-    // dispatches dense collisions in a load or two, well before the
-    // modular-inverse candidate recovery below.
+    // dispatches dense collisions before the modular-inverse candidate
+    // recovery below. The eight probes accumulate one flag instead of
+    // branching per counter: a fixed-width compare/or ladder with no
+    // data-dependent exit, so the whole prefix issues as straight-line
+    // (vectorizable) code and costs no branch misprediction on the
+    // collision-heavy paths that dominate full-table scans.
+    let mut prefix_fail = false;
     for j in 0..8 {
         let c = bit_count(j);
-        if c != 0 && c != total {
-            return ScreenClass::Fail;
-        }
+        prefix_fail |= c != 0 && c != total;
+    }
+    if prefix_fail {
+        return ScreenClass::Fail;
     }
     // Write t = 2^z · q with q odd. A singleton holding `key` has
     // key_sum = t·key (mod 2^64), whose low z bits are zero.
@@ -283,13 +289,18 @@ impl<'a> SigRef<'a> {
         // counter == total exactly where `key` has a 1-bit, over the
         // probe prefix (0..8) and the top byte — everything `classify`
         // consults, on both sides of the update, for totals below 256.
+        // Branchless accumulation: sixteen identical multiply/compare/or
+        // steps with no early exit, so the check compiles to a short
+        // straight-line kernel (`total · bit` selects the expected value
+        // without a branch; the multiply cannot overflow for totals
+        // below 256 but stays `wrapping_` for L1 uniformity).
+        let mut mismatch = false;
         for j in (0..8).chain(KEY_BITS - 8..KEY_BITS) {
-            let expected = if packed >> j & 1 == 1 { total } else { 0 };
-            if self.counts[1 + usize_from_u32(j)] != expected {
-                return false;
-            }
+            let expected = total.wrapping_mul(i64::from(packed >> j & 1 == 1));
+            let c = self.counts[usize_from_u32(j) + 1];
+            mismatch |= c != expected;
         }
-        true
+        !mismatch
     }
 
     /// Screened decode: `O(1)` for empty and (with overwhelming
@@ -324,13 +335,21 @@ impl<'a> SigRef<'a> {
 
     /// Full bit verification of a screened candidate — the deterministic
     /// half of [`decode_fast`](Self::decode_fast).
+    ///
+    /// All 64 compares run unconditionally and fold into one flag: the
+    /// screen has already filtered the overwhelmingly common non-matches,
+    /// so a data-dependent early exit would save nothing on average while
+    /// blocking vectorization of the fixed-width compare ladder
+    /// (`total · bit` selects each expected value without a branch).
     fn verify_candidate(self, candidate: u64) -> BucketState {
         let total = self.counts[0];
-        for j in 0..KEY_BITS {
-            let expected = if candidate >> j & 1 == 1 { total } else { 0 };
-            if self.counts[1 + usize_from_u32(j)] != expected {
-                return BucketState::Collision;
-            }
+        let mut mismatch = false;
+        for (j, &c) in self.counts[1..].iter().enumerate() {
+            let expected = total.wrapping_mul(i64::from(candidate >> j & 1 == 1));
+            mismatch |= c != expected;
+        }
+        if mismatch {
+            return BucketState::Collision;
         }
         BucketState::Singleton {
             key: FlowKey::from_packed(candidate),
@@ -409,24 +428,65 @@ impl<'a> SigMut<'a> {
     /// Applies an update for `key`: the total count and every
     /// bit-location count where `key` has a 1-bit move by ±1, and the
     /// two screening sums move by `±key` / `±fingerprint64(key)`.
+    ///
+    /// The 64 bit-location counters update as a fixed-width pass rather
+    /// than a popcount-dependent `trailing_zeros` loop: each counter
+    /// adds `bit_mask & sign_word`, where `bit_mask` broadcasts bit `j`
+    /// of the key to all 64 lanes (`wrapping_neg` of 0/1) and
+    /// `sign_word` is `1` or the two's-complement image of `-1`
+    /// (`u64::MAX`), so `wrapping_add_unsigned` lands on exactly the
+    /// same wrapped value as a signed ±1. Same trip count for every
+    /// key — no data-dependent branches — which lets the loop unroll
+    /// and vectorize instead of serializing on the key's popcount.
     #[inline]
     pub(crate) fn apply_with_fp(&mut self, key: FlowKey, delta: Delta, fp: u64) {
         let sign = delta.signum();
         let packed = key.packed();
         self.counts[0] = self.counts[0].wrapping_add(sign);
-        if sign >= 0 {
+        let sign_word = if sign >= 0 {
             *self.key_sum = self.key_sum.wrapping_add(packed);
             *self.fp_sum = self.fp_sum.wrapping_add(fp);
+            1u64
         } else {
             *self.key_sum = self.key_sum.wrapping_sub(packed);
             *self.fp_sum = self.fp_sum.wrapping_sub(fp);
+            u64::MAX
+        };
+        match self.counts[1..].first_chunk_mut::<BIT_COUNTERS>() {
+            Some(bits) => apply_bit_counters(bits, packed, sign_word),
+            // Unreachable (counts is always SIGNATURE_LEN long), but a
+            // slice-loop fallback keeps this total without panicking
+            // machinery in the hot path.
+            None => {
+                for (j, counter) in self.counts[1..].iter_mut().enumerate() {
+                    let bit_mask = (packed >> j & 1).wrapping_neg();
+                    *counter = counter.wrapping_add_unsigned(bit_mask & sign_word);
+                }
+            }
         }
-        let mut bits = packed;
-        while bits != 0 {
-            let j = usize_from_u32(bits.trailing_zeros());
-            self.counts[1 + j] = self.counts[1 + j].wrapping_add(sign);
-            bits &= bits - 1;
-        }
+    }
+}
+
+/// The number of bit-location counters in a signature (one per key bit).
+const BIT_COUNTERS: usize = SIGNATURE_LEN - 1;
+
+/// The fixed-width inner kernel of [`SigMut::apply_with_fp`]: adds
+/// `bit_j(packed) · sign` to all 64 bit-location counters.
+///
+/// Kept as a named kernel over `&mut [i64; 64]` so the loop shape the
+/// vectorizer sees is a fixed-trip-count pass over a known-length
+/// array. When this body was a slice loop (`counts[1..]`) inlined into
+/// each call site, the per-update path vectorized but the batched
+/// `update_chunk` copy compiled scalar — LLVM's vectorizer gave up on
+/// the offset slice inside the larger surrounding loop nest, silently
+/// inverting the batch-vs-scalar cost per bucket (DESIGN.md §13). The
+/// array-typed kernel lowers to AVX-512 masked adds (the packed key is
+/// the 64-lane predicate) in every inlining context.
+#[inline]
+fn apply_bit_counters(counters: &mut [i64; BIT_COUNTERS], packed: u64, sign_word: u64) {
+    for (j, counter) in counters.iter_mut().enumerate() {
+        let bit_mask = (packed >> j & 1).wrapping_neg();
+        *counter = counter.wrapping_add_unsigned(bit_mask & sign_word);
     }
 }
 

@@ -2,8 +2,8 @@
 
 use std::collections::BTreeSet;
 
-use dcs_hash::cast::{u64_from_usize, usize_from_u32};
-use dcs_hash::mix::fingerprint64;
+use dcs_hash::cast::{u64_from_usize, usize_from_u32, usize_from_u64};
+use dcs_hash::mix::{fingerprint64, fingerprint64_fill};
 use dcs_hash::{GeometricLevelHash, Hash64, MultiplyShiftHash, SeedSequence, TabulationHash};
 
 use dcs_telemetry::{LevelGauges, TelemetrySnapshot};
@@ -24,41 +24,144 @@ use crate::types::{Delta, FlowKey, FlowUpdate};
 /// and keeps one chunk's routing tables comfortably inside L1/L2.
 pub const BATCH_CHUNK: usize = 1024;
 
-/// How many updates ahead the batched path prefetches bucket lines.
-/// Far enough ahead to cover a main-memory miss under the ~r·65-counter
-/// work per update, close enough that the lines survive in cache.
-pub const PREFETCH_AHEAD: usize = 8;
+/// Batches shorter than this skip the routed (structure-of-arrays)
+/// plan and run the per-update scalar path instead. Measured
+/// crossover: the routed plan amortizes its scratch-buffer fills and
+/// wide hashing loops over the batch, which needs a few dozen updates
+/// before it beats the scalar path's zero setup cost. Both plans
+/// produce bit-identical sketch state, so the cutoff is purely a
+/// performance knob.
+pub const BATCH_MIN_ROUTED: usize = 32;
 
-/// Per-update routing computed by pass 1 of a batch chunk: the
-/// (materialized) first-level bucket and the key's fingerprint. The
-/// `r` second-level buckets live in a parallel flattened array.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct BatchRoute {
-    pub(crate) level: usize,
-    pub(crate) fp: u64,
+/// Minimum table count at which the routed plan's apply pass groups
+/// updates by level before touching the arenas. Below it the apply runs
+/// in stream order: with `r = 2` at the paper's bucket count the hot
+/// arenas are cache-resident, so the counting sort plus its
+/// order-indirected loads cost more than the locality they buy, while
+/// from `r = 3` up the grouped visit keeps one level's arena hot
+/// instead of cycling all of them (measured on the bench host; see
+/// DESIGN.md §13). Either order yields bit-identical state — counter
+/// updates commute — so, like [`BATCH_MIN_ROUTED`], this is purely a
+/// performance knob.
+pub const LEVEL_GROUP_MIN_TABLES: usize = 3;
+
+/// Reusable scratch for one routed batch: fixed-capacity
+/// structure-of-arrays buffers filled by pass 1 (`route_chunk`) and
+/// consumed by pass 2. All stripes live in **one** boxed slab sized
+/// once at construction — it *cannot* reallocate across chunks, and
+/// `update_batch` performs exactly one scratch allocation per call no
+/// matter how many chunks the batch spans. (A single allocation also
+/// keeps the batch plan's per-call allocator traffic identical to the
+/// per-update plan's plus one block, which keeps glibc's placement
+/// decisions — and therefore cache behavior — iteration-stable; an
+/// earlier five-slab layout made sustained ingest loops flip between
+/// fast and slow heap layouts.)
+///
+/// Slab layout, in `chunk_cap`-sized stripes of `u64`:
+///
+/// ```text
+/// [ packed | fps | levels | order | buckets(table 0) | buckets(table 1) | … ]
+/// ```
+///
+/// `buckets` is **table-major**: table `t`'s bucket for update `i`
+/// lives at stripe `4 + t`, index `i`, so pass 1 writes each table's
+/// stripe in one contiguous fill (one hash-family dispatch per table
+/// per chunk, not per key).
+#[derive(Debug)]
+pub(crate) struct BatchScratch {
+    chunk_cap: usize,
+    slab: Box<[u64]>,
 }
 
-/// Fills `order` with the indices of `routes` stably counting-sorted by
-/// level, so a chunk's updates can be applied one level arena at a time
-/// (levels are capped at 64, see `route_chunk`). Only the basic sketch
-/// may use this order: its counter updates commute, whereas the
-/// tracking layer's heap adjustments are order-sensitive.
-fn group_by_level(routes: &[BatchRoute], order: &mut Vec<usize>) {
-    let mut offsets = [0usize; 64];
-    for route in routes {
-        offsets[route.level] += 1;
+/// Stripe indices into the scratch slab.
+const STRIPE_PACKED: usize = 0;
+const STRIPE_FPS: usize = 1;
+const STRIPE_LEVELS: usize = 2;
+const STRIPE_ORDER: usize = 3;
+const STRIPE_BUCKETS: usize = 4;
+
+impl BatchScratch {
+    /// Sizes scratch for batches of `len` updates (capped at
+    /// [`BATCH_CHUNK`] — longer batches reuse the same buffers chunk by
+    /// chunk) across `num_tables` second-level tables.
+    pub(crate) fn new(len: usize, num_tables: usize) -> Self {
+        let chunk_cap = len.clamp(1, BATCH_CHUNK);
+        Self {
+            chunk_cap,
+            slab: vec![0u64; chunk_cap * (STRIPE_BUCKETS + num_tables)].into_boxed_slice(),
+        }
     }
-    let mut acc = 0usize;
-    for slot in &mut offsets {
-        let count = *slot;
-        *slot = acc;
-        acc += count;
+
+    /// One full stripe as a mutable slice.
+    #[inline]
+    fn stripe_mut(&mut self, stripe: usize) -> &mut [u64] {
+        let start = stripe * self.chunk_cap;
+        &mut self.slab[start..start + self.chunk_cap]
     }
-    order.clear();
-    order.resize(routes.len(), 0);
-    for (i, route) in routes.iter().enumerate() {
-        order[offsets[route.level]] = i;
-        offsets[route.level] += 1;
+
+    /// Two distinct stripes borrowed simultaneously (read, write).
+    #[inline]
+    fn stripe_pair_mut(&mut self, read: usize, write: usize) -> (&[u64], &mut [u64]) {
+        debug_assert_ne!(read, write);
+        if read < write {
+            let (lo, hi) = self.slab.split_at_mut(write * self.chunk_cap);
+            let r = &lo[read * self.chunk_cap..(read + 1) * self.chunk_cap];
+            (r, &mut hi[..self.chunk_cap])
+        } else {
+            let (lo, hi) = self.slab.split_at_mut(read * self.chunk_cap);
+            let w = &mut lo[write * self.chunk_cap..(write + 1) * self.chunk_cap];
+            (&hi[..self.chunk_cap], w)
+        }
+    }
+
+    /// Counting-sorts the first `n` routed updates by first-level
+    /// bucket into the order stripe (stable: stream order within a
+    /// level). Levels are capped at 64, so the histogram lives on the
+    /// stack.
+    fn group_by_level(&mut self, n: usize) {
+        let mut starts = [0usize; 65];
+        let (levels, order) = self.stripe_pair_mut(STRIPE_LEVELS, STRIPE_ORDER);
+        for &level in &levels[..n] {
+            starts[usize_from_u64(level) + 1] += 1;
+        }
+        for l in 0..64 {
+            starts[l + 1] += starts[l];
+        }
+        for (i, &level) in levels[..n].iter().enumerate() {
+            let l = usize_from_u64(level);
+            order[starts[l]] = u64_from_usize(i);
+            starts[l] += 1;
+        }
+    }
+
+    /// The fixed per-chunk capacity (also the stride of the slab's
+    /// stripes).
+    pub(crate) fn chunk_cap(&self) -> usize {
+        self.chunk_cap
+    }
+
+    /// The level-grouped apply order of the routed chunk's updates.
+    #[inline]
+    fn order(&self, k: usize) -> usize {
+        usize_from_u64(self.slab[STRIPE_ORDER * self.chunk_cap + k])
+    }
+
+    /// The fingerprint of update `i` in the routed chunk.
+    #[inline]
+    pub(crate) fn fp(&self, i: usize) -> u64 {
+        self.slab[STRIPE_FPS * self.chunk_cap + i]
+    }
+
+    /// The first-level bucket of update `i` in the routed chunk.
+    #[inline]
+    pub(crate) fn level(&self, i: usize) -> usize {
+        usize_from_u64(self.slab[STRIPE_LEVELS * self.chunk_cap + i])
+    }
+
+    /// The second-level bucket of update `i` in table `table`.
+    #[inline]
+    pub(crate) fn bucket(&self, table: usize, i: usize) -> usize {
+        usize_from_u64(self.slab[(STRIPE_BUCKETS + table) * self.chunk_cap + i])
     }
 }
 
@@ -106,6 +209,18 @@ impl Hash64 for TableHash {
         match self {
             TableHash::MultiplyShift(h) => h.hash(key),
             TableHash::Tabulation(h) => h.hash(key),
+        }
+    }
+
+    /// Batched fill that hoists the family dispatch: one `match` per
+    /// *slice*, then the concrete family's monomorphized fill loop —
+    /// the per-key enum branch the scalar path pays disappears from the
+    /// routed batch plan entirely.
+    #[inline]
+    fn hash_to_range_fill(&self, keys: &[u64], range: usize, out: &mut [u64]) {
+        match self {
+            TableHash::MultiplyShift(h) => h.hash_to_range_fill(keys, range, out),
+            TableHash::Tabulation(h) => h.hash_to_range_fill(keys, range, out),
         }
     }
 }
@@ -216,6 +331,18 @@ impl DistinctCountSketch {
     #[inline]
     pub fn update(&mut self, update: FlowUpdate) {
         let timer = self.telem.start_timer();
+        self.apply_update(update);
+        self.telem.record_update(timer);
+    }
+
+    /// The telemetry-free scalar core shared by [`update`](Self::update)
+    /// and the short-batch plan of [`update_batch`](Self::update_batch):
+    /// hash, materialize the level, apply to all `r` tables, bump the
+    /// stream counters. Exactly one code path mutates counters per
+    /// update, so the two entry points cannot drift and the recorders
+    /// around them cannot double-count.
+    #[inline]
+    fn apply_update(&mut self, update: FlowUpdate) {
         let level = usize_from_u32(self.level_of(update.key));
         let buckets = self.config.buckets_per_table();
         let num_tables = self.config.num_tables();
@@ -227,7 +354,6 @@ impl DistinctCountSketch {
         }
         self.updates_processed += 1;
         self.net_updates += update.delta.signum();
-        self.telem.record_update(timer);
     }
 
     /// Convenience: processes a `+1` update for `(source, dest)`.
@@ -240,125 +366,147 @@ impl DistinctCountSketch {
         self.update(FlowUpdate::delete(source, dest));
     }
 
-    /// Processes a batch of updates through the batched fast path —
-    /// equivalent to calling [`update`](Self::update) for each element
-    /// in order (bit-identical final counters), but substantially
-    /// faster on large batches.
+    /// Processes a batch of updates — equivalent to calling
+    /// [`update`](Self::update) for each element in order (bit-identical
+    /// final counters), but faster on large batches. This is the single
+    /// public batch entry point: it measures nothing at call time but
+    /// auto-selects between two pre-measured plans.
     ///
-    /// The batch is split into chunks of [`BATCH_CHUNK`] updates. Each
-    /// chunk makes two passes: pass 1 hashes every key exactly once
-    /// (first-level bucket, fingerprint, and all `r` second-level
-    /// buckets) and materializes every touched level up front; pass 2
-    /// applies the updates **grouped by level** (counter updates are
-    /// commutative wrapping adds, so any order yields the same state,
-    /// and grouping keeps one level's arena hot in cache), issuing
-    /// software prefetches for the bucket lines of the update
-    /// [`PREFETCH_AHEAD`] positions ahead so its cache misses overlap
-    /// with the counter arithmetic of the current one.
+    /// * Batches shorter than [`BATCH_MIN_ROUTED`] run the scalar
+    ///   per-update core directly — the routed plan's scratch fills
+    ///   cannot amortize over a handful of updates.
+    /// * Longer batches run the routed plan in [`BATCH_CHUNK`]-sized
+    ///   chunks: pass 1 (`route_chunk`) bulk-hashes every key exactly
+    ///   once into structure-of-arrays scratch — levels, fingerprints,
+    ///   and all `r` second-level buckets as contiguous fills — and
+    ///   pass 2 applies the updates against the flat level arenas. With
+    ///   `r ≥` [`LEVEL_GROUP_MIN_TABLES`] tables pass 2 visits updates
+    ///   grouped by level (sound because counter updates commute);
+    ///   below it, in stream order with no permutation — at small `r`
+    ///   the hot arenas are cache-resident and the grouping passes cost
+    ///   more than the locality they buy (measured; see DESIGN.md §13).
+    ///
+    /// Telemetry: one amortized-latency sample per update and exactly
+    /// one batch-size observation per call, regardless of which plan
+    /// runs.
     pub fn update_batch(&mut self, updates: &[FlowUpdate]) {
         if updates.is_empty() {
             return;
         }
-        let chunk_cap = updates.len().min(BATCH_CHUNK);
-        let mut routes = Vec::with_capacity(chunk_cap);
-        let mut buckets = Vec::with_capacity(chunk_cap * self.config.num_tables());
-        let mut order = Vec::with_capacity(chunk_cap);
-        for chunk in updates.chunks(BATCH_CHUNK) {
-            self.update_chunk(chunk, &mut routes, &mut buckets, &mut order);
+        let timer = self.telem.start_timer();
+        if updates.len() < BATCH_MIN_ROUTED {
+            for &update in updates {
+                self.apply_update(update);
+            }
+        } else {
+            let mut scratch = BatchScratch::new(updates.len(), self.config.num_tables());
+            for chunk in updates.chunks(BATCH_CHUNK) {
+                self.update_chunk(chunk, &mut scratch);
+            }
         }
+        self.telem.record_update_batch(timer, updates.len());
         self.telem.record_batch(u64_from_usize(updates.len()));
     }
 
-    /// One [`BATCH_CHUNK`]-bounded chunk of [`update_batch`]
-    /// (`routes`/`buckets`/`order` are caller-owned scratch, reused
-    /// across chunks).
+    /// One [`BATCH_CHUNK`]-bounded chunk of the routed batch plan
+    /// (`scratch` is allocated once per [`update_batch`] call and
+    /// reused across chunks).
     ///
     /// [`update_batch`]: Self::update_batch
-    fn update_chunk(
-        &mut self,
-        chunk: &[FlowUpdate],
-        routes: &mut Vec<BatchRoute>,
-        buckets: &mut Vec<usize>,
-        order: &mut Vec<usize>,
-    ) {
-        let timer = self.telem.start_timer();
-        self.route_chunk(chunk, routes, buckets);
-        group_by_level(routes, order);
+    fn update_chunk(&mut self, chunk: &[FlowUpdate], scratch: &mut BatchScratch) {
+        self.route_chunk(chunk, scratch);
         let num_tables = self.config.num_tables();
         let mut net = 0i64;
-        for (pos, &i) in order.iter().enumerate() {
-            let ahead = pos + PREFETCH_AHEAD;
-            if ahead < order.len() {
-                let j = order[ahead];
-                self.prefetch_routed(routes[j], &buckets[j * num_tables..]);
-            }
-            let update = chunk[i];
-            let route = routes[i];
-            if let Some(state) = self.levels[route.level].as_mut() {
-                for (table, &bucket) in buckets[i * num_tables..(i + 1) * num_tables]
-                    .iter()
-                    .enumerate()
-                {
-                    state.apply_with_fp(table, bucket, update.key, update.delta, route.fp);
+        if num_tables >= LEVEL_GROUP_MIN_TABLES {
+            // Level-grouped apply: every counter mutation is a
+            // commutative wrapping add, so the final state is
+            // independent of apply order — and visiting one level's
+            // arena to exhaustion keeps the working set at one arena
+            // (~r·s·544 B) instead of every hot level at once, which is
+            // the difference between L2 and L3 residency at large `r`
+            // (DESIGN.md §13).
+            scratch.group_by_level(chunk.len());
+            for k in 0..chunk.len() {
+                let i = scratch.order(k);
+                let update = chunk[i];
+                if let Some(state) = self.levels[scratch.level(i)].as_mut() {
+                    let fp = scratch.fp(i);
+                    for table in 0..num_tables {
+                        state.apply_with_fp(
+                            table,
+                            scratch.bucket(table, i),
+                            update.key,
+                            update.delta,
+                            fp,
+                        );
+                    }
                 }
+                net += update.delta.signum();
             }
-            net += update.delta.signum();
+        } else {
+            // Stream-order apply: at small `r` the hot arenas already
+            // fit in cache, so the batch plan's edge over the scalar
+            // loop is the vectorized hash fills alone — the grouping
+            // sort and its order indirection would give that edge back
+            // (measured; DESIGN.md §13).
+            for (i, &update) in chunk.iter().enumerate() {
+                if let Some(state) = self.levels[scratch.level(i)].as_mut() {
+                    let fp = scratch.fp(i);
+                    for table in 0..num_tables {
+                        state.apply_with_fp(
+                            table,
+                            scratch.bucket(table, i),
+                            update.key,
+                            update.delta,
+                            fp,
+                        );
+                    }
+                }
+                net += update.delta.signum();
+            }
         }
         self.updates_processed += u64_from_usize(chunk.len());
         self.net_updates += net;
-        self.telem.record_update_batch(timer, chunk.len());
     }
 
-    /// Pass 1 of a batch chunk: hashes every key exactly once — the
-    /// first-level bucket, the fingerprint, and the `r` second-level
-    /// buckets (flattened into `buckets` with stride `r`) — and
-    /// materializes every touched level, so pass 2 only ever sees
-    /// allocated arenas (and prefetches never fault a level in).
-    /// Shared with the tracking layer's batch path.
-    pub(crate) fn route_chunk(
-        &mut self,
-        chunk: &[FlowUpdate],
-        routes: &mut Vec<BatchRoute>,
-        buckets: &mut Vec<usize>,
-    ) {
-        debug_assert!(chunk.len() <= BATCH_CHUNK);
-        routes.clear();
-        buckets.clear();
+    /// Pass 1 of a batch chunk: bulk-hashes every key exactly once into
+    /// the structure-of-arrays `scratch` — packed keys, first-level
+    /// buckets, fingerprints, and each table's second-level buckets as
+    /// four contiguous fill loops — and materializes every touched
+    /// level, so pass 2 only ever sees allocated arenas. Each fill is a
+    /// tight slice loop over one hash family (the enum dispatch is
+    /// hoisted to once per table per chunk), which is what lets the
+    /// mixing arithmetic unroll and vectorize across keys. Shared with
+    /// the tracking layer's batch path.
+    pub(crate) fn route_chunk(&mut self, chunk: &[FlowUpdate], scratch: &mut BatchScratch) {
+        let n = chunk.len();
+        debug_assert!(n <= scratch.chunk_cap());
         let num_buckets = self.config.buckets_per_table();
+        for (slot, update) in scratch.stripe_mut(STRIPE_PACKED)[..n].iter_mut().zip(chunk) {
+            *slot = update.key.packed();
+        }
+        {
+            let (packed, levels) = scratch.stripe_pair_mut(STRIPE_PACKED, STRIPE_LEVELS);
+            self.level_hash.levels_fill(&packed[..n], &mut levels[..n]);
+        }
+        {
+            let (packed, fps) = scratch.stripe_pair_mut(STRIPE_PACKED, STRIPE_FPS);
+            fingerprint64_fill(&packed[..n], &mut fps[..n]);
+        }
+        for (table, hash) in self.table_hashes.iter().enumerate() {
+            let (packed, buckets) = scratch.stripe_pair_mut(STRIPE_PACKED, STRIPE_BUCKETS + table);
+            hash.hash_to_range_fill(&packed[..n], num_buckets, &mut buckets[..n]);
+        }
         // Levels are capped at 64, so a u64 bitmask tracks which ones
         // this chunk touches.
         let mut touched = 0u64;
-        for update in chunk {
-            let packed = update.key.packed();
-            let level = usize_from_u32(self.level_of(update.key));
-            touched |= 1u64 << level;
-            routes.push(BatchRoute {
-                level,
-                fp: fingerprint64(packed),
-            });
-            for hash in &self.table_hashes {
-                buckets.push(hash.hash_to_range(packed, num_buckets));
-            }
+        for i in 0..n {
+            touched |= 1u64 << scratch.level(i);
         }
-        let mut bits = touched;
-        while bits != 0 {
-            let level = usize_from_u32(bits.trailing_zeros());
+        while touched != 0 {
+            let level = usize_from_u32(touched.trailing_zeros());
             self.level_mut(level);
-            bits &= bits - 1;
-        }
-    }
-
-    /// Prefetches the bucket lines one routed update will touch in
-    /// every table (`buckets` is the flattened bucket array starting at
-    /// that update's stride offset). The level is already materialized
-    /// by [`route_chunk`](Self::route_chunk); the `if let` is belt and
-    /// braces.
-    #[inline]
-    pub(crate) fn prefetch_routed(&self, route: BatchRoute, buckets: &[usize]) {
-        if let Some(state) = &self.levels[route.level] {
-            for (table, &bucket) in buckets.iter().take(self.config.num_tables()).enumerate() {
-                state.prefetch_bucket(table, bucket);
-            }
+            touched &= touched - 1;
         }
     }
 
@@ -1292,6 +1440,57 @@ mod tests {
             .collect();
         expected.sort_unstable();
         assert_eq!(sample.keys, expected);
+    }
+
+    #[test]
+    fn batch_scratch_never_reallocates_across_chunks() {
+        // Satellite of the batch-path fix: `update_batch` sizes its
+        // scratch exactly once per call. The slabs are boxed slices, so
+        // any reallocation would have to move them — pin the base
+        // pointers before routing and assert they never change while a
+        // multi-chunk batch streams through.
+        let mut sketch = DistinctCountSketch::new(small_config(50));
+        let updates: Vec<FlowUpdate> = (0..3 * BATCH_CHUNK + 17)
+            .map(|i| FlowUpdate::insert(SourceAddr(i as u32), DestAddr(1)))
+            .collect();
+        let mut scratch = BatchScratch::new(updates.len(), sketch.config().num_tables());
+        let slab_ptr = scratch.slab.as_ptr();
+        let slab_len = scratch.slab.len();
+        let cap = scratch.chunk_cap();
+        assert_eq!(cap, BATCH_CHUNK, "long batches use full-size chunks");
+        for chunk in updates.chunks(BATCH_CHUNK) {
+            sketch.route_chunk(chunk, &mut scratch);
+            assert_eq!(scratch.slab.as_ptr(), slab_ptr);
+            assert_eq!(scratch.slab.len(), slab_len);
+            assert_eq!(scratch.chunk_cap(), cap);
+        }
+    }
+
+    #[test]
+    fn update_batch_plans_are_bit_identical_around_the_cutoff() {
+        // The auto-select cutoff is a pure performance knob: both the
+        // scalar and routed plans must leave bit-identical state. Probe
+        // one size on each side of BATCH_MIN_ROUTED plus the boundary
+        // itself, with deletes mixed in.
+        for n in [BATCH_MIN_ROUTED - 1, BATCH_MIN_ROUTED, BATCH_MIN_ROUTED + 1] {
+            let updates: Vec<FlowUpdate> = (0..n)
+                .map(|i| {
+                    let key = (SourceAddr(i as u32 / 2), DestAddr(3));
+                    if i % 4 == 3 {
+                        FlowUpdate::delete(key.0, key.1)
+                    } else {
+                        FlowUpdate::insert(key.0, key.1)
+                    }
+                })
+                .collect();
+            let mut batched = DistinctCountSketch::new(small_config(51));
+            let mut sequential = DistinctCountSketch::new(small_config(51));
+            batched.update_batch(&updates);
+            for &u in &updates {
+                sequential.update(u);
+            }
+            assert_eq!(batched.to_state(), sequential.to_state(), "n = {n}");
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ use crate::estimator::{
     threshold_from_frequencies, top_k_from_frequencies, TopKEntry, TopKEstimate,
 };
 use crate::heap::IndexedMaxHeap;
-use crate::sketch::{BatchRoute, DistinctCountSketch, BATCH_CHUNK, PREFETCH_AHEAD};
+use crate::sketch::{BatchScratch, DistinctCountSketch, BATCH_CHUNK, BATCH_MIN_ROUTED};
 use crate::state::{TrackingLevelState, TrackingState};
 use crate::types::{FlowKey, FlowUpdate};
 
@@ -157,6 +157,17 @@ impl TrackingDcs {
     /// decode-before/decode-after transition handling.
     pub fn update(&mut self, update: FlowUpdate) {
         let timer = self.sketch.telem.start_timer();
+        self.apply_update(update);
+        self.sketch.telem.record_update(timer);
+    }
+
+    /// The telemetry-free screened core shared by
+    /// [`update`](Self::update) and the short-batch plan of
+    /// [`update_batch`](Self::update_batch) — one code path mutates the
+    /// counters and tracking structures per update, so the recorders
+    /// around it cannot double-count.
+    #[inline]
+    fn apply_update(&mut self, update: FlowUpdate) {
         let level = usize_from_u32(self.sketch.level_of(update.key));
         let num_tables = self.config().num_tables();
         let fp = fingerprint64(update.key.packed());
@@ -170,7 +181,6 @@ impl TrackingDcs {
             }
         }
         self.sketch.note_update(update.delta);
-        self.sketch.telem.record_update(timer);
     }
 
     /// The unscreened update path: decode-before / apply / decode-after
@@ -227,22 +237,31 @@ impl TrackingDcs {
         self.update(FlowUpdate::delete(source, dest));
     }
 
-    /// Processes a batch of updates through the batched fast path —
-    /// equivalent to calling [`update`](Self::update) for each element
-    /// in order (bit-identical counters, decode transitions, and heap
-    /// arrangement), but routing each chunk in one up-front hashing
-    /// pass and prefetching upcoming bucket lines, exactly as
-    /// [`DistinctCountSketch::update_batch`] does.
+    /// Processes a batch of updates — equivalent to calling
+    /// [`update`](Self::update) for each element in order (bit-identical
+    /// counters, decode transitions, and heap arrangement). Mirrors
+    /// [`DistinctCountSketch::update_batch`]'s auto-select: batches
+    /// shorter than [`BATCH_MIN_ROUTED`] run the screened scalar core
+    /// directly; longer batches route each chunk in one up-front bulk
+    /// hashing pass, then screen/apply/patch in original order.
+    /// Telemetry: one amortized-latency sample per update and exactly
+    /// one batch-size observation per call, whichever plan runs.
     pub fn update_batch(&mut self, updates: &[FlowUpdate]) {
         if updates.is_empty() {
             return;
         }
-        let chunk_cap = updates.len().min(BATCH_CHUNK);
-        let mut routes = Vec::with_capacity(chunk_cap);
-        let mut buckets = Vec::with_capacity(chunk_cap * self.config().num_tables());
-        for chunk in updates.chunks(BATCH_CHUNK) {
-            self.update_chunk(chunk, &mut routes, &mut buckets);
+        let timer = self.sketch.telem.start_timer();
+        if updates.len() < BATCH_MIN_ROUTED {
+            for &update in updates {
+                self.apply_update(update);
+            }
+        } else {
+            let mut scratch = BatchScratch::new(updates.len(), self.config().num_tables());
+            for chunk in updates.chunks(BATCH_CHUNK) {
+                self.update_chunk(chunk, &mut scratch);
+            }
         }
+        self.sketch.telem.record_update_batch(timer, updates.len());
         self.sketch
             .telem
             .record_batch(u64_from_usize(updates.len()));
@@ -254,38 +273,23 @@ impl TrackingDcs {
     /// order (pass 2) — order preservation is what keeps the heap
     /// arrangement, and therefore tie-breaking in `track_top_k`,
     /// bit-identical to the one-at-a-time path.
-    fn update_chunk(
-        &mut self,
-        chunk: &[FlowUpdate],
-        routes: &mut Vec<BatchRoute>,
-        buckets: &mut Vec<usize>,
-    ) {
-        let timer = self.sketch.telem.start_timer();
-        self.sketch.route_chunk(chunk, routes, buckets);
+    fn update_chunk(&mut self, chunk: &[FlowUpdate], scratch: &mut BatchScratch) {
+        self.sketch.route_chunk(chunk, scratch);
         let num_tables = self.config().num_tables();
         for (i, update) in chunk.iter().enumerate() {
-            let ahead = i + PREFETCH_AHEAD;
-            if ahead < chunk.len() {
-                self.sketch
-                    .prefetch_routed(routes[ahead], &buckets[ahead * num_tables..]);
-            }
-            let route = routes[i];
+            let level = scratch.level(i);
+            let fp = scratch.fp(i);
             for table in 0..num_tables {
-                let bucket = buckets[i * num_tables + table];
-                if let Some((before, after)) = self.sketch.screened_apply(
-                    route.level,
-                    table,
-                    bucket,
-                    update.key,
-                    update.delta,
-                    route.fp,
-                ) {
-                    self.handle_transition(route.level, before, after);
+                let bucket = scratch.bucket(table, i);
+                if let Some((before, after)) =
+                    self.sketch
+                        .screened_apply(level, table, bucket, update.key, update.delta, fp)
+                {
+                    self.handle_transition(level, before, after);
                 }
             }
             self.sketch.note_update(update.delta);
         }
-        self.sketch.telem.record_update_batch(timer, chunk.len());
     }
 
     /// Processes a stream of updates, chunking it through

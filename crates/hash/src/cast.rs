@@ -146,6 +146,37 @@ pub fn lemire_index(hash: u64, range: usize) -> usize {
     (wide >> 64) as usize
 }
 
+/// [`lemire_index`] specialized to ranges that fit in `u32` (every
+/// realistic table size), computed without a 128-bit multiply.
+///
+/// Exact half-word decomposition of `(hash · range) >> 64`: with
+/// `hash = hi·2³² + lo`,
+///
+/// ```text
+/// (hash · range) >> 64 = (hi·range + ((lo·range) >> 32)) >> 32
+/// ```
+///
+/// — the standard radix-2³² long-division identity, exact for every
+/// input (both partial products fit `u64`: each multiplies two values
+/// below 2³²). The payoff is vectorizability: 32×32→64 multiplies
+/// lower to `vpmuludq`, whereas the 64×64→high-64 multiply of the
+/// `u128` form has no vector instruction at all. Bit-identical to
+/// `lemire_index(hash, range)` for all inputs; a property test pins
+/// the equivalence.
+///
+/// # Panics
+///
+/// Panics if `range` is zero.
+#[inline]
+#[must_use]
+pub fn lemire_index_narrow(hash: u64, range: u32) -> usize {
+    assert!(range > 0, "hash range must be non-zero");
+    let r = u64::from(range);
+    let hi = hash >> 32;
+    let lo = hash & 0xffff_ffff;
+    usize_from_u64((hi * r + ((lo * r) >> 32)) >> 32)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,5 +225,35 @@ mod tests {
             }
         }
         assert_eq!(lemire_index(u64::MAX, 128), 127);
+    }
+
+    #[test]
+    fn lemire_index_narrow_matches_wide_form() {
+        // The half-word decomposition must be bit-identical to the
+        // u128 multiply for every (hash, range) — probe word
+        // boundaries, adversarial bit patterns, and a dense sweep.
+        let mut hashes: Vec<u64> = vec![
+            0,
+            1,
+            u64::MAX,
+            u64::MAX - 1,
+            1 << 32,
+            (1 << 32) - 1,
+            (1 << 32) + 1,
+            0x9e37_79b9_7f4a_7c15,
+            0xffff_ffff_0000_0000,
+            0x0000_0000_ffff_ffff,
+        ];
+        hashes.extend((0..4096u64).map(|k| k.wrapping_mul(0x2545_f491_4f6c_dd1d)));
+        let ranges = [1u32, 2, 3, 7, 64, 128, 2048, 65_537, u32::MAX - 1, u32::MAX];
+        for &h in &hashes {
+            for &r in &ranges {
+                assert_eq!(
+                    lemire_index_narrow(h, r),
+                    lemire_index(h, usize_from_u32(r)),
+                    "hash {h:#x} range {r}"
+                );
+            }
+        }
     }
 }

@@ -56,6 +56,26 @@ impl GeometricLevelHash {
         mixed.trailing_zeros().min(self.max_level - 1)
     }
 
+    /// Computes [`level`](Self::level) for every key, writing
+    /// `out[i] = self.level(keys[i])`.
+    ///
+    /// The batched form used by the sketch's chunked update path: the
+    /// seed and clamp are loop-invariant and the body is a fixed mix /
+    /// count-trailing-zeros / min sequence per key, a shape the
+    /// auto-vectorizer handles across consecutive keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    #[inline]
+    pub fn levels_fill(&self, keys: &[u64], out: &mut [u64]) {
+        assert_eq!(keys.len(), out.len(), "levels_fill length mismatch");
+        let cap = self.max_level - 1;
+        for (o, &k) in out.iter_mut().zip(keys) {
+            *o = u64::from(mix64(k, self.seed).trailing_zeros().min(cap));
+        }
+    }
+
     /// Returns the number of levels.
     pub fn max_level(&self) -> u32 {
         self.max_level
@@ -111,6 +131,17 @@ mod tests {
             let l = h.level(k);
             assert_eq!(l, h.level(k));
             assert!(l < 8);
+        }
+    }
+
+    #[test]
+    fn levels_fill_matches_scalar() {
+        let h = GeometricLevelHash::new(17, 16);
+        let keys: Vec<u64> = (0..511u64).map(|k| k.wrapping_mul(0x2545_f491)).collect();
+        let mut out = vec![0u64; keys.len()];
+        h.levels_fill(&keys, &mut out);
+        for (&k, &l) in keys.iter().zip(&out) {
+            assert_eq!(l, u64::from(h.level(k)));
         }
     }
 

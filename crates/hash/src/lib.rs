@@ -81,6 +81,40 @@ pub trait Hash64 {
     fn hash_to_range(&self, key: u64, range: usize) -> usize {
         cast::lemire_index(self.hash(key), range)
     }
+
+    /// Hashes every key into `[0, range)`, writing
+    /// `out[i] = self.hash_to_range(keys[i], range)` (widened to `u64`
+    /// so callers can stripe the results through a homogeneous scratch
+    /// slab).
+    ///
+    /// The batched form used by chunked sketch updates: a single tight
+    /// loop per hash family, so monomorphization hoists any enum
+    /// dispatch a caller would otherwise pay per key, and the
+    /// hash + Lemire-reduction body can unroll across keys.
+    ///
+    /// For ranges below `2³²` (every realistic table size) the Lemire
+    /// reduction runs as [`cast::lemire_index_narrow`] — an exact
+    /// half-word decomposition of the 128-bit product whose 32×32→64
+    /// multiplies the auto-vectorizer can lower to `vpmuludq`, unlike
+    /// the full 64×64→high-64 multiply, which has no vector form.
+    /// Identical output to [`hash_to_range`](Self::hash_to_range) for
+    /// every key, bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, or if `range` is zero.
+    fn hash_to_range_fill(&self, keys: &[u64], range: usize, out: &mut [u64]) {
+        assert_eq!(keys.len(), out.len(), "hash_to_range_fill length mismatch");
+        if let Ok(narrow) = u32::try_from(cast::u64_from_usize(range)) {
+            for (o, &k) in out.iter_mut().zip(keys) {
+                *o = cast::u64_from_usize(cast::lemire_index_narrow(self.hash(k), narrow));
+            }
+        } else {
+            for (o, &k) in out.iter_mut().zip(keys) {
+                *o = cast::u64_from_usize(cast::lemire_index(self.hash(k), range));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +135,22 @@ mod tests {
     fn hash_to_range_zero_panics() {
         let h = TabulationHash::new(1);
         let _ = h.hash_to_range(1, 0);
+    }
+
+    #[test]
+    fn hash_to_range_fill_matches_scalar_for_all_families() {
+        let keys: Vec<u64> = (0..300u64).map(|k| k.wrapping_mul(0xdead_beef)).collect();
+        let mut out = vec![0u64; keys.len()];
+        let ms = MultiplyShiftHash::new(4);
+        ms.hash_to_range_fill(&keys, 128, &mut out);
+        for (&k, &b) in keys.iter().zip(&out) {
+            assert_eq!(b, cast::u64_from_usize(ms.hash_to_range(k, 128)));
+        }
+        let tab = TabulationHash::new(4);
+        tab.hash_to_range_fill(&keys, 99, &mut out);
+        for (&k, &b) in keys.iter().zip(&out) {
+            assert_eq!(b, cast::u64_from_usize(tab.hash_to_range(k, 99)));
+        }
     }
 
     #[test]

@@ -53,6 +53,25 @@ pub fn fingerprint64(x: u64) -> u64 {
     stafford_mix13(x)
 }
 
+/// Applies [`fingerprint64`] to every element of `keys`, writing
+/// `out[i] = fingerprint64(keys[i])`.
+///
+/// The batched form the sketch's chunked update path uses: one tight
+/// loop over plain slices with no per-call dispatch, every iteration
+/// the same three multiply/xor-shift rounds, so LLVM can unroll and
+/// vectorize across consecutive keys.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn fingerprint64_fill(keys: &[u64], out: &mut [u64]) {
+    assert_eq!(keys.len(), out.len(), "fingerprint64_fill length mismatch");
+    for (o, &k) in out.iter_mut().zip(keys) {
+        *o = stafford_mix13(k);
+    }
+}
+
 /// Mixes `key` with `seed` into a uniformly distributed 64-bit value.
 ///
 /// Two applications of the finalizer with a golden-ratio seed offset give
@@ -145,6 +164,22 @@ mod tests {
         // Low output bit should be ~balanced over sequential keys.
         let ones: u32 = (0..10_000u64).map(|k| (mix64(k, 3) & 1) as u32).sum();
         assert!((4500..5500).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn fingerprint64_fill_matches_scalar() {
+        let keys: Vec<u64> = (0..257u64).map(|k| k.wrapping_mul(0x9e37)).collect();
+        let mut out = vec![0u64; keys.len()];
+        fingerprint64_fill(&keys, &mut out);
+        for (&k, &o) in keys.iter().zip(&out) {
+            assert_eq!(o, fingerprint64(k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fingerprint64_fill_rejects_mismatched_lengths() {
+        fingerprint64_fill(&[1, 2, 3], &mut [0; 2]);
     }
 
     #[test]

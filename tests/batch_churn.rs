@@ -117,3 +117,55 @@ proptest! {
         prop_assert_eq!(batched.net_updates(), sequential.net_updates());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Bit-identity of `update_batch` against the per-update loop at
+    /// every dispatch and chunking boundary: both sides of
+    /// `BATCH_MIN_ROUTED` (where the batch entry point switches between
+    /// the scalar loop and the routed plan) and of `BATCH_CHUNK` (where
+    /// the routed plan splits into a second chunk), plus the empty and
+    /// single-update batches, across `r ∈ {2, 3, 4}` and mixed
+    /// insert/delete streams. `to_state` compares the full serialized
+    /// sketch — every counter of every arena — so equality here is
+    /// bit-identity, not observable-level agreement.
+    #[test]
+    fn batch_boundary_sizes_bit_identical(
+        seed in 0u64..50,
+        r in 2usize..5,
+        raw in proptest::collection::vec(
+            (any::<u32>(), 0u32..16, any::<bool>()),
+            ddos_streams::core::BATCH_CHUNK + 1,
+        ),
+    ) {
+        use ddos_streams::core::{BATCH_CHUNK, BATCH_MIN_ROUTED};
+        let updates = well_formed(raw);
+        let sizes = [
+            0,
+            1,
+            BATCH_MIN_ROUTED - 1,
+            BATCH_MIN_ROUTED,
+            BATCH_MIN_ROUTED + 1,
+            BATCH_CHUNK - 1,
+            BATCH_CHUNK,
+            BATCH_CHUNK + 1,
+        ];
+        for n in sizes {
+            let slice = &updates[..n];
+            let cfg = SketchConfig::builder()
+                .num_tables(r)
+                .buckets_per_table(64)
+                .seed(seed)
+                .build()
+                .unwrap();
+            let mut batched = DistinctCountSketch::new(cfg.clone());
+            let mut sequential = DistinctCountSketch::new(cfg);
+            batched.update_batch(slice);
+            for u in slice {
+                sequential.update(*u);
+            }
+            prop_assert_eq!(batched.to_state(), sequential.to_state(), "batch size {}", n);
+        }
+    }
+}

@@ -193,3 +193,57 @@ fn fresh_snapshot_is_minimal_and_valid() {
     assert!(snap.levels.is_empty());
     validate_line(&snap.to_jsonl()).expect("minimal snapshot validates");
 }
+
+#[cfg(feature = "telemetry")]
+#[test]
+fn update_batch_records_each_update_once_and_each_batch_once() {
+    // Batch accounting must not double-count whichever plan
+    // `update_batch` auto-selects: exactly one amortized latency sample
+    // per update (never one from the batch timer *and* one from the
+    // per-update timer) and exactly one batch-size observation per
+    // call. Exercise both sides of the dispatch cutoff, plus the
+    // per-update path for contrast, on both sketch flavors.
+    use dcs_core::BATCH_MIN_ROUTED;
+
+    let small = BATCH_MIN_ROUTED - 1; // scalar-loop plan
+    let large = 3 * BATCH_MIN_ROUTED; // routed plan
+    let updates: Vec<_> = (0..large as u32)
+        .map(|s| dcs_core::FlowUpdate::insert(SourceAddr(s), DestAddr(s % 7)))
+        .collect();
+
+    let mut sketch = DistinctCountSketch::new(config(31));
+    sketch.update_batch(&updates[..small]);
+    sketch.update_batch(&updates);
+    let snap = sketch.telemetry_snapshot("batched");
+    let latency = snap.update_latency.expect("latency recorded");
+    assert_eq!(
+        latency.count,
+        (small + large) as u64,
+        "one amortized latency sample per update across both plans"
+    );
+    let batches = snap.batch_size.expect("batch sizes recorded");
+    assert_eq!(batches.count, 2, "one size observation per call");
+    assert_eq!(batches.max, large as u64);
+
+    // The per-update path records one (unamortized) sample per call and
+    // no batch-size observation.
+    let mut sketch = DistinctCountSketch::new(config(31));
+    for u in &updates {
+        sketch.update(*u);
+    }
+    let snap = sketch.telemetry_snapshot("per-update");
+    assert_eq!(snap.update_latency.expect("recorded").count, large as u64);
+    assert!(snap.batch_size.is_none(), "no batch was ever ingested");
+
+    // Same contract on the tracking flavor (its update_batch wraps the
+    // screened path).
+    let mut sketch = TrackingDcs::new(config(31));
+    sketch.update_batch(&updates[..small]);
+    sketch.update_batch(&updates);
+    let snap = sketch.telemetry_snapshot("tracking-batched");
+    assert_eq!(
+        snap.update_latency.expect("recorded").count,
+        (small + large) as u64
+    );
+    assert_eq!(snap.batch_size.expect("recorded").count, 2);
+}

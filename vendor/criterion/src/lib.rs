@@ -158,8 +158,17 @@ impl Bencher {
         self.samples.sort_unstable();
     }
 
-    /// Measures `routine` on fresh input from `setup`, excluding the
-    /// setup cost from the timing (or runs each once in `--test` mode).
+    /// Measures `routine` on fresh input from `setup`, excluding both
+    /// the setup cost and the drop of the routine's output from the
+    /// timing (or runs each once in `--test` mode).
+    ///
+    /// Matching upstream criterion, the routine's return value is
+    /// dropped *outside* the timed window — for bodies that build and
+    /// return a large structure (a populated sketch), its teardown is
+    /// allocator work, not routine work, and folding it into the
+    /// measurement couples the reported time to heap state and bench
+    /// ordering (see the dcs-bench README's measurement-protocol
+    /// notes).
     ///
     /// Unlike upstream criterion this stand-in always runs one setup
     /// per routine call and times the routine calls individually, so
@@ -184,8 +193,9 @@ impl Bencher {
         while warmup_spent < warmup {
             let input = setup();
             let start = Instant::now();
-            black_box(routine(input));
+            let output = black_box(routine(input));
             warmup_spent += start.elapsed();
+            drop(output);
             warmup_iters += 1;
         }
         let per_iter = warmup_spent.as_nanos().max(1) / u128::from(warmup_iters.max(1));
@@ -197,8 +207,9 @@ impl Bencher {
             for _ in 0..iters_per_sample {
                 let input = setup();
                 let start = Instant::now();
-                black_box(routine(input));
+                let output = black_box(routine(input));
                 elapsed += start.elapsed();
+                drop(output);
             }
             self.samples.push(elapsed / iters_per_sample as u32);
         }
@@ -321,17 +332,44 @@ static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 /// Writes every benchmark reported so far to the file named by the
 /// `CRITERION_JSON_OUT` environment variable, as a single JSON document
 /// `{"benchmarks": [{name, median_ns, min_ns, max_ns, elements,
-/// melem_per_s}, …]}`. A no-op when the variable is unset. Called by
+/// melem_per_s}, …]}`, and appends the same document as one line to the
+/// file named by `CRITERION_RUNS_LOG` (the multi-run JSONL sidecar that
+/// `bench_report` aggregates into median-of-medians — see the dcs-bench
+/// README). Each is a no-op when its variable is unset. Called by
 /// `criterion_main!` after all groups run; callable directly from
 /// custom harness mains.
 pub fn write_json_results() {
-    let Ok(path) = std::env::var("CRITERION_JSON_OUT") else {
+    let out_path = std::env::var("CRITERION_JSON_OUT").ok();
+    let log_path = std::env::var("CRITERION_RUNS_LOG").ok();
+    if out_path.is_none() && log_path.is_none() {
         return;
-    };
+    }
     let records = match RESULTS.lock() {
         Ok(guard) => guard.clone(),
         Err(poisoned) => poisoned.into_inner().clone(),
     };
+    let document = render_json(&records);
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, format!("{document}\n")) {
+            eprintln!("criterion: cannot write {path}: {e}");
+        }
+    }
+    if let Some(path) = log_path {
+        use std::io::Write;
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| writeln!(f, "{document}"));
+        if let Err(e) = appended {
+            eprintln!("criterion: cannot append to {path}: {e}");
+        }
+    }
+}
+
+/// Renders reported measurements as the export JSON document (one line,
+/// no trailing newline).
+fn render_json(records: &[BenchRecord]) -> String {
     let mut out = String::from("{\"benchmarks\":[");
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
@@ -363,10 +401,8 @@ pub fn write_json_results() {
             None => out.push_str(",\"elements\":null,\"melem_per_s\":null}"),
         }
     }
-    out.push_str("]}\n");
-    if let Err(e) = std::fs::write(&path, out) {
-        eprintln!("criterion: cannot write {path}: {e}");
-    }
+    out.push_str("]}");
+    out
 }
 
 /// Benchmark harness entry point.
@@ -571,5 +607,61 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("basic", 3).id, "basic/3");
         assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+
+    #[test]
+    fn render_json_escapes_and_orders_fields() {
+        let records = vec![
+            BenchRecord {
+                name: "group/a\"b".to_string(),
+                min_ns: 1,
+                median_ns: 2,
+                max_ns: 3,
+                elements: Some(100),
+            },
+            BenchRecord {
+                name: "group/plain".to_string(),
+                min_ns: 4,
+                median_ns: 5,
+                max_ns: 6,
+                elements: None,
+            },
+        ];
+        let doc = render_json(&records);
+        assert!(doc.starts_with("{\"benchmarks\":["));
+        assert!(doc.ends_with("]}"), "single line, no trailing newline");
+        assert!(doc.contains("group/a\\\"b"));
+        assert!(doc.contains("\"median_ns\":2"));
+        assert!(doc.contains("\"elements\":null,\"melem_per_s\":null"));
+        assert!(!doc.contains('\n'));
+    }
+
+    #[test]
+    fn iter_batched_drops_output_outside_timer() {
+        // The routine returns a value whose Drop burns measurable time;
+        // excluding it from the timing keeps each sample close to the
+        // routine's own (trivial) cost.
+        struct SlowDrop;
+        impl Drop for SlowDrop {
+            fn drop(&mut self) {
+                let start = Instant::now();
+                while start.elapsed() < Duration::from_micros(200) {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: false,
+            quick: true,
+            sample_size: 3,
+            samples: Vec::new(),
+        };
+        bencher.iter_batched(|| (), |()| SlowDrop, BatchSize::PerIteration);
+        assert_eq!(bencher.samples.len(), 3);
+        let median = bencher.samples[1];
+        assert!(
+            median < Duration::from_micros(100),
+            "drop time leaked into the sample: {median:?}"
+        );
     }
 }
