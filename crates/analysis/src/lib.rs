@@ -1,13 +1,20 @@
 //! # dcs-analysis — repo-native invariant linter
 //!
-//! Five invariants of the Distinct-Count Sketch workspace live in the
-//! *source text*, not the type system: counter linearity under
-//! overflow (L1), audited numeric narrowing (L2), panic-free library
-//! paths (L3), run-to-run determinism (L4), and per-module intent
-//! headers (L5). `cargo test` cannot see them — a non-wrapping `+=`
-//! passes every test until the day a counter overflows mid-merge. This
-//! crate enforces them at the token level, dependency-free, as a CI
-//! gate:
+//! Ten invariants of the Distinct-Count Sketch workspace live in the
+//! *source text*, not the type system. Five are token-level: counter
+//! linearity under overflow (L1), audited numeric narrowing (L2),
+//! panic-free library paths (L3), run-to-run determinism (L4), and
+//! per-module intent headers (L5). Five are *semantic*, riding on a
+//! lightweight item index and call graph built over the same stripped
+//! token streams: hot-path purity (L6 — nothing reachable from the
+//! sketch update roots may allocate, lock, sleep, or do I/O),
+//! atomic-ordering audit (L7), cfg-pair consistency (L8),
+//! error-variant test coverage (L9), and concurrency preflight (L10).
+//! `cargo test` cannot see any of them — a non-wrapping `+=` passes
+//! every test until the day a counter overflows mid-merge, and a `Vec`
+//! growing three calls below `update_batch` passes every test until
+//! the day it stalls a line-rate ingest core. This crate enforces them
+//! dependency-free, as a CI gate:
 //!
 //! ```text
 //! cargo run -p dcs-analysis -- lint
@@ -17,18 +24,20 @@
 //! on any unsuppressed violation. Known-acceptable violations are
 //! recorded (never hidden) in `analysis/allow.toml`, line-anchored so
 //! a stale entry fails the build as *unused* when the code moves. See
-//! DESIGN.md §9 for the mapping from each lint to the paper guarantee
-//! it protects.
+//! DESIGN.md §9 and §14 for the mapping from each lint to the paper
+//! guarantee it protects.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod allow;
+pub mod graph;
+pub mod items;
 pub mod lints;
 pub mod strip;
 
-pub use allow::{parse_allow, AllowEntry};
-pub use lints::{lint_source, Lint, Violation};
+pub use allow::{parse_allow, AllowEntry, MAX_ALLOW_ENTRIES};
+pub use lints::{lint_source, lint_workspace, Lint, SourceFile, Violation};
 
 use std::fs;
 use std::io;
@@ -80,7 +89,10 @@ pub fn apply_allow(found: Vec<Violation>, allows: &[AllowEntry]) -> LintOutcome 
     outcome
 }
 
-/// Recursively collects `.rs` files under `dir`, skipping test trees.
+/// Recursively collects `.rs` files under `dir`, skipping nested test
+/// trees, benches, fixtures, and build output. Test trees are walked
+/// separately by [`collect_files`] so their *top-level* dirs are
+/// covered while fixture subdirectories stay exempt.
 fn walk_src(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
     entries.sort_by_key(|e| e.file_name());
@@ -102,10 +114,12 @@ fn walk_src(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 }
 
 /// Collects every lintable source file in the workspace rooted at
-/// `root`: each `crates/*/src/` tree plus the root package's `src/`.
-/// Vendored stand-ins (`vendor/`) are not workspace members and are
-/// never visited. Paths come back repo-root-relative with forward
-/// slashes, sorted.
+/// `root`: each `crates/*/src/` and `crates/*/tests/` tree plus the
+/// root package's `src/` and `tests/`. Test trees feed the L5 header
+/// rule and the L9 match corpus; fixture subdirectories inside them
+/// stay exempt. Vendored stand-ins (`vendor/`) are not workspace
+/// members and are never visited. Paths come back repo-root-relative
+/// with forward slashes, sorted.
 pub fn collect_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
     let mut absolute = Vec::new();
     let crates_dir = root.join("crates");
@@ -113,15 +127,19 @@ pub fn collect_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
         let mut crate_dirs: Vec<_> = fs::read_dir(&crates_dir)?.collect::<Result<_, _>>()?;
         crate_dirs.sort_by_key(|e| e.file_name());
         for crate_dir in crate_dirs {
-            let src = crate_dir.path().join("src");
-            if src.is_dir() {
-                walk_src(&src, &mut absolute)?;
+            for sub in ["src", "tests"] {
+                let dir = crate_dir.path().join(sub);
+                if dir.is_dir() {
+                    walk_src(&dir, &mut absolute)?;
+                }
             }
         }
     }
-    let root_src = root.join("src");
-    if root_src.is_dir() {
-        walk_src(&root_src, &mut absolute)?;
+    for sub in ["src", "tests"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            walk_src(&dir, &mut absolute)?;
+        }
     }
     let mut files = Vec::new();
     for path in absolute {
@@ -136,19 +154,28 @@ pub fn collect_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
     Ok(files)
 }
 
-/// Lints the workspace rooted at `root` and applies `allows`.
+/// Lints the workspace rooted at `root` and applies `allows`: the
+/// per-file rules (L1–L5, L7, L8, L10) over each file, then the
+/// cross-file pass (L6 hot-path purity, L9 error-variant coverage)
+/// over the whole set at once.
 ///
 /// # Errors
 ///
 /// Returns any I/O error from walking or reading source files.
 pub fn lint_root(root: &Path, allows: &[AllowEntry]) -> io::Result<LintOutcome> {
-    let files = collect_files(root)?;
-    let mut found = Vec::new();
-    let files_checked = files.len();
-    for (rel, path) in files {
-        let source = fs::read_to_string(&path)?;
-        found.extend(lint_source(&rel, &source));
+    let mut sources = Vec::new();
+    for (rel, path) in collect_files(root)? {
+        sources.push(SourceFile {
+            path: rel,
+            source: fs::read_to_string(&path)?,
+        });
     }
+    let files_checked = sources.len();
+    let mut found = Vec::new();
+    for file in &sources {
+        found.extend(lint_source(&file.path, &file.source));
+    }
+    found.extend(lint_workspace(&sources));
     let mut outcome = apply_allow(found, allows);
     outcome.files_checked = files_checked;
     Ok(outcome)

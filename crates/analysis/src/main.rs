@@ -1,17 +1,29 @@
 //! CLI for the invariant linter: `cargo run -p dcs-analysis -- lint`.
 //!
 //! Exit codes: `0` clean, `1` unsuppressed violations or stale allow
-//! entries, `2` usage or I/O errors.
+//! entries, `2` usage or I/O errors. With `--format json` every
+//! diagnostic (including suppressed ones) is emitted as one JSON
+//! object per line on stdout — the CI artifact PRs are diffed against —
+//! and the human summary moves to stderr.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dcs_analysis::{lint_root, parse_allow, AllowEntry};
+use dcs_analysis::{lint_root, parse_allow, AllowEntry, Violation};
 
-const USAGE: &str = "usage: dcs-analysis lint [--root DIR] [--allow FILE]
+const USAGE: &str = "usage: dcs-analysis lint [--root DIR] [--allow FILE] [--format text|json]
 
-Lints the workspace at DIR (default: .) against invariants L1-L5,
-reading suppressions from FILE (default: DIR/analysis/allow.toml).";
+Lints the workspace at DIR (default: .) against invariants L1-L10,
+reading suppressions from FILE (default: DIR/analysis/allow.toml).
+`--format json` prints one diagnostic per line as JSON (keys: lint,
+path, line, message, suppressed) for machine diffing.";
+
+/// Output mode selected by `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,10 +36,40 @@ fn main() -> ExitCode {
     }
 }
 
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One diagnostic as a single JSON line.
+fn json_line(violation: &Violation, suppressed: bool) -> String {
+    format!(
+        "{{\"lint\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\",\"suppressed\":{}}}",
+        violation.lint,
+        json_escape(&violation.path),
+        violation.line,
+        json_escape(&violation.message),
+        suppressed
+    )
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut root = PathBuf::from(".");
     let mut allow_path: Option<PathBuf> = None;
     let mut command: Option<&str> = None;
+    let mut format = Format::Text;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -40,6 +82,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 allow_path = Some(PathBuf::from(
                     iter.next().ok_or("--allow requires a file argument")?,
                 ));
+            }
+            "--format" => {
+                format = match iter
+                    .next()
+                    .ok_or("--format requires `text` or `json`")?
+                    .as_str()
+                {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (use text or json)")),
+                };
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -66,26 +119,51 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let outcome =
         lint_root(&root, &allows).map_err(|e| format!("walking {}: {e}", root.display()))?;
 
-    for violation in &outcome.violations {
-        println!("{violation}");
+    match format {
+        Format::Text => {
+            for violation in &outcome.violations {
+                println!("{violation}");
+            }
+            for entry in &outcome.unused_allows {
+                println!(
+                    "{}: unused suppression: {} {}:{} no longer fires ({})",
+                    allow_file.display(),
+                    entry.lint,
+                    entry.path,
+                    entry.line,
+                    entry.reason
+                );
+            }
+        }
+        Format::Json => {
+            for violation in &outcome.violations {
+                println!("{}", json_line(violation, false));
+            }
+            for violation in &outcome.suppressed {
+                println!("{}", json_line(violation, true));
+            }
+            for entry in &outcome.unused_allows {
+                let stale = Violation {
+                    lint: entry.lint,
+                    path: entry.path.clone(),
+                    line: entry.line,
+                    message: format!("unused suppression: {}", entry.reason),
+                };
+                println!("{}", json_line(&stale, false));
+            }
+        }
     }
-    for entry in &outcome.unused_allows {
-        println!(
-            "{}: unused suppression: {} {}:{} no longer fires ({})",
-            allow_file.display(),
-            entry.lint,
-            entry.path,
-            entry.line,
-            entry.reason
-        );
-    }
-    println!(
+    let summary = format!(
         "dcs-analysis: {} files checked, {} violations ({} suppressed), {} stale allow entries",
         outcome.files_checked,
         outcome.violations.len(),
         outcome.suppressed.len(),
         outcome.unused_allows.len()
     );
+    match format {
+        Format::Text => println!("{summary}"),
+        Format::Json => eprintln!("{summary}"),
+    }
     if outcome.is_clean() {
         Ok(ExitCode::SUCCESS)
     } else {

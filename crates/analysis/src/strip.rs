@@ -294,4 +294,76 @@ mod tests {
         assert!(lines[1].is_doc);
         assert!(!lines[2].is_doc);
     }
+
+    #[test]
+    fn multiline_raw_strings_keep_line_numbers_aligned() {
+        // A violation *after* the raw string must land on its true line.
+        let source = "let s = r#\"line one\nline two } as u32\nline three\"#;\nx.unwrap();\n";
+        let out = codes(source);
+        assert_eq!(out.len(), 4, "one output line per input line");
+        assert!(!out[1].contains("as u32"), "{}", out[1]);
+        // The stray brace inside the raw string must not disturb code.
+        assert!(!out[1].contains('}'), "{}", out[1]);
+        assert_eq!(out[3], "x.unwrap();");
+    }
+
+    #[test]
+    fn raw_string_with_more_hashes_than_opener_does_not_close_early() {
+        let source = "let s = r##\"inner \"# quote\"##;\nafter();\n";
+        let out = codes(source);
+        assert_eq!(out.len(), 2);
+        assert!(!out[0].contains("inner"), "{}", out[0]);
+        assert!(!out[0].contains("quote"), "{}", out[0]);
+        assert_eq!(out[1], "after();");
+    }
+
+    #[test]
+    fn multiline_nested_block_comments_keep_line_numbers_aligned() {
+        let source = "a();\n/* outer\n/* inner as u64 */\nstill outer .unwrap() */\nb();\n";
+        let out = codes(source);
+        assert_eq!(out.len(), 5, "one output line per input line");
+        assert_eq!(out[0], "a();");
+        assert!(!out[2].contains("as u64"), "{}", out[2]);
+        assert!(!out[3].contains("unwrap"), "{}", out[3]);
+        assert_eq!(out[4], "b();");
+    }
+
+    #[test]
+    fn char_literals_with_quote_and_brace_chars() {
+        // `'"'`, `'{'`, `'}'`, and an escaped quote `'\''` must not open
+        // a string or unbalance the brace tracking that `in_test` and
+        // the item index rely on.
+        let source = "fn f() -> char {\n    let q = '\"';\n    let o = '{';\n    let c = '}';\n    let e = '\\'';\n    q\n}\nfn g() { after(); }\n";
+        let lines = strip(source);
+        assert_eq!(lines.len(), 8, "one output line per input line");
+        // None of the literal contents survive...
+        assert!(!lines[1].code.contains('"'), "{}", lines[1].code);
+        assert!(!lines[2].code.contains('{'), "{}", lines[2].code);
+        assert!(!lines[3].code.contains('}'), "{}", lines[3].code);
+        // ...and the code after stays code (brace depth balanced, so a
+        // later cfg(test) region would still be tracked correctly).
+        assert!(lines[7].code.contains("after();"), "{}", lines[7].code);
+        assert!(!lines[7].in_test);
+    }
+
+    #[test]
+    fn line_comment_markers_inside_strings_are_literal_text() {
+        // The `//` inside the string must not start a comment and eat
+        // the rest of the line; the `.unwrap()` after it is real code.
+        let source = "let url = \"https://example.com\"; x.unwrap();\nnext();\n";
+        let out = codes(source);
+        assert_eq!(out.len(), 2);
+        assert!(!out[0].contains("example"), "{}", out[0]);
+        assert!(out[0].contains(".unwrap()"), "{}", out[0]);
+        assert_eq!(out[1], "next();");
+    }
+
+    #[test]
+    fn string_escapes_do_not_desync_the_scanner() {
+        // An escaped backslash right before the closing quote is the
+        // classic desync case: `"a\\"` ends the string at the last quote.
+        let source = "let s = \"a\\\\\"; real_code();\n";
+        let out = codes(source);
+        assert!(out[0].contains("real_code();"), "{}", out[0]);
+    }
 }

@@ -1,0 +1,15 @@
+//! Fixture: concurrency preflight (L10).
+
+pub static mut GLOBAL_HITS: u64 = 0;
+
+pub fn spin_wait() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn make_lock() -> std::sync::Mutex<u64> {
+    std::sync::Mutex::new(0)
+}
+
+pub fn make_channel() {
+    let (_tx, _rx) = std::sync::mpsc::channel::<u64>();
+}

@@ -1,0 +1,42 @@
+//! Fixture: hot-path purity (L6), exercised through `lint_workspace`.
+
+impl DistinctCountSketch {
+    pub fn update(&mut self, x: u64) {
+        self.apply(x);
+    }
+
+    pub fn update_batch(&mut self, xs: &[u64]) {
+        let scratch = ScratchBuffer::new();
+        for &x in xs {
+            self.apply(x);
+        }
+        scratch.discard();
+    }
+
+    pub fn estimate_top_k(&self, k: usize) -> Vec<u64> {
+        self.snapshot(k)
+    }
+
+    fn apply(&mut self, x: u64) {
+        self.scratch.push(x);
+    }
+
+    fn snapshot(&self, k: usize) -> Vec<u64> {
+        let guard = self.inner.lock();
+        let mut out = Vec::with_capacity(k);
+        out.extend_from_slice(&guard[..k]);
+        out
+    }
+
+    fn cold_rebuild(&mut self) {
+        self.table = Vec::new();
+    }
+}
+
+impl ScratchBuffer {
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    pub fn discard(self) {}
+}

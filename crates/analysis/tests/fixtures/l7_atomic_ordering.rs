@@ -1,0 +1,24 @@
+//! Fixture: atomic-ordering audit (L7).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counters {
+    hits: AtomicU64,
+}
+
+impl Counters {
+    pub fn bump(&self) {
+        self.hits.fetch_add(1);
+    }
+
+    pub fn snapshot(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.hits.store(
+            0,
+            Ordering::Release,
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: cfg-pair consistency (L8).
+
+#[cfg(feature = "telemetry")]
+pub fn record_depth(value: u64) {
+    let _ = value;
+}
+
+#[cfg(not(feature = "telemetry"))]
+pub fn record_depth(_value: u64) {}
+
+#[cfg(feature = "telemetry")]
+pub struct Snapshot {
+    depth: u64,
+}
+
+#[cfg(feature = "telemetry")]
+pub fn orphan_hook() {}
+
+#[cfg(feature = "serde")]
+pub fn serde_only() {}

@@ -1,0 +1,24 @@
+//! Fixture: error-variant coverage (L9), exercised through
+//! `lint_workspace`.
+
+pub enum SketchError {
+    InvalidConfig { reason: String },
+    SnapshotAhead,
+}
+
+pub enum PersistError {
+    Truncated { at: usize },
+}
+
+pub fn validate(flag: bool) -> Result<(), SketchError> {
+    if flag {
+        return Err(SketchError::SnapshotAhead);
+    }
+    Err(SketchError::InvalidConfig {
+        reason: "bad".to_string(),
+    })
+}
+
+pub fn read_frame() -> Result<(), PersistError> {
+    Err(PersistError::Truncated { at: 0 })
+}

@@ -17,7 +17,8 @@ use proptest::prelude::*;
 
 use ddos_streams::persist::{decode, encode, section_offsets, Checkpoint, PersistError};
 use ddos_streams::{
-    Delta, DestAddr, DistinctCountSketch, FlowUpdate, SketchConfig, SourceAddr, TrackingDcs,
+    Delta, DestAddr, DistinctCountSketch, FlowUpdate, SketchConfig, SketchError, SourceAddr,
+    TrackingDcs,
 };
 
 fn config(seed: u64) -> SketchConfig {
@@ -147,7 +148,10 @@ fn failed_decode_leaves_no_partially_applied_state() {
     if state.sketch.levels.len() >= 2 {
         state.sketch.levels[1].level = state.sketch.levels[0].level;
     }
-    assert!(TrackingDcs::from_state(state).is_err());
+    assert!(matches!(
+        TrackingDcs::from_state(state),
+        Err(SketchError::InvalidState { .. })
+    ));
 }
 
 #[test]
