@@ -169,11 +169,12 @@ const PAIRED_FEATURES: &[&str] = &["telemetry"];
 const ERROR_ENUMS: &[&str] = &["SketchError", "PersistError"];
 
 /// The only modules allowed to construct locks or channels (L10): the
-/// netsim fan-out layer that exists to demonstrate deployment shape.
-/// Everything upstream of it — especially `dcs-core` — must stay
-/// shared-state-free ahead of the lock-free ingest refactor
-/// (ROADMAP item 1).
+/// netsim fan-out layer that exists to demonstrate deployment shape,
+/// plus the lock-free ingest engine (whose only lock is the epoch
+/// pointer behind the published snapshots). Everything upstream of it
+/// — especially `dcs-core` — must stay shared-state-free.
 const CONCURRENCY_MODULES: &[&str] = &[
+    "crates/netsim/src/ingest.rs",
     "crates/netsim/src/sharded.rs",
     "crates/netsim/src/pipeline.rs",
 ];
@@ -531,7 +532,8 @@ fn concurrency_preflight(path: &str, stripped: &[strip::Line]) -> Vec<Violation>
                     line: lineno,
                     message: format!(
                         "`{ctor}` outside the allowlisted concurrency modules \
-                         (netsim::sharded, netsim::pipeline); core stays shared-state-free"
+                         (netsim::ingest, netsim::sharded, netsim::pipeline); \
+                         core stays shared-state-free"
                     ),
                 });
             }

@@ -1,10 +1,17 @@
 //! Throughput scaling of sharded parallel ingestion: identical answers,
 //! more cores.
+//!
+//! Steady-state protocol (same rationale as `update_throughput`): each
+//! shard count gets one long-lived [`ShardedIngest`] whose workers and
+//! rings persist across iterations, so samples time dispatch + parallel
+//! ingest + flush + merge — not thread spawning, ring allocation, or
+//! lazy level-arena growth. Every iteration ends with `merged()`, which
+//! drains all rings, so no work leaks across samples.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use dcs_core::SketchConfig;
-use dcs_netsim::sharded::ingest_sharded;
+use dcs_netsim::sharded::ShardedIngest;
 use dcs_streamgen::{PaperWorkload, WorkloadConfig};
 
 fn bench_sharded(c: &mut Criterion) {
@@ -17,15 +24,19 @@ fn bench_sharded(c: &mut Criterion) {
     .into_updates();
     let config = SketchConfig::builder().seed(17).build().expect("valid");
 
-    let mut group = c.benchmark_group("sharded_ingest");
+    let mut group = c.benchmark_group("sharded_scaling");
     group.throughput(Throughput::Elements(updates.len() as u64));
     group.sample_size(10);
     for shards in [1usize, 2, 4, 8] {
+        let mut engine = ShardedIngest::new(config.clone(), shards);
         group.bench_with_input(
             BenchmarkId::from_parameter(shards),
             &shards,
-            |b, &shards| {
-                b.iter(|| ingest_sharded(&updates, config.clone(), shards).expect("compatible"))
+            |b, _shards| {
+                b.iter(|| {
+                    engine.ingest(&updates);
+                    engine.merged().expect("shards share one config")
+                })
             },
         );
     }

@@ -1,0 +1,97 @@
+//! CI guard for sharded-ingest scaling: on a host with at least 4
+//! cores, a 4-shard [`ShardedIngest`] must ingest the benchmark stream
+//! at least `REQUIRED_SPEEDUP`× faster than single-threaded
+//! `update_batch` over the same updates. On smaller hosts the guard
+//! *skips* (exit 0, with an explicit message): the speedup is
+//! physically unattainable there, and a silent pass would be a lie.
+//!
+//! Measurement follows the `throughput_guard` protocol: both plans use
+//! long-lived state (steady state — no per-rep thread spawning or
+//! arena growth), alternate rep by rep so they see the same allocator
+//! and frequency conditions, and the gate compares the **minimum** rep
+//! time per plan — the best estimate of uncontended cost on a noisy
+//! shared host.
+//!
+//! ```text
+//! cargo run --release -p dcs-bench --bin scaling_guard
+//! ```
+
+use std::time::Instant;
+
+use dcs_core::{DistinctCountSketch, FlowUpdate, SketchConfig};
+use dcs_netsim::sharded::ShardedIngest;
+use dcs_streamgen::{PaperWorkload, WorkloadConfig};
+
+/// The 4-shard engine must beat single-threaded ingest by this factor.
+const REQUIRED_SPEEDUP: f64 = 1.5;
+
+/// Alternating measurement repetitions per plan.
+const REPS: usize = 15;
+
+/// Shard count under test; also the minimum core count to run at all.
+const SHARDS: usize = 4;
+
+fn workload() -> Vec<FlowUpdate> {
+    PaperWorkload::generate(WorkloadConfig {
+        distinct_pairs: 200_000,
+        num_destinations: 1_000,
+        skew: 1.0,
+        seed: 17,
+    })
+    .into_updates()
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    if cores < SHARDS {
+        println!(
+            "scaling_guard: SKIP — {cores} core(s) available, need ≥{SHARDS} \
+             for a {REQUIRED_SPEEDUP}x scaling gate to be attainable"
+        );
+        return;
+    }
+    let updates = workload();
+    let config = SketchConfig::builder()
+        .seed(17)
+        .build()
+        .expect("valid benchmark config");
+    println!(
+        "scaling_guard: {REPS} alternating reps, {} updates, {SHARDS} shards \
+         on {cores} cores, gate {REQUIRED_SPEEDUP}x",
+        updates.len()
+    );
+
+    // Steady state: one long-lived sketch and one long-lived engine, so
+    // reps time the ingest paths, not construction.
+    let mut direct = DistinctCountSketch::new(config.clone());
+    let mut engine = ShardedIngest::new(config, SHARDS);
+    let mut best_direct = f64::MAX;
+    let mut best_sharded = f64::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        direct.update_batch(&updates);
+        best_direct = best_direct.min(start.elapsed().as_secs_f64());
+        std::hint::black_box(&direct);
+
+        let start = Instant::now();
+        engine.ingest(&updates);
+        let merged = engine.merged().expect("shards share one config");
+        best_sharded = best_sharded.min(start.elapsed().as_secs_f64());
+        std::hint::black_box(merged);
+    }
+
+    let speedup = best_direct / best_sharded;
+    println!(
+        "  direct best {:.3} ms | {SHARDS}-shard best {:.3} ms | speedup {speedup:.2}x",
+        best_direct * 1e3,
+        best_sharded * 1e3
+    );
+    if speedup < REQUIRED_SPEEDUP {
+        eprintln!(
+            "scaling_guard: FAIL — {SHARDS}-shard speedup {speedup:.2}x \
+             is below the {REQUIRED_SPEEDUP}x gate"
+        );
+        std::process::exit(1);
+    }
+    println!("scaling_guard: PASS");
+}

@@ -764,6 +764,36 @@ impl DistinctCountSketch {
         Ok(())
     }
 
+    /// Merges an ordered sequence of shard sketches into one, starting
+    /// from a clone of the first — the read-side linear merge used by
+    /// sharded ingest to materialize a consistent snapshot from
+    /// per-worker partials. Merge order is the iteration order, so
+    /// callers that iterate shards by index get a deterministic
+    /// (bit-identical across calls) result.
+    ///
+    /// Returns an empty sketch built from `config` when the iterator is
+    /// empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::IncompatibleMerge`] if any two parts
+    /// disagree on configuration (shards created from one config never
+    /// do).
+    pub fn merge_many<'a, I>(config: &SketchConfig, parts: I) -> Result<Self, SketchError>
+    where
+        I: IntoIterator<Item = &'a Self>,
+    {
+        let mut iter = parts.into_iter();
+        let Some(first) = iter.next() else {
+            return Ok(Self::new(config.clone()));
+        };
+        let mut merged = first.clone();
+        for part in iter {
+            merged.merge_from(part)?;
+        }
+        Ok(merged)
+    }
+
     /// Subtracts an earlier snapshot of the same sketch, yielding a
     /// sketch of exactly the updates that arrived *after* the snapshot.
     ///

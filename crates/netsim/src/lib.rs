@@ -24,6 +24,10 @@
 //!   central monitor.
 //! * [`pipeline`] — a multi-threaded router → monitor pipeline over
 //!   crossbeam channels, demonstrating deployment shape.
+//! * [`ingest`] / [`sharded`] — persistent per-core ingest workers
+//!   behind lock-free SPSC rings, with deterministic absolute-position
+//!   routing, non-blocking read-side snapshots, and resumable
+//!   checkpoints.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +36,7 @@ pub mod conn;
 pub mod epoch;
 pub mod hierarchy;
 pub mod impair;
+pub mod ingest;
 pub mod monitor;
 pub mod netflow;
 pub mod packet;
@@ -47,6 +52,7 @@ pub use conn::{ConnectionState, HandshakeTracker};
 pub use epoch::EpochManager;
 pub use hierarchy::HierarchicalTracker;
 pub use impair::Impairment;
+pub use ingest::{ShardReader, ShardedSnapshot};
 pub use monitor::{Alarm, AlarmEvent, AlarmPolicy, DdosMonitor};
 pub use netflow::{FlowAggregator, FlowRecord, RecordConverter};
 pub use packet::{TcpFlags, TcpSegment};

@@ -179,10 +179,26 @@ impl DdosMonitor {
     /// observation, so a sudden surge is compared against the calm
     /// profile that preceded it.
     pub fn evaluate(&mut self) -> Vec<Alarm> {
-        self.evaluations += 1;
         let top = self
             .sketch
             .track_top_k(self.policy.watch_top_k, self.policy.epsilon);
+        self.judge_top(&top)
+    }
+
+    /// Evaluates the alarm rules against an *external* sketch snapshot
+    /// — e.g. the merged view of a sharded ingest engine — instead of
+    /// the monitor's own sketch. Baselines, hysteresis state, and the
+    /// evaluation counter advance exactly as [`Self::evaluate`] would.
+    pub fn evaluate_snapshot(&mut self, sketch: &TrackingDcs) -> Vec<Alarm> {
+        let top = sketch.track_top_k(self.policy.watch_top_k, self.policy.epsilon);
+        self.judge_top(&top)
+    }
+
+    /// Judges a top-k view against the alarm rules, updating baselines
+    /// (after judgment, so a surge is compared against the calm profile
+    /// that preceded it) and the evaluation counter.
+    fn judge_top(&mut self, top: &TopKEstimate) -> Vec<Alarm> {
+        self.evaluations += 1;
         let mut alarms = Vec::new();
         for entry in &top.entries {
             let baseline = self.baselines.get(&entry.group).copied().unwrap_or(0.0);
@@ -268,6 +284,14 @@ impl DdosMonitor {
     /// The monitor's sketch (read-only).
     pub fn sketch(&self) -> &TrackingDcs {
         &self.sketch
+    }
+
+    /// Replaces the monitor's sketch with an externally-built one —
+    /// how a sharded pipeline hands the final merged sketch to the
+    /// monitor so the returned report is inspectable the usual way.
+    /// Baselines, hysteresis, and the evaluation counter are kept.
+    pub fn adopt_sketch(&mut self, sketch: TrackingDcs) {
+        self.sketch = sketch;
     }
 
     /// The alarm policy.

@@ -18,11 +18,12 @@ use parking_lot::Mutex;
 
 use dcs_core::{FlowUpdate, SketchConfig, TrackingDcs};
 use dcs_persist::{Checkpoint, CheckpointManager};
-use dcs_telemetry::{JsonlExporter, LogHistogram};
+use dcs_telemetry::{JsonlExporter, LogHistogram, TelemetrySnapshot};
 
 use crate::monitor::{Alarm, AlarmPolicy, DdosMonitor};
 use crate::packet::TcpSegment;
 use crate::router::EdgeRouter;
+use crate::sharded::ShardedIngest;
 
 /// Where and how often the monitor thread exports telemetry snapshots.
 #[derive(Debug, Clone)]
@@ -75,6 +76,12 @@ pub struct PipelineConfig {
     pub telemetry: Option<TelemetrySidecar>,
     /// Optional crash-recovery checkpoint written by the monitor thread.
     pub checkpoint: Option<CheckpointSidecar>,
+    /// `Some(n)`: the monitor thread feeds a [`ShardedIngest`] engine
+    /// with `n` persistent workers instead of sketching inline, judging
+    /// alarms against merged snapshots at evaluation boundaries.
+    /// Checkpoints are then sharded documents capturing ring-drained
+    /// positions. `None` (default): single-threaded monitor sketch.
+    pub ingest_shards: Option<usize>,
 }
 
 impl Default for PipelineConfig {
@@ -87,6 +94,7 @@ impl Default for PipelineConfig {
             half_open_timeout: None,
             telemetry: None,
             checkpoint: None,
+            ingest_shards: None,
         }
     }
 }
@@ -129,18 +137,16 @@ struct CheckpointStats {
     latency: LogHistogram,
 }
 
-/// Appends one monitor snapshot (extended with checkpoint counters when
-/// checkpointing is active), disabling the exporter on I/O failure so a
-/// full disk degrades to a warning rather than a panic or a flood of
-/// repeated errors.
-fn append_snapshot(
+/// Appends one prepared snapshot (extended with checkpoint counters
+/// when checkpointing is active), disabling the exporter on I/O failure
+/// so a full disk degrades to a warning rather than a panic or a flood
+/// of repeated errors.
+fn export_snapshot(
     exporter: &mut Option<JsonlExporter>,
-    monitor: &DdosMonitor,
-    label: &str,
+    mut snap: TelemetrySnapshot,
     ckpt: Option<&CheckpointStats>,
 ) {
     if let Some(exp) = exporter {
-        let mut snap = monitor.telemetry_snapshot(label);
         if let Some(stats) = ckpt {
             snap.set_counter("checkpoints_written", stats.written);
             snap.set_counter("checkpoint_bytes_last", stats.bytes_last);
@@ -214,18 +220,70 @@ fn restore_monitor(
     }
 }
 
-/// Writes one checkpoint of the monitor's sketch, timing the save and
-/// disabling checkpointing on failure (same degradation contract as the
+/// Tries to resume a sharded ingest engine from an existing checkpoint
+/// file, with the same degradation contract as [`restore_monitor`]: any
+/// problem short of a missing file warns on stderr and starts fresh.
+/// A valid sharded document resumes with *its own* shard count (routing
+/// is part of the persisted stream position), which may differ from the
+/// configured `shards`.
+fn restore_sharded(
+    manager: &CheckpointManager,
+    config: &SketchConfig,
+    shards: usize,
+) -> (ShardedIngest, bool) {
+    let fresh = || ShardedIngest::new(config.clone(), shards);
+    match manager.try_load() {
+        Ok(None) => (fresh(), false),
+        Ok(Some(Checkpoint::Sharded(doc))) => {
+            if doc.shards.first().map(|s| &s.config) != Some(config) {
+                eprintln!(
+                    "checkpoint {}: sketch configuration differs from the \
+                     pipeline's; starting fresh",
+                    manager.path().display()
+                );
+                return (fresh(), false);
+            }
+            match ShardedIngest::from_checkpoint(doc) {
+                Ok(engine) => (engine, true),
+                Err(e) => {
+                    eprintln!(
+                        "checkpoint {}: restored state rejected ({e}); starting fresh",
+                        manager.path().display()
+                    );
+                    (fresh(), false)
+                }
+            }
+        }
+        Ok(Some(other)) => {
+            eprintln!(
+                "checkpoint {}: holds a {} document, not a sharded ingest; \
+                 starting fresh",
+                manager.path().display(),
+                other.kind_name()
+            );
+            (fresh(), false)
+        }
+        Err(e) => {
+            eprintln!(
+                "checkpoint {}: unreadable ({e}); starting fresh",
+                manager.path().display()
+            );
+            (fresh(), false)
+        }
+    }
+}
+
+/// Writes one checkpoint document, timing the save and disabling
+/// checkpointing on failure (same degradation contract as the
 /// telemetry exporter: warn once, carry on).
 fn write_checkpoint(
     manager: &mut Option<CheckpointManager>,
-    monitor: &DdosMonitor,
+    checkpoint: &Checkpoint,
     stats: &mut CheckpointStats,
 ) {
     if let Some(mgr) = manager {
-        let checkpoint = Checkpoint::Tracking(monitor.sketch().to_state());
         let started = Instant::now();
-        match mgr.save(&checkpoint) {
+        match mgr.save(checkpoint) {
             Ok(bytes) => {
                 let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 stats.latency.record(nanos);
@@ -240,6 +298,54 @@ fn write_checkpoint(
                 *manager = None;
             }
         }
+    }
+}
+
+/// One alarm evaluation at an ingest boundary: direct mode judges the
+/// monitor's own sketch; sharded mode flushes the engine and judges the
+/// merged snapshot (a merge failure — unreachable with one shared
+/// configuration — degrades to a warning, never a lost pipeline).
+fn evaluate_boundary(
+    engine: &mut Option<ShardedIngest>,
+    monitor: &mut DdosMonitor,
+    alarms: &mut Vec<Alarm>,
+) {
+    match engine {
+        Some(eng) => match eng.merged() {
+            Ok(view) => alarms.extend(monitor.evaluate_snapshot(&view)),
+            Err(e) => eprintln!("sharded merge failed during evaluation: {e}"),
+        },
+        None => alarms.extend(monitor.evaluate()),
+    }
+}
+
+/// The telemetry snapshot exported at a boundary: the monitor's own in
+/// direct mode; the engine's (queue depth, merge latency, cursors —
+/// non-blocking, from published partials) plus the monitor's evaluation
+/// counter in sharded mode.
+fn boundary_snapshot(
+    engine: &Option<ShardedIngest>,
+    monitor: &DdosMonitor,
+    label: &str,
+) -> TelemetrySnapshot {
+    match engine {
+        Some(eng) => {
+            let mut snap = eng.telemetry_snapshot(label);
+            snap.set_counter("monitor_evaluations", monitor.evaluations());
+            snap
+        }
+        None => monitor.telemetry_snapshot(label),
+    }
+}
+
+/// The checkpoint document saved at a boundary: the monitor's tracking
+/// sketch in direct mode; in sharded mode the engine's flushed
+/// ring-drained shard states (never in-flight items), so a restore
+/// resumes routing from exactly the persisted cursor.
+fn boundary_checkpoint(engine: &mut Option<ShardedIngest>, monitor: &DdosMonitor) -> Checkpoint {
+    match engine {
+        Some(eng) => Checkpoint::Sharded(eng.checkpoint()),
+        None => Checkpoint::Tracking(monitor.sketch().to_state()),
     }
 }
 
@@ -301,13 +407,33 @@ pub fn run_pipeline(router_feeds: Vec<Vec<TcpSegment>>, config: PipelineConfig) 
         let evaluate_every = config.evaluate_every.max(1);
         let sidecar = config.telemetry.clone();
         let ckpt_sidecar = config.checkpoint.clone();
+        let ingest_shards = config.ingest_shards;
         thread::spawn(move || {
             let mut ckpt_manager = ckpt_sidecar
                 .as_ref()
                 .map(|c| CheckpointManager::new(&c.path));
-            let (mut monitor, restored) = match &ckpt_manager {
-                Some(manager) => restore_monitor(manager, &sketch, policy),
-                None => (DdosMonitor::new(sketch.clone(), policy), false),
+            // Sharded mode: a persistent worker engine does the
+            // sketching and the monitor keeps baseline/alarm state,
+            // judging merged snapshots at evaluation boundaries.
+            let (mut engine, mut monitor, restored) = match ingest_shards {
+                Some(shards) => {
+                    let (engine, restored) = match &ckpt_manager {
+                        Some(manager) => restore_sharded(manager, &sketch, shards.max(1)),
+                        None => (ShardedIngest::new(sketch.clone(), shards.max(1)), false),
+                    };
+                    (
+                        Some(engine),
+                        DdosMonitor::new(sketch.clone(), policy),
+                        restored,
+                    )
+                }
+                None => {
+                    let (monitor, restored) = match &ckpt_manager {
+                        Some(manager) => restore_monitor(manager, &sketch, policy),
+                        None => (DdosMonitor::new(sketch.clone(), policy), false),
+                    };
+                    (None, monitor, restored)
+                }
             };
             let mut ckpt_stats = CheckpointStats::default();
             // A failed sidecar must not kill the detection run: report
@@ -339,37 +465,58 @@ pub fn run_pipeline(router_feeds: Vec<Vec<TcpSegment>>, config: PipelineConfig) 
                     let take = usize::try_from(until_boundary)
                         .unwrap_or(remaining)
                         .min(remaining);
-                    monitor.ingest_batch(&batch[offset..offset + take]);
+                    match &mut engine {
+                        Some(eng) => eng.ingest(&batch[offset..offset + take]),
+                        None => monitor.ingest_batch(&batch[offset..offset + take]),
+                    }
                     offset += take;
                     ingested += take as u64;
                     if ingested >= next_eval {
-                        alarms.extend(monitor.evaluate());
+                        evaluate_boundary(&mut engine, &mut monitor, &mut alarms);
                         next_eval += evaluate_every;
                     }
                     if ingested >= next_snapshot {
-                        append_snapshot(
-                            &mut exporter,
-                            &monitor,
-                            "pipeline",
-                            ckpt_manager.as_ref().map(|_| &ckpt_stats),
-                        );
+                        if exporter.is_some() {
+                            let snap = boundary_snapshot(&engine, &monitor, "pipeline");
+                            export_snapshot(
+                                &mut exporter,
+                                snap,
+                                ckpt_manager.as_ref().map(|_| &ckpt_stats),
+                            );
+                        }
                         next_snapshot += snapshot_every;
                     }
                     if ingested >= next_checkpoint {
-                        write_checkpoint(&mut ckpt_manager, &monitor, &mut ckpt_stats);
+                        if ckpt_manager.is_some() {
+                            let doc = boundary_checkpoint(&mut engine, &monitor);
+                            write_checkpoint(&mut ckpt_manager, &doc, &mut ckpt_stats);
+                        }
                         next_checkpoint += checkpoint_every;
                     }
                 }
             }
-            alarms.extend(monitor.evaluate());
+            evaluate_boundary(&mut engine, &mut monitor, &mut alarms);
             // One final checkpoint so a clean shutdown is resumable too.
-            write_checkpoint(&mut ckpt_manager, &monitor, &mut ckpt_stats);
-            append_snapshot(
-                &mut exporter,
-                &monitor,
-                "pipeline_final",
-                ckpt_manager.as_ref().map(|_| &ckpt_stats),
-            );
+            if ckpt_manager.is_some() {
+                let doc = boundary_checkpoint(&mut engine, &monitor);
+                write_checkpoint(&mut ckpt_manager, &doc, &mut ckpt_stats);
+            }
+            if exporter.is_some() {
+                let snap = boundary_snapshot(&engine, &monitor, "pipeline_final");
+                export_snapshot(
+                    &mut exporter,
+                    snap,
+                    ckpt_manager.as_ref().map(|_| &ckpt_stats),
+                );
+            }
+            // Hand the final merged sketch to the monitor so the
+            // returned report is inspectable the usual way.
+            if let Some(eng) = &mut engine {
+                match eng.merged() {
+                    Ok(view) => monitor.adopt_sketch(view),
+                    Err(e) => eprintln!("sharded merge failed at shutdown: {e}"),
+                }
+            }
             (monitor, alarms, ingested, ckpt_stats.written, restored)
         })
     };
@@ -420,6 +567,7 @@ mod tests {
             half_open_timeout: None,
             telemetry: None,
             checkpoint: None,
+            ingest_shards: None,
         }
     }
 
@@ -570,5 +718,90 @@ mod tests {
         let report = run_pipeline(vec![driver.into_segments()], config(100));
         let top = report.monitor.top_k(1);
         assert_eq!(top.entries[0].group, 0x0a00_0004);
+    }
+
+    #[test]
+    fn sharded_mode_detects_flood_and_matches_direct_sketch() {
+        let mut driver = TrafficDriver::new(21);
+        driver.legitimate_sessions(DestAddr(0x0a000001), 100);
+        driver.syn_flood(DestAddr(0x0a000002), 1_000);
+        let feed = driver.into_segments();
+        let direct = run_pipeline(vec![feed.clone()], config(300));
+        let mut cfg = config(300);
+        cfg.ingest_shards = Some(3);
+        let sharded = run_pipeline(vec![feed], cfg);
+        assert!(sharded.alarmed_destinations().contains(&0x0a00_0002));
+        assert!(!sharded.alarmed_destinations().contains(&0x0a00_0001));
+        assert_eq!(sharded.updates_ingested, direct.updates_ingested);
+        // The adopted final sketch answers identically to the
+        // single-threaded monitor's over the same update stream.
+        assert_eq!(
+            sharded.monitor.sketch().updates_processed(),
+            direct.monitor.sketch().updates_processed()
+        );
+        assert_eq!(sharded.monitor.top_k(10), direct.monitor.top_k(10));
+        // Same judgments at the same boundaries.
+        assert_eq!(sharded.alarms, direct.alarms);
+    }
+
+    #[test]
+    fn sharded_checkpoint_roundtrips_across_runs() {
+        let path = std::env::temp_dir().join(format!(
+            "dcs_pipeline_sharded_ckpt_{}.ckpt",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut cfg = config(300);
+        cfg.ingest_shards = Some(2);
+        cfg.checkpoint = Some(CheckpointSidecar {
+            path: path.clone(),
+            every: 250,
+        });
+        let mut driver = TrafficDriver::new(31);
+        driver.syn_flood(DestAddr(0x0a00000b), 600);
+        let first = run_pipeline(vec![driver.into_segments()], cfg.clone());
+        assert!(!first.restored_from_checkpoint);
+        assert!(first.checkpoints_written >= 2);
+        let first_count = first.monitor.sketch().updates_processed();
+
+        let mut driver = TrafficDriver::new(32).with_source_base(0x4000_0000);
+        driver.syn_flood(DestAddr(0x0a00000b), 100);
+        let second = run_pipeline(vec![driver.into_segments()], cfg);
+        assert!(second.restored_from_checkpoint);
+        assert_eq!(
+            second.monitor.sketch().updates_processed(),
+            first_count + second.updates_ingested
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_mode_writes_engine_telemetry() {
+        let path = std::env::temp_dir().join(format!(
+            "dcs_pipeline_sharded_telemetry_{}.jsonl",
+            std::process::id()
+        ));
+        let mut cfg = config(300);
+        cfg.ingest_shards = Some(2);
+        cfg.telemetry = Some(TelemetrySidecar {
+            path: path.clone(),
+            every: 400,
+        });
+        let mut driver = TrafficDriver::new(41);
+        driver.syn_flood(DestAddr(0x0a00000c), 800);
+        let report = run_pipeline(vec![driver.into_segments()], cfg);
+        assert!(report.alarmed_destinations().contains(&0x0a00_000c));
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = contents.lines().collect();
+        assert!(lines.len() >= 2, "expected >= 2 snapshots");
+        for line in &lines {
+            dcs_telemetry::validate_line(line).unwrap();
+        }
+        let last = lines.last().unwrap();
+        assert!(last.contains("\"label\":\"pipeline_final\""));
+        assert!(last.contains("\"sharded_queue_depth\""));
+        assert!(last.contains("\"sharded_merge_p50_ns\""));
+        assert!(last.contains("\"monitor_evaluations\""));
     }
 }

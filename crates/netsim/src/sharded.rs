@@ -2,25 +2,29 @@
 //!
 //! Sketch linearity buys more than multi-router merging: a single
 //! monitor saturating one core can split its update stream across `n`
-//! worker threads, each feeding a private sketch built from the *same
-//! seed*, and merge on query. Any partition works — no key-based
-//! routing needed — because merge equals the union stream exactly.
+//! persistent worker threads, each feeding a private sketch built from
+//! the *same seed*, and merge on query. Any partition works — no
+//! key-based routing needed — because merge equals the union stream
+//! exactly. The workers, their lock-free handoff rings, and the
+//! read-side snapshot machinery live in [`crate::ingest`]; this module
+//! owns the deterministic routing and the checkpoint surface.
 
-use std::thread;
-
-use crossbeam::channel;
-
-use dcs_core::{DistinctCountSketch, FlowUpdate, SketchConfig, SketchError, TrackingDcs};
+use dcs_core::{
+    cast, DistinctCountSketch, FlowUpdate, SketchConfig, SketchError, TrackingDcs, BATCH_CHUNK,
+};
 use dcs_persist::{PersistError, ShardedCheckpoint};
+use dcs_telemetry::TelemetrySnapshot;
+
+use crate::ingest::{ShardReader, WorkerPool};
 
 /// Ingests a stream across `shards` worker threads and returns the
 /// merged tracking sketch.
 ///
-/// Updates are dealt round-robin in batches; each worker owns a
-/// private [`DistinctCountSketch`]; the results merge into one
-/// [`TrackingDcs`]. The answer is *identical* (not just statistically
-/// equivalent) to single-threaded ingestion, because counters are
-/// linear and all shards share hash functions.
+/// Updates are routed to the workers in absolute-position chunks; each
+/// worker owns a private [`DistinctCountSketch`]; the results merge
+/// into one [`TrackingDcs`]. The answer is *identical* (not just
+/// statistically equivalent) to single-threaded ingestion, because
+/// counters are linear and all shards share hash functions.
 ///
 /// # Errors
 ///
@@ -52,82 +56,30 @@ pub fn ingest_sharded(
     config: SketchConfig,
     shards: usize,
 ) -> Result<TrackingDcs, SketchError> {
-    let shard_sketches = run_sharded(updates, shards, |rx| {
-        let mut sketch = DistinctCountSketch::new(config.clone());
-        for batch in rx {
-            sketch.update_batch(&batch);
-        }
-        sketch
-    });
-
-    let mut shards_iter = shard_sketches.into_iter();
-    // `run_sharded` asserts `shards > 0` and returns one sketch per
-    // shard, so the first shard always exists; an empty result would
-    // mean zero shards, where an empty sketch is the right answer.
-    let Some(mut merged) = shards_iter.next() else {
-        return Ok(TrackingDcs::new(config));
-    };
-    for shard in shards_iter {
-        merged.merge_from(&shard)?;
-    }
-    Ok(TrackingDcs::from_sketch(merged))
+    let mut engine = ShardedIngest::new(config, shards);
+    engine.ingest(updates);
+    engine.merged()
 }
 
-/// Fans `updates` out to `shards` scoped worker threads round-robin in
-/// batches and collects each worker's result.
-///
-/// A send can only fail when the receiving worker has already died —
-/// i.e. panicked — so on send failure the feeding loop stops and the
-/// joins below re-raise the worker's own panic payload via
-/// [`std::panic::resume_unwind`]. All workers are joined before
-/// propagating, so no thread outlives the call either way.
-fn run_sharded<T: Send>(
-    updates: &[FlowUpdate],
-    shards: usize,
-    worker: impl Fn(channel::Receiver<Vec<FlowUpdate>>) -> T + Sync,
-) -> Vec<T> {
-    assert!(shards > 0, "need at least one shard");
-    const BATCH: usize = 4096;
-
-    thread::scope(|scope| {
-        let worker = &worker;
-        let mut senders = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            let (tx, rx) = channel::bounded::<Vec<FlowUpdate>>(8);
-            handles.push(scope.spawn(move || worker(rx)));
-            senders.push(tx);
-        }
-        for (i, chunk) in updates.chunks(BATCH).enumerate() {
-            if senders[i % shards].send(chunk.to_vec()).is_err() {
-                // Receiver gone ⇒ that worker panicked. Stop feeding and
-                // fall through to the joins, which surface its payload.
-                break;
-            }
-        }
-        drop(senders);
-
-        let mut results = Vec::with_capacity(shards);
-        let mut panicked = None;
-        for handle in handles {
-            match handle.join() {
-                Ok(result) => results.push(result),
-                Err(payload) => panicked = Some(payload),
-            }
-        }
-        if let Some(payload) = panicked {
-            std::panic::resume_unwind(payload);
-        }
-        results
-    })
-}
-
-/// Updates per routing chunk — the same granularity as
-/// [`ingest_sharded`]'s internal batching, so both produce the same
-/// shard partition for the same stream.
+/// Updates per routing chunk: the update at absolute position `p`
+/// belongs to chunk `p / SHARD_CHUNK`, and chunk `c` goes to shard
+/// `c % shards`.
 const SHARD_CHUNK: u64 = 4096;
 
-/// An incremental, checkpointable version of [`ingest_sharded`].
+/// Updates per handoff slice: the granularity at which routed work is
+/// copied into a worker's ring. Cuts fall on absolute multiples of this
+/// value, and it divides [`SHARD_CHUNK`], so a handoff slice never
+/// straddles a routing boundary — whatever call slicing the producer
+/// sees, each worker receives the same sub-stream in the same order.
+const HANDOFF_CHUNK: u64 = cast::u64_from_usize(BATCH_CHUNK);
+
+// Routing correctness depends on handoff cuts respecting chunk
+// boundaries.
+const _: () = assert!(SHARD_CHUNK.is_multiple_of(HANDOFF_CHUNK));
+
+/// An incremental, checkpointable sharded ingest engine with
+/// persistent per-core workers (see [`crate::ingest`] for the
+/// worker/ring/snapshot machinery).
 ///
 /// Routing is a pure function of *absolute stream position*: the update
 /// at position `p` belongs to chunk `p / 4096`, and chunk `c` goes to
@@ -159,67 +111,79 @@ const SHARD_CHUNK: u64 = 4096;
 #[derive(Debug)]
 pub struct ShardedIngest {
     config: SketchConfig,
-    shards: Vec<DistinctCountSketch>,
+    pool: WorkerPool,
     updates_distributed: u64,
 }
 
 impl ShardedIngest {
-    /// Creates `shards` empty shard sketches sharing `config` (and
-    /// therefore hash functions — required for the final merge).
+    /// Spawns `shards` persistent workers, each with an empty shard
+    /// sketch sharing `config` (and therefore hash functions — required
+    /// for the final merge).
     ///
     /// # Panics
     ///
     /// Panics if `shards` is zero.
     pub fn new(config: SketchConfig, shards: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
+        let seeds = (0..shards)
+            .map(|_| DistinctCountSketch::new(config.clone()))
+            .collect();
         Self {
-            shards: (0..shards)
-                .map(|_| DistinctCountSketch::new(config.clone()))
-                .collect(),
+            pool: WorkerPool::spawn(seeds),
             config,
             updates_distributed: 0,
         }
     }
 
-    /// Distributes `updates` to the shards (in parallel, one scoped
-    /// thread per shard with work this call) and advances the position
-    /// cursor.
+    /// Rebuilds a running sharded ingest from restored shard sketches
+    /// and the position cursor (the internal half of
+    /// [`Self::from_checkpoint`]).
+    fn from_parts(
+        config: SketchConfig,
+        seeds: Vec<DistinctCountSketch>,
+        updates_distributed: u64,
+    ) -> Self {
+        Self {
+            pool: WorkerPool::spawn(seeds),
+            config,
+            updates_distributed,
+        }
+    }
+
+    /// Routes `updates` into the worker rings and advances the position
+    /// cursor. Never blocks on a lock: when a ring is full the producer
+    /// spin-yields until its worker catches up.
+    ///
+    /// The slice is cut at absolute `HANDOFF_CHUNK` boundaries; each
+    /// cut lies within one routing chunk, so a shard sees its sub-stream
+    /// in stream order however the caller chops the overall stream into
+    /// `ingest` calls.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the original panic payload of any worker that died.
+    /// (Conversions here use the audited [`dcs_core::cast`] helpers: an
+    /// impossible conversion panics instead of silently misrouting
+    /// work — these routing decisions must never fall back to shard 0.)
     pub fn ingest(&mut self, updates: &[FlowUpdate]) {
         if updates.is_empty() {
             return;
         }
-        let shard_count = u64::try_from(self.shards.len()).unwrap_or(u64::MAX);
-        // Split the slice at absolute chunk boundaries and hand each
-        // piece to its owner; a shard applies its pieces in stream
-        // order, so its sub-stream is identical however the caller
-        // chops the overall stream into `ingest` calls.
-        let mut assignments: Vec<Vec<&[FlowUpdate]>> = vec![Vec::new(); self.shards.len()];
+        let shard_count = cast::u64_from_usize(self.pool.shard_count());
         let mut pos = self.updates_distributed;
         let mut offset = 0usize;
         while offset < updates.len() {
-            let chunk = pos / SHARD_CHUNK;
-            let owner = usize::try_from(chunk % shard_count).unwrap_or(0);
-            let until_boundary = (chunk + 1) * SHARD_CHUNK - pos;
+            let owner = cast::usize_from_u64((pos / SHARD_CHUNK) % shard_count);
+            // Distance to the next absolute handoff boundary; since
+            // HANDOFF_CHUNK divides SHARD_CHUNK this never crosses into
+            // the next routing chunk.
+            let until_boundary = HANDOFF_CHUNK - pos % HANDOFF_CHUNK;
             let remaining = updates.len() - offset;
-            let take = usize::try_from(until_boundary)
-                .unwrap_or(remaining)
-                .min(remaining);
-            assignments[owner].push(&updates[offset..offset + take]);
+            let take = cast::usize_from_u64(until_boundary).min(remaining);
+            self.pool.dispatch(owner, &updates[offset..offset + take]);
             offset += take;
-            pos += take as u64;
+            pos += cast::u64_from_usize(take);
         }
-        thread::scope(|scope| {
-            for (shard, pieces) in self.shards.iter_mut().zip(assignments) {
-                if pieces.is_empty() {
-                    continue;
-                }
-                scope.spawn(move || {
-                    for piece in pieces {
-                        shard.update_batch(piece);
-                    }
-                });
-            }
-        });
         self.updates_distributed = pos;
     }
 
@@ -230,7 +194,7 @@ impl ShardedIngest {
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.pool.shard_count()
     }
 
     /// The shared sketch configuration.
@@ -238,29 +202,51 @@ impl ShardedIngest {
         &self.config
     }
 
-    /// Captures all shard states and the position cursor as a
-    /// checkpoint document. Valid at *any* stream position — the
-    /// cursor, not chunk alignment, is what routing resumes from.
-    pub fn checkpoint(&self) -> ShardedCheckpoint {
+    /// A cloneable, non-blocking read handle: [`ShardReader::snapshot`]
+    /// merges the workers' latest *published* sketches into a
+    /// consistent view without pausing ingestion. Snapshots lag the
+    /// cursor by at most each worker's unpublished tail; they are never
+    /// torn.
+    pub fn reader(&self) -> ShardReader {
+        self.pool.reader(self.config.clone())
+    }
+
+    /// Drains every ring and captures all shard states and the position
+    /// cursor as a checkpoint document. Valid at *any* stream position —
+    /// the cursor, not chunk alignment, is what routing resumes from.
+    ///
+    /// The captured states are ring-*drained* positions: this waits for
+    /// the workers to apply everything already dispatched, so the
+    /// checkpoint holds no in-flight items and `updates_distributed`
+    /// equals the sum of per-shard counts exactly.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the original panic payload of any worker that died.
+    pub fn checkpoint(&mut self) -> ShardedCheckpoint {
+        self.pool.flush();
         ShardedCheckpoint {
             updates_distributed: self.updates_distributed,
             shards: self
-                .shards
+                .pool
+                .published_parts()
                 .iter()
-                .map(DistinctCountSketch::to_state)
+                .map(|part| part.to_state())
                 .collect(),
         }
     }
 
-    /// Rebuilds a sharded ingest from a checkpoint.
+    /// Rebuilds a sharded ingest (spawning fresh workers) from a
+    /// checkpoint.
     ///
     /// # Errors
     ///
     /// Returns [`PersistError::Incompatible`] when the checkpoint has
-    /// no shards, the shards disagree on configuration, or the cursor
-    /// does not equal the sum of per-shard update counts (every update
-    /// goes to exactly one shard, so the two must match); propagates
-    /// [`PersistError::State`] when a shard state fails validation.
+    /// no shards, the shards disagree on configuration, the per-shard
+    /// update counts overflow `u64` when summed, or the cursor does not
+    /// equal that sum (every update goes to exactly one shard, so the
+    /// two must match); propagates [`PersistError::State`] when a shard
+    /// state fails validation.
     pub fn from_checkpoint(checkpoint: ShardedCheckpoint) -> Result<Self, PersistError> {
         let Some(first) = checkpoint.shards.first() else {
             return Err(PersistError::Incompatible {
@@ -269,7 +255,7 @@ impl ShardedIngest {
         };
         let config = first.config.clone();
         let mut total = 0u64;
-        let mut shards = Vec::with_capacity(checkpoint.shards.len());
+        let mut seeds = Vec::with_capacity(checkpoint.shards.len());
         for (index, state) in checkpoint.shards.into_iter().enumerate() {
             if state.config != config {
                 return Err(PersistError::Incompatible {
@@ -278,8 +264,15 @@ impl ShardedIngest {
                     ),
                 });
             }
-            total = total.saturating_add(state.updates_processed);
-            shards.push(DistinctCountSketch::from_state(state)?);
+            // `checked_add`, not `saturating_add`: a corrupt document
+            // whose counts saturate to u64::MAX could otherwise match a
+            // u64::MAX cursor and pass the consistency check below.
+            total = total.checked_add(state.updates_processed).ok_or_else(|| {
+                PersistError::Incompatible {
+                    reason: format!("per-shard update counts overflow u64 at shard {index}"),
+                }
+            })?;
+            seeds.push(DistinctCountSketch::from_state(state)?);
         }
         if total != checkpoint.updates_distributed {
             return Err(PersistError::Incompatible {
@@ -290,30 +283,60 @@ impl ShardedIngest {
                 ),
             });
         }
-        Ok(Self {
+        Ok(Self::from_parts(
             config,
-            shards,
-            updates_distributed: checkpoint.updates_distributed,
-        })
+            seeds,
+            checkpoint.updates_distributed,
+        ))
     }
 
-    /// Merges the shards into one tracking sketch (the shards are left
-    /// intact, so ingestion can continue afterwards).
+    /// Drains every ring and merges the shards into one tracking sketch
+    /// (the workers keep running, so ingestion can continue afterwards).
     ///
     /// # Errors
     ///
     /// Propagates [`SketchError`] from the merge (unreachable when all
     /// shards share a configuration, which this type guarantees).
-    pub fn merged(&self) -> Result<TrackingDcs, SketchError> {
-        let mut iter = self.shards.iter();
-        let Some(first) = iter.next() else {
-            return Ok(TrackingDcs::new(self.config.clone()));
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the original panic payload of any worker that died.
+    pub fn merged(&mut self) -> Result<TrackingDcs, SketchError> {
+        self.pool.flush();
+        self.pool.merged(&self.config)
+    }
+
+    /// Assembles a telemetry snapshot of the engine without pausing the
+    /// workers: the merged *published* view's sketch gauges plus the
+    /// engine's own — shard count, dispatch/drain cursors, ring depth,
+    /// publish count, and read-side merge latency quantiles.
+    pub fn telemetry_snapshot(&self, label: &str) -> TelemetrySnapshot {
+        let mut snap = match self.reader().snapshot() {
+            Ok(view) => view.sketch.telemetry_snapshot(label),
+            // Unreachable — shards share one configuration — but a
+            // telemetry call must never panic the pipeline.
+            Err(_) => TelemetrySnapshot::new(label),
         };
-        let mut merged = first.clone();
-        for shard in iter {
-            merged.merge_from(shard)?;
-        }
-        Ok(TrackingDcs::from_sketch(merged))
+        snap.set_counter(
+            "sharded_shards",
+            cast::u64_from_usize(self.pool.shard_count()),
+        );
+        snap.set_counter("sharded_updates_distributed", self.updates_distributed);
+        snap.set_counter("sharded_updates_drained", self.pool.drained());
+        snap.set_counter("sharded_queue_depth", self.pool.queued_jobs());
+        snap.set_counter("sharded_publishes", self.pool.publishes());
+        let merges = self.pool.merge_latency();
+        snap.set_counter("sharded_merges", merges.count());
+        snap.set_counter("sharded_merge_p50_ns", merges.quantile_ns(0.5) as u64);
+        snap.set_counter("sharded_merge_p99_ns", merges.quantile_ns(0.99) as u64);
+        snap
+    }
+
+    /// Test hook: make one worker panic, to exercise the dead-worker
+    /// payload propagation path deterministically.
+    #[cfg(test)]
+    fn inject_worker_panic(&mut self, shard: usize, message: &str) {
+        self.pool.inject_panic(shard, message);
     }
 }
 
@@ -476,17 +499,17 @@ mod tests {
 
     #[test]
     fn worker_panic_propagates_original_payload() {
-        // Enough batches that the feeder outlives the dead worker's
-        // bounded channel buffer: the send failure path and the
-        // join-then-resume_unwind path both execute.
-        let updates: Vec<FlowUpdate> = (0..200_000u32)
+        // A panic job parks in shard 0's ring; the flush inside
+        // `merged` must notice the dead worker and re-raise its own
+        // payload rather than hanging or masking it.
+        let updates: Vec<FlowUpdate> = (0..10_000u32)
             .map(|s| FlowUpdate::insert(SourceAddr(s), DestAddr(1)))
             .collect();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_sharded(&updates, 2, |rx| -> usize {
-                let batch = rx.recv().expect("feeder sends at least one batch");
-                panic!("worker exploded after {} updates", batch.len());
-            })
+            let mut ingest = ShardedIngest::new(config(), 2);
+            ingest.inject_worker_panic(0, "worker exploded for the test");
+            ingest.ingest(&updates);
+            let _ = ingest.merged();
         }));
         let payload = result.unwrap_err();
         let message = payload
@@ -496,5 +519,51 @@ mod tests {
             message.contains("worker exploded"),
             "unexpected payload: {message}"
         );
+    }
+
+    #[test]
+    fn reader_snapshot_is_consistent_and_current_after_flush() {
+        let updates: Vec<FlowUpdate> = (0..9_000u32)
+            .map(|s| FlowUpdate::insert(SourceAddr(s), DestAddr(s % 9)))
+            .collect();
+        let mut ingest = ShardedIngest::new(config(), 3);
+        let reader = ingest.reader();
+        // Before any ingest: an empty but valid snapshot.
+        let empty = reader.snapshot().unwrap();
+        assert_eq!(empty.updates_applied, 0);
+        ingest.ingest(&updates);
+        // A snapshot taken mid-flight covers some consistent prefix
+        // per shard...
+        let mid = reader.snapshot().unwrap();
+        assert!(mid.updates_applied <= 9_000);
+        assert_eq!(mid.updates_applied, mid.sketch.updates_processed());
+        mid.sketch.check_tracking_invariants().unwrap();
+        // ...and after a flush (via `merged`) the published view covers
+        // everything dispatched.
+        let merged = ingest.merged().unwrap();
+        let full = reader.snapshot().unwrap();
+        assert_eq!(full.updates_applied, 9_000);
+        assert_eq!(full.shard_updates.iter().sum::<u64>(), 9_000);
+        assert_eq!(full.sketch.to_state(), merged.to_state());
+    }
+
+    #[test]
+    fn telemetry_snapshot_reports_engine_gauges() {
+        let updates: Vec<FlowUpdate> = (0..5_000u32)
+            .map(|s| FlowUpdate::insert(SourceAddr(s), DestAddr(2)))
+            .collect();
+        let mut ingest = ShardedIngest::new(config(), 2);
+        ingest.ingest(&updates);
+        let _ = ingest.merged().unwrap();
+        let snap = ingest.telemetry_snapshot("sharded_engine");
+        assert_eq!(snap.counters.get("sharded_shards"), Some(&2));
+        assert_eq!(
+            snap.counters.get("sharded_updates_distributed"),
+            Some(&5_000)
+        );
+        assert_eq!(snap.counters.get("sharded_updates_drained"), Some(&5_000));
+        assert!(snap.counters.get("sharded_publishes").copied().unwrap_or(0) >= 2);
+        assert!(snap.counters.get("sharded_merges").copied().unwrap_or(0) >= 1);
+        assert!(snap.counters.contains_key("sharded_merge_p50_ns"));
     }
 }

@@ -88,6 +88,13 @@ pub struct EpochCheckpoint {
 
 /// The persistent state of a sharded ingest pipeline: one basic-sketch
 /// state per shard (in shard order) plus the distribution cursor.
+///
+/// Captured only at *ring-drained* positions: the engine flushes every
+/// worker ring before snapshotting, so the per-shard states cover
+/// everything dispatched and the document never records an in-flight
+/// item. Restore re-checks that the shard counts sum exactly to
+/// `updates_distributed` (overflow included), because the cursor is
+/// what absolute-position routing resumes from.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardedCheckpoint {
     /// Total updates distributed across the shards so far — the

@@ -45,6 +45,7 @@ fn main() {
         half_open_timeout: None,
         telemetry: None,
         checkpoint: None,
+        ingest_shards: None,
     };
 
     let report = run_pipeline(feeds, config);

@@ -80,8 +80,10 @@ USAGE:
       Write an attack scenario: background + SYN flood (+ optional flash crowd).
 
   dcsmon topk --input <file> [--k N] [--buckets S] [--seed S] [--by-source]
+              [--shards N]
       Replay a trace into a Tracking Distinct-Count Sketch; print the top-k
-      groups with Poisson error bars.
+      groups with Poisson error bars. With --shards > 1 the replay runs
+      through the lock-free per-core ingest engine (bit-identical result).
 
   dcsmon monitor --input <file> [--threshold N] [--every N] [--buckets S]
       Replay with periodic alarm evaluation; print raised alarms.
@@ -208,10 +210,17 @@ fn cmd_topk(args: &Args) -> Result<(), String> {
         } else {
             GroupBy::Destination
         };
-    let mut sketch = TrackingDcs::new(sketch_config(args, group_by)?);
-    for u in &updates {
-        sketch.update(*u);
-    }
+    let shards = args.number("--shards", 1usize)?;
+    let sketch = if shards > 1 {
+        ddos_streams::netsim::ingest_sharded(&updates, sketch_config(args, group_by)?, shards)
+            .map_err(|e| format!("merging shard partials: {e}"))?
+    } else {
+        let mut sketch = TrackingDcs::new(sketch_config(args, group_by)?);
+        for u in &updates {
+            sketch.update(*u);
+        }
+        sketch
+    };
     let top = sketch.track_top_k(k, 0.25);
     println!(
         "top-{k} {}s by distinct half-open {} (sample {} at level {}):",

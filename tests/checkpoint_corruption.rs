@@ -167,6 +167,32 @@ fn empty_and_tiny_inputs_are_typed_errors() {
     ));
 }
 
+/// Regression: a sharded checkpoint whose per-shard update counts
+/// overflow `u64` when summed must be rejected as `Incompatible`.
+/// Before the `checked_add` fix, the sum saturated to `u64::MAX`, so a
+/// corrupt document pairing saturating counts with a `u64::MAX` cursor
+/// slipped past the cursor-consistency check and restored silently.
+#[test]
+fn sharded_counts_overflowing_u64_are_incompatible() {
+    use ddos_streams::netsim::ShardedIngest;
+    use ddos_streams::persist::ShardedCheckpoint;
+
+    let mut shard = DistinctCountSketch::new(config(7));
+    shard.update(FlowUpdate::new(SourceAddr(1), DestAddr(2), Delta::Insert));
+    let mut forged = shard.to_state();
+    forged.updates_processed = u64::MAX;
+    let checkpoint = ShardedCheckpoint {
+        updates_distributed: u64::MAX,
+        shards: vec![forged.clone(), forged],
+    };
+    match ShardedIngest::from_checkpoint(checkpoint) {
+        Err(PersistError::Incompatible { reason }) => {
+            assert!(reason.contains("overflow"), "wrong reason: {reason}");
+        }
+        other => panic!("overflowing counts must be Incompatible, got {other:?}"),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

@@ -90,6 +90,7 @@ fn pipeline_detects_distributed_attack_single_routers_do_not() {
         half_open_timeout: None,
         telemetry: None,
         checkpoint: None,
+        ingest_shards: None,
     };
     let report = run_pipeline(feeds, config);
     assert!(report.alarmed_destinations().contains(&victim.0));

@@ -1,0 +1,204 @@
+//! Cross-crate contract tests for the lock-free sharded ingest engine:
+//! the merged result is *bit-identical* to single-threaded ingestion
+//! regardless of how callers slice the stream or how many shards run,
+//! and concurrent read-side snapshots are never torn.
+
+use ddos_streams::netsim::{ingest_sharded, ShardedIngest};
+use ddos_streams::{
+    Delta, DestAddr, DistinctCountSketch, FlowKey, FlowUpdate, SketchConfig, SourceAddr,
+    TrackingDcs,
+};
+
+fn config(seed: u64) -> SketchConfig {
+    SketchConfig::builder()
+        .buckets_per_table(256)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+fn key_at(i: u32) -> FlowKey {
+    FlowKey::new(SourceAddr(i), DestAddr(i % 50))
+}
+
+/// A well-formed workload with churn: every seventh position discounts
+/// the flow inserted three positions earlier, so shard-routing mistakes
+/// (reordered or dropped deletes) would change counter state, not just
+/// shuffle identical work. The insert/delete pair always shares a
+/// 4096-update routing chunk (pairs never straddle `r % 4096 < 3`), so
+/// every per-shard sub-stream prefix — and therefore every read-side
+/// snapshot — is itself a well-formed multiset (no delete ever precedes
+/// its insert on any shard).
+fn churn_updates(n: u32) -> Vec<FlowUpdate> {
+    (0..n)
+        .map(|i| {
+            let r = i % 4096;
+            if r % 7 == 6 {
+                FlowUpdate {
+                    key: key_at(i - 3),
+                    delta: Delta::Delete,
+                }
+            } else {
+                FlowUpdate {
+                    key: key_at(i),
+                    delta: Delta::Insert,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Single-threaded reference: one `update_batch` call over the whole
+/// stream, on the plain (non-tracking) sketch.
+fn reference_sketch(updates: &[FlowUpdate], seed: u64) -> DistinctCountSketch {
+    let mut sketch = DistinctCountSketch::new(config(seed));
+    sketch.update_batch(updates);
+    sketch
+}
+
+#[test]
+fn merged_is_bit_identical_across_adversarial_slicings() {
+    let updates = churn_updates(26_000);
+    let reference = reference_sketch(&updates, 9);
+    let num_cpus = std::thread::available_parallelism().map_or(2, usize::from);
+
+    // Slicing patterns chosen to hit every routing edge: empty calls,
+    // 1-element slivers, slices straddling the 4096-update routing
+    // chunk and the 1024-update handoff chunk, and exact boundaries.
+    let slicings: &[&[usize]] = &[
+        &[26_000],                                // one shot
+        &[0, 1, 0, 1, 25_998, 0],                 // empty + sliver edges
+        &[1_000, 3_096, 1, 4_095, 4_096, 13_712], // chunk-aligned + straddling
+        &[5_000, 5_000, 5_000, 5_000, 6_000],     // every slice straddles 4096
+        &[1_023, 1, 1_024, 2_048, 21_904],        // handoff-chunk edges
+    ];
+    for &shards in &[1usize, 3, num_cpus.max(2)] {
+        for slicing in slicings {
+            assert_eq!(slicing.iter().sum::<usize>(), updates.len());
+            let mut engine = ShardedIngest::new(config(9), shards);
+            let mut cursor = 0usize;
+            for &len in *slicing {
+                engine.ingest(&updates[cursor..cursor + len]);
+                cursor += len;
+            }
+            let merged = engine.merged().unwrap();
+            assert_eq!(
+                merged.sketch().to_state(),
+                reference.to_state(),
+                "shards={shards} slicing={slicing:?} diverged from single-threaded"
+            );
+        }
+    }
+}
+
+#[test]
+fn one_element_calls_match_single_threaded() {
+    // Degenerate producer: 5_000 calls of one update each. Exercises the
+    // per-call routing math at every absolute position.
+    let updates = churn_updates(5_000);
+    let reference = reference_sketch(&updates, 4);
+    let mut engine = ShardedIngest::new(config(4), 3);
+    for u in &updates {
+        engine.ingest(std::slice::from_ref(u));
+    }
+    let merged = engine.merged().unwrap();
+    assert_eq!(merged.sketch().to_state(), reference.to_state());
+}
+
+#[test]
+fn helper_matches_engine_for_every_shard_count() {
+    let updates = churn_updates(12_000);
+    let reference = reference_sketch(&updates, 5);
+    for shards in 1..=4usize {
+        let sketch = ingest_sharded(&updates, config(5), shards).unwrap();
+        assert_eq!(
+            sketch.sketch().to_state(),
+            reference.to_state(),
+            "shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_snapshots_are_never_torn() {
+    // Reader threads hammer `ShardReader::snapshot` while the producer
+    // streams updates. Every snapshot must be internally consistent
+    // (published counters match the merged sketch exactly, tracking
+    // invariants hold) and per-reader coverage must be monotone.
+    let updates = churn_updates(60_000);
+    let reference = reference_sketch(&updates, 13);
+    let mut engine = ShardedIngest::new(config(13), 3);
+    let reader = engine.reader();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let reader = reader.clone();
+            let stop = &stop;
+            readers.push(scope.spawn(move || {
+                let mut last_applied = 0u64;
+                let mut snapshots = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let snap = reader.snapshot().unwrap();
+                    assert_eq!(
+                        snap.updates_applied,
+                        snap.sketch.updates_processed(),
+                        "torn snapshot: shard counters disagree with merged sketch"
+                    );
+                    assert_eq!(snap.shard_updates.iter().sum::<u64>(), snap.updates_applied);
+                    snap.sketch.check_tracking_invariants().unwrap();
+                    assert!(
+                        snap.updates_applied >= last_applied,
+                        "snapshot coverage went backwards: {last_applied} -> {}",
+                        snap.updates_applied
+                    );
+                    last_applied = snap.updates_applied;
+                    snapshots += 1;
+                    std::thread::yield_now();
+                }
+                snapshots
+            }));
+        }
+        let mut ingested = 0u64;
+        for (round, chunk) in updates.chunks(512).enumerate() {
+            engine.ingest(chunk);
+            ingested += chunk.len() as u64;
+            // Periodic flushes publish genuinely partial coverage for
+            // the reader threads to observe mid-stream.
+            if round % 16 == 15 {
+                let mid = engine.merged().unwrap();
+                assert_eq!(mid.updates_processed(), ingested);
+            }
+        }
+        let merged = engine.merged().unwrap();
+        assert_eq!(merged.sketch().to_state(), reference.to_state());
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        for handle in readers {
+            assert!(
+                handle.join().unwrap() > 0,
+                "reader thread never snapshotted"
+            );
+        }
+    });
+
+    // After the flush inside `merged`, a fresh snapshot covers the full
+    // stream and equals the single-threaded result bit for bit.
+    let final_snap = reader.snapshot().unwrap();
+    assert_eq!(final_snap.updates_applied, 60_000);
+    assert_eq!(final_snap.sketch.sketch().to_state(), reference.to_state());
+}
+
+#[test]
+fn sharded_matches_incremental_tracking_top_k() {
+    // The tracking layer built from the merged sketch agrees with an
+    // incrementally-maintained TrackingDcs on the query surface.
+    let updates = churn_updates(18_000);
+    let mut tracked = TrackingDcs::new(config(21));
+    tracked.update_batch(&updates);
+    let sharded = ingest_sharded(&updates, config(21), 4).unwrap();
+    assert_eq!(sharded.updates_processed(), tracked.updates_processed());
+    let a = sharded.track_top_k(10, 0.25);
+    let b = tracked.track_top_k(10, 0.25);
+    assert_eq!(a.entries, b.entries);
+}

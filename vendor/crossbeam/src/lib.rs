@@ -2,10 +2,13 @@
 //!
 //! The build environment has no crates.io access, so the workspace
 //! vendors the slice of crossbeam it uses: `channel::bounded` with a
-//! cloneable blocking `Sender` and an iterable `Receiver`. Backed by
+//! cloneable blocking `Sender` and an iterable `Receiver` (backed by
 //! [`std::sync::mpsc::sync_channel`], which has the same blocking
 //! bounded-capacity semantics for the MPSC topology this workspace
-//! relies on.
+//! relies on), and `queue::ArrayQueue`, a bounded lock-free MPMC ring
+//! implementing the Dmitry Vyukov bounded-queue algorithm exactly as
+//! crossbeam 0.8 does (lap-stamped slots), which the sharded ingest
+//! engine uses as an SPSC handoff ring.
 
 pub mod channel {
     use std::sync::mpsc;
@@ -101,9 +104,222 @@ pub mod channel {
     }
 }
 
+pub mod queue {
+    use std::cell::UnsafeCell;
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::{self, AtomicUsize, Ordering};
+
+    /// One ring slot: a lap-stamped value cell.
+    ///
+    /// The stamp encodes which "lap" of the ring last touched the slot:
+    /// `stamp == tail` means the slot is free for the push at position
+    /// `tail`; `stamp == head + 1` means it holds the value for the pop
+    /// at position `head`.
+    struct Slot<T> {
+        stamp: AtomicUsize,
+        value: UnsafeCell<MaybeUninit<T>>,
+    }
+
+    /// A bounded lock-free multi-producer multi-consumer queue
+    /// (crossbeam 0.8's `ArrayQueue`): Vyukov's bounded queue with one
+    /// atomic stamp per slot, no locks, no blocking. `push` fails —
+    /// returning the value — when the ring is full; `pop` returns
+    /// `None` when it is empty.
+    ///
+    /// Positions (`head`, `tail`) pack a slot index in the low bits and
+    /// a lap counter above it (`one_lap` is the lap increment), so ABA
+    /// over full wrap-arounds is resolved by stamp comparison rather
+    /// than power-of-two capacity tricks.
+    pub struct ArrayQueue<T> {
+        head: AtomicUsize,
+        tail: AtomicUsize,
+        buffer: Box<[Slot<T>]>,
+        cap: usize,
+        one_lap: usize,
+    }
+
+    unsafe impl<T: Send> Send for ArrayQueue<T> {}
+    unsafe impl<T: Send> Sync for ArrayQueue<T> {}
+
+    impl<T> std::fmt::Debug for ArrayQueue<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("ArrayQueue")
+                .field("len", &self.len())
+                .field("cap", &self.cap)
+                .finish()
+        }
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// Creates a queue holding at most `cap` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `cap` is zero.
+        pub fn new(cap: usize) -> Self {
+            assert!(cap > 0, "capacity must be non-zero");
+            // One lap is the smallest power of two exceeding `cap`, so
+            // a position's index (low bits) and lap (high bits) never
+            // overlap.
+            let one_lap = (cap + 1).next_power_of_two();
+            let buffer: Box<[Slot<T>]> = (0..cap)
+                .map(|i| Slot {
+                    stamp: AtomicUsize::new(i),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect();
+            Self {
+                head: AtomicUsize::new(0),
+                tail: AtomicUsize::new(0),
+                buffer,
+                cap,
+                one_lap,
+            }
+        }
+
+        fn index(&self, pos: usize) -> usize {
+            pos & (self.one_lap - 1)
+        }
+
+        /// The position one step after `pos`, wrapping index and
+        /// bumping the lap at the end of the buffer.
+        fn next_pos(&self, pos: usize) -> usize {
+            let index = self.index(pos);
+            let lap = pos & !(self.one_lap - 1);
+            if index + 1 < self.cap {
+                pos + 1
+            } else {
+                lap.wrapping_add(self.one_lap)
+            }
+        }
+
+        /// Attempts to enqueue `value`; on a full queue returns it back
+        /// as `Err`.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut tail = self.tail.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.buffer[self.index(tail)];
+                let stamp = slot.stamp.load(Ordering::Acquire);
+                if stamp == tail {
+                    // Slot free for this lap: claim the position.
+                    match self.tail.compare_exchange_weak(
+                        tail,
+                        self.next_pos(tail),
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            unsafe { (*slot.value.get()).write(value) };
+                            slot.stamp.store(tail + 1, Ordering::Release);
+                            return Ok(());
+                        }
+                        Err(current) => tail = current,
+                    }
+                } else if stamp.wrapping_add(self.one_lap) == tail + 1 {
+                    // The slot still holds last lap's value. If head
+                    // hasn't moved either, the queue is genuinely full.
+                    atomic::fence(Ordering::SeqCst);
+                    let head = self.head.load(Ordering::Relaxed);
+                    if head.wrapping_add(self.one_lap) == tail {
+                        return Err(value);
+                    }
+                    tail = self.tail.load(Ordering::Relaxed);
+                } else {
+                    tail = self.tail.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Attempts to dequeue; returns `None` when the queue is empty.
+        pub fn pop(&self) -> Option<T> {
+            let mut head = self.head.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.buffer[self.index(head)];
+                let stamp = slot.stamp.load(Ordering::Acquire);
+                if stamp == head + 1 {
+                    // Slot holds this lap's value: claim the position.
+                    match self.head.compare_exchange_weak(
+                        head,
+                        self.next_pos(head),
+                        Ordering::SeqCst,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            let value = unsafe { (*slot.value.get()).assume_init_read() };
+                            slot.stamp
+                                .store(head.wrapping_add(self.one_lap), Ordering::Release);
+                            return Some(value);
+                        }
+                        Err(current) => head = current,
+                    }
+                } else if stamp == head {
+                    // The slot hasn't been written this lap. If tail
+                    // hasn't moved either, the queue is genuinely empty.
+                    atomic::fence(Ordering::SeqCst);
+                    let tail = self.tail.load(Ordering::Relaxed);
+                    if tail == head {
+                        return None;
+                    }
+                    head = self.head.load(Ordering::Relaxed);
+                } else {
+                    head = self.head.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Maximum number of elements the queue holds.
+        pub fn capacity(&self) -> usize {
+            self.cap
+        }
+
+        /// Current number of enqueued elements (a racy snapshot under
+        /// concurrent use, exact when quiescent).
+        pub fn len(&self) -> usize {
+            loop {
+                let tail = self.tail.load(Ordering::SeqCst);
+                let head = self.head.load(Ordering::SeqCst);
+                // Retry if tail moved while we read head, so the pair
+                // is a consistent snapshot.
+                if self.tail.load(Ordering::SeqCst) == tail {
+                    let hix = self.index(head);
+                    let tix = self.index(tail);
+                    return if hix < tix {
+                        tix - hix
+                    } else if hix > tix {
+                        self.cap - hix + tix
+                    } else if tail == head {
+                        0
+                    } else {
+                        self.cap
+                    };
+                }
+            }
+        }
+
+        /// Whether the queue currently holds no elements.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Whether the queue is at capacity.
+        pub fn is_full(&self) -> bool {
+            self.len() == self.cap
+        }
+    }
+
+    impl<T> Drop for ArrayQueue<T> {
+        fn drop(&mut self) {
+            // Drain remaining values so their destructors run.
+            while self.pop().is_some() {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel;
+    use super::queue::ArrayQueue;
+    use std::sync::Arc;
 
     #[test]
     fn bounded_channel_roundtrips_across_threads() {
@@ -125,5 +341,112 @@ mod tests {
         let (tx, rx) = channel::bounded::<&'static str>(1);
         drop(rx);
         assert_eq!(tx.send("lost"), Err(channel::SendError("lost")));
+    }
+
+    #[test]
+    fn array_queue_fifo_and_capacity() {
+        let q = ArrayQueue::new(3);
+        assert_eq!(q.capacity(), 3);
+        assert!(q.is_empty());
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert!(q.push(3).is_ok());
+        assert!(q.is_full());
+        assert_eq!(q.push(4), Err(4));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(4).is_ok());
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn array_queue_wraps_many_laps() {
+        // Odd capacity exercises the non-power-of-two lap arithmetic.
+        let q = ArrayQueue::new(5);
+        let mut next_in = 0u64;
+        let mut next_out = 0u64;
+        // A standing backlog of 2 keeps head and tail offset while
+        // both sweep through thousands of laps.
+        for _ in 0..2 {
+            q.push(next_in).unwrap();
+            next_in += 1;
+        }
+        for _ in 0..4_000 {
+            for _ in 0..3 {
+                q.push(next_in).unwrap();
+                next_in += 1;
+            }
+            assert_eq!(q.len(), 5);
+            for _ in 0..3 {
+                assert_eq!(q.pop(), Some(next_out));
+                next_out += 1;
+            }
+        }
+        assert_eq!(q.pop(), Some(next_out));
+        assert_eq!(q.pop(), Some(next_out + 1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn array_queue_spsc_across_threads() {
+        let q = Arc::new(ArrayQueue::<u64>::new(8));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..100_000u64 {
+                    let mut v = i;
+                    while let Err(back) = q.push(v) {
+                        v = back;
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut expected = 0u64;
+                while expected < 100_000 {
+                    match q.pop() {
+                        Some(v) => {
+                            assert_eq!(v, expected);
+                            expected += 1;
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+            })
+        };
+        producer.join().unwrap();
+        consumer.join().unwrap();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn array_queue_drop_runs_destructors_of_remaining_items() {
+        struct Tracked(Arc<std::sync::atomic::AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let q = ArrayQueue::new(4);
+        for _ in 0..3 {
+            q.push(Tracked(Arc::clone(&drops))).ok().unwrap();
+        }
+        drop(q.pop());
+        assert_eq!(drops.load(std::sync::atomic::Ordering::SeqCst), 1);
+        drop(q);
+        assert_eq!(drops.load(std::sync::atomic::Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn array_queue_zero_capacity_panics() {
+        let _ = ArrayQueue::<u8>::new(0);
     }
 }
