@@ -60,6 +60,15 @@ pub const HOT_PATH_ROOTS: &[RootSpec] = &[
     // Query path: runs concurrently with ingest, must not block it.
     ("DistinctCountSketch", "estimate_top_k", FORBID_BLOCKING),
     ("TrackingDcs", "track_top_k", FORBID_BLOCKING),
+    // Read-side kernels (DESIGN.md §16): the wide screen/merge passes
+    // walk slabs in place and must stay effect-free end to end.
+    ("LevelState", "merge_from", FORBID_ALL),
+    ("LevelState", "subtract", FORBID_ALL),
+    ("LevelState", "occupancy", FORBID_ALL),
+    // Merge/difference assemble a result sketch (allocation is the
+    // point) but run beside live ingest and must never block it.
+    ("DistinctCountSketch", "merge_many", FORBID_BLOCKING),
+    ("DistinctCountSketch", "difference", FORBID_BLOCKING),
 ];
 
 /// Constructor-shaped names the walk does not traverse *into*: calling

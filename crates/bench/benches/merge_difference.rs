@@ -41,6 +41,14 @@ fn bench_linear_ops(c: &mut Criterion) {
         bencher.iter(|| TrackingDcs::from_sketch(a.clone()))
     });
     group.bench_function("clone_snapshot", |bencher| bencher.iter(|| a.clone()));
+
+    // Four-way shard merge — the read-side aggregation a sharded
+    // ingest snapshot performs per materialization.
+    let parts: Vec<DistinctCountSketch> = (0..4).map(|i| build(1, 30 + i * 10)).collect();
+    let config = parts[0].config().clone();
+    group.bench_function("merge_many_4", |bencher| {
+        bencher.iter(|| DistinctCountSketch::merge_many(&config, &parts).expect("compatible"))
+    });
     group.finish();
 }
 

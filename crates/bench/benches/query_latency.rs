@@ -42,6 +42,16 @@ fn bench_queries(c: &mut Criterion) {
         b.iter(|| tracking.track_threshold(100, 0.25))
     });
     group.finish();
+
+    // Structure-scan reads: raw singleton enumeration across every
+    // level, and the per-level occupancy gauges behind a telemetry
+    // snapshot — the read paths served by the wide screen pass.
+    let mut group = c.benchmark_group("snapshot_scan");
+    group.bench_function("singletons_enum", |b| b.iter(|| basic.singletons()));
+    group.bench_function("occupancy_gauges", |b| {
+        b.iter(|| basic.telemetry_snapshot("bench"))
+    });
+    group.finish();
 }
 
 criterion_group!(benches, bench_queries);

@@ -1,0 +1,151 @@
+//! CI guard for the wide read-side kernels: the wide screen/merge
+//! paths must not be slower than the scalar reference paths they
+//! replace (DESIGN.md §16).
+//!
+//! Measures four read operations — singleton enumeration, per-level
+//! occupancy, merge, and difference — through both the wide production
+//! entry points and their retained scalar twins, on the same
+//! long-lived sketches, reporting the **minimum** of many alternating
+//! repetitions per path. The minimum is the right statistic for a
+//! pass/fail gate on a noisy shared host: it estimates the code's
+//! uncontended cost, and alternating the two paths rep by rep exposes
+//! both to the same allocator and frequency state (see the bench
+//! README for the protocol rationale).
+//!
+//! Exit status 0 when, for every `r` and every operation, the wide
+//! path's best time is within `SLACK` (10%) of the scalar path's best
+//! time; exit 1 otherwise. CI runs this inside the throughput smoke
+//! job; locally it is a quick regression probe:
+//!
+//! ```text
+//! cargo run --release -p dcs-bench --bin read_guard
+//! ```
+
+use std::time::Instant;
+
+use dcs_core::{DistinctCountSketch, SketchConfig};
+use dcs_streamgen::{PaperWorkload, WorkloadConfig};
+
+/// Wide may exceed scalar by at most this factor before the guard
+/// fails.
+const SLACK: f64 = 1.10;
+
+/// Alternating measurement repetitions per path.
+const REPS: usize = 30;
+
+fn build(r: usize, pair_base: u64) -> DistinctCountSketch {
+    let updates = PaperWorkload::generate(WorkloadConfig {
+        distinct_pairs: 20_000,
+        num_destinations: 1_000,
+        skew: 1.0,
+        seed: pair_base,
+    })
+    .into_updates();
+    let config = SketchConfig::builder()
+        .num_tables(r)
+        .seed(1)
+        .build()
+        .expect("valid benchmark config");
+    let mut sketch = DistinctCountSketch::new(config);
+    for update in &updates {
+        sketch.update(*update);
+    }
+    sketch
+}
+
+/// Runs `wide` and `scalar` alternately `REPS` times and reports the
+/// min-time ratio; returns `true` when the wide path regressed past
+/// the slack.
+fn duel(label: &str, r: usize, mut wide: impl FnMut(), mut scalar: impl FnMut()) -> bool {
+    let mut best_wide = f64::MAX;
+    let mut best_scalar = f64::MAX;
+    let mut sum_wide = 0.0;
+    let mut sum_scalar = 0.0;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        wide();
+        let elapsed = start.elapsed().as_secs_f64();
+        best_wide = best_wide.min(elapsed);
+        sum_wide += elapsed;
+
+        let start = Instant::now();
+        scalar();
+        let elapsed = start.elapsed().as_secs_f64();
+        best_scalar = best_scalar.min(elapsed);
+        sum_scalar += elapsed;
+    }
+    let reps_f = REPS as f64;
+    let ratio = best_wide / best_scalar;
+    let verdict = if ratio <= SLACK { "ok" } else { "FAIL" };
+    println!(
+        "r={r} {label}: wide min {:.3} mean {:.3} ms, scalar min {:.3} mean {:.3} ms, min-ratio {ratio:.3} [{verdict}]",
+        best_wide * 1e3,
+        sum_wide / reps_f * 1e3,
+        best_scalar * 1e3,
+        sum_scalar / reps_f * 1e3,
+    );
+    ratio > SLACK
+}
+
+fn main() {
+    let mut failed = false;
+    println!("read_guard: {REPS} alternating reps, slack {SLACK}x");
+    for r in [2usize, 3, 4] {
+        let a = build(r, 10);
+        let b = build(r, 20);
+
+        failed |= duel(
+            "singletons",
+            r,
+            || {
+                std::hint::black_box(a.singletons());
+            },
+            || {
+                std::hint::black_box(a.singletons_reference());
+            },
+        );
+        let levels = a.config().max_levels();
+        failed |= duel(
+            "occupancy",
+            r,
+            || {
+                for level in 0..levels {
+                    std::hint::black_box(a.level_occupancy(level));
+                }
+            },
+            || {
+                for level in 0..levels {
+                    std::hint::black_box(a.level_occupancy_reference(level));
+                }
+            },
+        );
+        failed |= duel(
+            "merge",
+            r,
+            || {
+                let mut m = a.clone();
+                m.merge_from(&b).expect("compatible");
+                std::hint::black_box(m);
+            },
+            || {
+                let mut m = a.clone();
+                m.merge_from_reference(&b).expect("compatible");
+                std::hint::black_box(m);
+            },
+        );
+        failed |= duel(
+            "difference",
+            r,
+            || {
+                std::hint::black_box(a.difference(&b).expect("compatible"));
+            },
+            || {
+                std::hint::black_box(a.difference_reference(&b).expect("compatible"));
+            },
+        );
+    }
+    if failed {
+        eprintln!("read_guard: a wide read path regressed past its scalar reference");
+        std::process::exit(1);
+    }
+}

@@ -193,14 +193,17 @@ impl SketchConfig {
 
     /// Bytes used by one count signature: one total counter plus
     /// [`KEY_BITS`] bit-location counters, plus the two linear screening
-    /// counters (key sum and fingerprint sum), 8 bytes each.
+    /// counters (key sum and fingerprint sum), plus the one-word
+    /// contiguous totals mirror the wide screen pass reads
+    /// (DESIGN.md §16), 8 bytes each.
     pub fn signature_bytes() -> usize {
-        (usize_from_u32(KEY_BITS) + 1 + 2) * std::mem::size_of::<i64>()
+        (usize_from_u32(KEY_BITS) + 1 + 2 + 1) * std::mem::size_of::<i64>()
     }
 
     /// Bytes of counter storage for one fully allocated level:
-    /// `r × s` signatures, held as three contiguous per-level slabs
-    /// (counters, key sums, fingerprint sums) — see DESIGN.md §11.
+    /// `r × s` signatures, held as four contiguous per-level slabs
+    /// (counters, key sums, fingerprint sums, totals mirror) — see
+    /// DESIGN.md §11 and §16.
     pub fn level_bytes(&self) -> usize {
         self.num_tables * self.buckets_per_table * Self::signature_bytes()
     }
@@ -336,8 +339,9 @@ mod tests {
     fn signature_bytes_matches_paper_layout_plus_screen() {
         // The paper's §6.1 counts 65 four-byte counters; we use 8-byte
         // counters (Θ(log n) with n up to 2^63) and add two screening
-        // sums (key sum + fingerprint sum).
-        assert_eq!(SketchConfig::signature_bytes(), 67 * 8);
+        // sums (key sum + fingerprint sum) plus the totals-mirror word
+        // the wide screen pass reads.
+        assert_eq!(SketchConfig::signature_bytes(), 68 * 8);
     }
 
     #[test]
@@ -393,7 +397,7 @@ mod tests {
             .unwrap();
         assert_eq!(small.level_bytes(), 2 * SketchConfig::signature_bytes());
         let paper = SketchConfig::paper_default();
-        assert_eq!(paper.level_bytes(), 3 * 128 * 67 * 8);
+        assert_eq!(paper.level_bytes(), 3 * 128 * 68 * 8);
     }
 
     #[cfg(feature = "serde")]

@@ -138,6 +138,21 @@ pub(crate) fn group_frequencies<'a>(
     freqs
 }
 
+/// Looks up a batch of point-query groups in pre-aggregated sample
+/// frequencies and scales them — the tail of the batched
+/// `estimate_group_frequencies` point query. Groups absent from the
+/// sample estimate to zero, exactly as the one-at-a-time filter did.
+pub(crate) fn frequencies_for_groups(
+    freqs: &DetHashMap<u32, u64>,
+    groups: &[u32],
+    scale: u64,
+) -> Vec<u64> {
+    groups
+        .iter()
+        .map(|group| freqs.get(group).copied().unwrap_or(0) * scale)
+        .collect()
+}
+
 /// Selects the top `k` groups from sample frequencies and scales them —
 /// the tail of `BaseTopk` (Fig. 3, steps 8–9).
 pub(crate) fn top_k_from_frequencies(

@@ -19,6 +19,13 @@
 //!   count for bit `b`.
 //! * `key_sums`, `fp_sums`: parallel `Box<[u64]>` arrays of `r·s` screen
 //!   sums, indexed by the same `slot`.
+//! * `totals`: a derived `Box<[i64]>` mirror of `r·s` bucket totals —
+//!   `totals[slot]` always equals `counts[slot·65]`. It is maintained
+//!   by every write path (per-update apply, merge, subtract), rebuilt
+//!   from the counter slab on restore, and never serialized. Its sole
+//!   purpose is the wide screen pass below: with the totals contiguous,
+//!   the empty-vs-occupied screen streams three small slabs and never
+//!   strides over the 65×-larger counter slab.
 //!
 //! One update touches one 520-byte counter block (8–9 cache lines,
 //! contiguous) plus two single words, reached through a single pointer
@@ -32,12 +39,41 @@
 //! single linear passes over the slabs that LLVM can auto-vectorize;
 //! per-bucket logic borrows blocks as [`SigRef`]/[`SigMut`] views, so
 //! the decode/screen algorithms in `signature.rs` are reused unchanged.
+//!
+//! ## The wide screen pass (DESIGN.md §16)
+//!
+//! Every whole-level read (`collect_singletons`, `occupancy`,
+//! `is_zero`, and the tracking rebuild) goes through
+//! [`for_each_screen_chunk`](LevelState::for_each_screen_chunk): a
+//! fixed-width pass that folds 64 bucket slots at a time into a 64-bit
+//! *occupancy mask* (bit `i` set iff slot `base + i` has a nonzero
+//! total, key sum, or fingerprint sum), then visits only the set bits.
+//! All three inputs — key sums, fingerprint sums, and the `totals`
+//! mirror — are contiguous fixed-width array passes the vectorizer
+//! handles; the pass never touches the counter slab for a bucket it
+//! rejects. The totals **must** participate in the mask: `FlowKey(0,
+//! 0)` packs to `0`, `fingerprint64(0) == 0`, so a bucket holding only
+//! that key has both screen sums zero and is visible *only* through
+//! its total. The
+//! scalar per-bucket loops are retained as `_scalar` twins; they are
+//! bit-identical on well-formed streams (`tests/read_equivalence.rs`).
+//! The only divergence is `occupancy` on *ill-formed* streams (net
+//! deletes without inserts): a bucket whose total and both sums are
+//! zero but whose bit-location counters are not counts as occupied
+//! under the scalar full scan and as empty under the mask — a state no
+//! insert/delete-balanced stream can produce.
 
 use crate::signature::{
-    merge_counter_slab, merge_sum_slab, subtract_counter_slab, subtract_sum_slab, BucketState,
-    SigMut, SigRef, SIGNATURE_LEN,
+    counter_slab_is_zero, merge_counter_slab, merge_counter_slab_scalar, merge_sum_slab,
+    merge_sum_slab_scalar, subtract_counter_slab, subtract_counter_slab_scalar, subtract_sum_slab,
+    subtract_sum_slab_scalar, sum_slab_is_zero, BucketState, SigMut, SigRef, SIGNATURE_LEN,
 };
 use crate::types::{Delta, FlowKey};
+use dcs_hash::cast::usize_from_u32;
+
+/// Bucket slots folded per occupancy-mask chunk of the wide screen
+/// pass — one mask bit per slot, so a `u64` mask fixes this at 64.
+const SCREEN_LANES: usize = 64;
 
 /// Counter storage for one first-level bucket: a flat counter slab plus
 /// parallel screen-sum arrays (see the module docs for the layout).
@@ -58,6 +94,11 @@ pub(crate) struct LevelState {
     key_sums: Box<[u64]>,
     /// `r·s` wrapping fingerprint sums, one per bucket slot.
     fp_sums: Box<[u64]>,
+    /// `r·s` bucket totals — a derived contiguous mirror of
+    /// `counts[slot·65]`, maintained by every write path so the wide
+    /// screen pass never strides over the counter slab (see the module
+    /// docs). Never serialized; rebuilt in [`from_parts`](Self::from_parts).
+    totals: Box<[i64]>,
 }
 
 impl LevelState {
@@ -71,6 +112,7 @@ impl LevelState {
             counts: vec![0i64; slots * SIGNATURE_LEN].into_boxed_slice(),
             key_sums: vec![0u64; slots].into_boxed_slice(),
             fp_sums: vec![0u64; slots].into_boxed_slice(),
+            totals: vec![0i64; slots].into_boxed_slice(),
         }
     }
 
@@ -106,12 +148,16 @@ impl LevelState {
                 slots
             ));
         }
+        // The totals mirror is derived state: rebuild it from the
+        // counter slab rather than trusting (or transporting) a copy.
+        let totals: Box<[i64]> = counts.iter().step_by(SIGNATURE_LEN).copied().collect();
         Ok(Self {
             num_tables,
             buckets_per_table,
             counts: counts.into_boxed_slice(),
             key_sums: key_sums.into_boxed_slice(),
             fp_sums: fp_sums.into_boxed_slice(),
+            totals,
         })
     }
 
@@ -186,7 +232,11 @@ impl LevelState {
         delta: Delta,
         fp: u64,
     ) {
+        let slot = self.slot(table, bucket);
         self.sig_mut(table, bucket).apply_with_fp(key, delta, fp);
+        // Keep the totals mirror current — one store into a word the
+        // update just pulled into cache via the counter block.
+        self.totals[slot] = self.counts[slot * SIGNATURE_LEN];
     }
 
     /// Decodes bucket `bucket` of table `table` exhaustively (all 65
@@ -203,13 +253,104 @@ impl LevelState {
         self.sig_ref(table, bucket).decode_fast()
     }
 
+    /// The occupancy mask of up to [`SCREEN_LANES`] slots starting at
+    /// `base`: bit `i` is set iff slot `base + i` has a nonzero total,
+    /// key sum, or fingerprint sum. The scalar form shared by the wide
+    /// pass's remainder tail and its (unreachable) slice fallback.
+    #[inline]
+    fn screen_mask_scalar(&self, base: usize, lanes: usize) -> u64 {
+        let mut mask = 0u64;
+        for i in 0..lanes {
+            let slot = base + i;
+            let occupied =
+                (self.totals[slot] != 0) | (self.key_sums[slot] != 0) | (self.fp_sums[slot] != 0);
+            mask |= u64::from(occupied) << i;
+        }
+        mask
+    }
+
+    /// The wide screen pass: walks the bucket slots in
+    /// [`SCREEN_LANES`]-wide chunks and hands `f` each chunk's base
+    /// slot and occupancy mask (see the module docs). All three mask
+    /// inputs — the screen-sum slabs and the contiguous `totals`
+    /// mirror — are fixed-width array passes the vectorizer handles;
+    /// the counter slab is never touched for rejected buckets.
+    /// Folding the totals into the mask is mandatory for soundness:
+    /// the packed key `0` is invisible to both screen sums.
+    #[inline]
+    pub(crate) fn for_each_screen_chunk(&self, mut f: impl FnMut(usize, u64)) {
+        let slots = self.key_sums.len();
+        let mut base = 0usize;
+        let mut key_chunks = self.key_sums.chunks_exact(SCREEN_LANES);
+        let mut fp_chunks = self.fp_sums.chunks_exact(SCREEN_LANES);
+        let mut total_chunks = self.totals.chunks_exact(SCREEN_LANES);
+        for ((ks, fs), ts) in key_chunks
+            .by_ref()
+            .zip(fp_chunks.by_ref())
+            .zip(total_chunks.by_ref())
+        {
+            let mask = match (
+                ks.first_chunk::<SCREEN_LANES>(),
+                fs.first_chunk::<SCREEN_LANES>(),
+                ts.first_chunk::<SCREEN_LANES>(),
+            ) {
+                (Some(ks), Some(fs), Some(ts)) => {
+                    let mut mask = 0u64;
+                    for i in 0..SCREEN_LANES {
+                        mask |= u64::from((ks[i] | fs[i]) != 0 || ts[i] != 0) << i;
+                    }
+                    mask
+                }
+                // Unreachable (`chunks_exact` yields exact-length
+                // slices), but a scalar fallback keeps this total
+                // without panicking machinery.
+                _ => self.screen_mask_scalar(base, SCREEN_LANES),
+            };
+            f(base, mask);
+            base += SCREEN_LANES;
+        }
+        if base < slots {
+            f(base, self.screen_mask_scalar(base, slots - base));
+        }
+    }
+
+    /// Visits every bucket currently decoding to a singleton, in slot
+    /// order (table-major — the same order as a nested table/bucket
+    /// loop), with its net count. Only the occupied slots of each
+    /// screen chunk are decoded; empty buckets never touch the
+    /// screened-decode machinery at all.
+    #[inline]
+    pub(crate) fn for_each_singleton(&self, mut f: impl FnMut(FlowKey, i64)) {
+        self.for_each_screen_chunk(|base, mut mask| {
+            while mask != 0 {
+                let slot = base + usize_from_u32(mask.trailing_zeros());
+                mask &= mask - 1;
+                let block = &self.counts[slot * SIGNATURE_LEN..(slot + 1) * SIGNATURE_LEN];
+                let sig = SigRef::new(block, self.key_sums[slot], self.fp_sums[slot]);
+                if let BucketState::Singleton { key, net_count } = sig.decode_fast() {
+                    f(key, net_count);
+                }
+            }
+        });
+    }
+
     /// The paper's `GetdSample(X, b)` (Fig. 4): scans every second-level
     /// bucket, decoding singletons; distinct recovered keys are pushed
-    /// into `out` (deduplicated by the caller's set semantics). Uses the
-    /// screened decode — most buckets in a scan are empty or colliding,
-    /// and both are dispatched in `O(1)`. The ordered set keeps sample
-    /// iteration deterministic (lint L4).
+    /// into `out` (deduplicated by the caller's set semantics). Runs as
+    /// the wide screen pass — empty buckets are rejected chunk-wise
+    /// without per-bucket dispatch; occupied buckets go through the
+    /// `O(1)` screened decode, which rejects collisions. The ordered
+    /// set keeps sample iteration deterministic (lint L4).
     pub(crate) fn collect_singletons(&self, out: &mut std::collections::BTreeSet<FlowKey>) {
+        self.for_each_singleton(|key, _net| {
+            out.insert(key);
+        });
+    }
+
+    /// Scalar reference twin of [`collect_singletons`](Self::collect_singletons):
+    /// the pre-wide-pass per-bucket loop, kept for the equivalence
+    /// suite (`tests/read_equivalence.rs`).
+    pub(crate) fn collect_singletons_scalar(&self, out: &mut std::collections::BTreeSet<FlowKey>) {
         for (block, (&key_sum, &fp_sum)) in self
             .counts
             .chunks_exact(SIGNATURE_LEN)
@@ -222,32 +363,80 @@ impl LevelState {
         }
     }
 
-    /// Adds another level's counters bucket-wise — three linear slab
-    /// passes (counters are linear, so the slabs add element-wise).
+    /// Adds another level's counters bucket-wise — four linear slab
+    /// passes (counters are linear, so the slabs add element-wise,
+    /// and the totals mirror merges like any other slab) through the
+    /// wide fixed-width kernels.
     pub(crate) fn merge_from(&mut self, other: &LevelState) {
         debug_assert_eq!(self.num_tables, other.num_tables);
         debug_assert_eq!(self.buckets_per_table, other.buckets_per_table);
         merge_counter_slab(&mut self.counts, &other.counts);
         merge_sum_slab(&mut self.key_sums, &other.key_sums);
         merge_sum_slab(&mut self.fp_sums, &other.fp_sums);
+        merge_counter_slab(&mut self.totals, &other.totals);
     }
 
-    /// Subtracts another level's counters bucket-wise — three linear
-    /// slab passes.
+    /// Scalar reference twin of [`merge_from`](Self::merge_from).
+    pub(crate) fn merge_from_scalar(&mut self, other: &LevelState) {
+        debug_assert_eq!(self.num_tables, other.num_tables);
+        debug_assert_eq!(self.buckets_per_table, other.buckets_per_table);
+        merge_counter_slab_scalar(&mut self.counts, &other.counts);
+        merge_sum_slab_scalar(&mut self.key_sums, &other.key_sums);
+        merge_sum_slab_scalar(&mut self.fp_sums, &other.fp_sums);
+        merge_counter_slab_scalar(&mut self.totals, &other.totals);
+    }
+
+    /// Subtracts another level's counters bucket-wise — four linear
+    /// slab passes through the wide fixed-width kernels.
     pub(crate) fn subtract(&mut self, other: &LevelState) {
         debug_assert_eq!(self.num_tables, other.num_tables);
         debug_assert_eq!(self.buckets_per_table, other.buckets_per_table);
         subtract_counter_slab(&mut self.counts, &other.counts);
         subtract_sum_slab(&mut self.key_sums, &other.key_sums);
         subtract_sum_slab(&mut self.fp_sums, &other.fp_sums);
+        subtract_counter_slab(&mut self.totals, &other.totals);
+    }
+
+    /// Scalar reference twin of [`subtract`](Self::subtract).
+    pub(crate) fn subtract_scalar(&mut self, other: &LevelState) {
+        debug_assert_eq!(self.num_tables, other.num_tables);
+        debug_assert_eq!(self.buckets_per_table, other.buckets_per_table);
+        subtract_counter_slab_scalar(&mut self.counts, &other.counts);
+        subtract_sum_slab_scalar(&mut self.key_sums, &other.key_sums);
+        subtract_sum_slab_scalar(&mut self.fp_sums, &other.fp_sums);
+        subtract_counter_slab_scalar(&mut self.totals, &other.totals);
     }
 
     /// Telemetry gauges for this level: `(occupied, singletons)` —
     /// buckets with any nonzero counter, and buckets currently decoding
-    /// to a singleton, across all `r` tables. A full scan (`r·s`
-    /// screened decodes, each with an `O(1)` screen fast reject), so it
-    /// belongs on the snapshot path, never the update path.
+    /// to a singleton, across all `r` tables. Occupied is the popcount
+    /// of the wide pass's masks; only occupied buckets are dispatched
+    /// to the screened decode. A full scan, so it belongs on the
+    /// snapshot path, never the update path.
     pub(crate) fn occupancy(&self) -> (u64, u64) {
+        let mut occupied = 0u64;
+        let mut singletons = 0u64;
+        self.for_each_screen_chunk(|base, mask| {
+            occupied += u64::from(mask.count_ones());
+            let mut rest = mask;
+            while rest != 0 {
+                let slot = base + usize_from_u32(rest.trailing_zeros());
+                rest &= rest - 1;
+                let block = &self.counts[slot * SIGNATURE_LEN..(slot + 1) * SIGNATURE_LEN];
+                let sig = SigRef::new(block, self.key_sums[slot], self.fp_sums[slot]);
+                if matches!(sig.decode_fast(), BucketState::Singleton { .. }) {
+                    singletons += 1;
+                }
+            }
+        });
+        (occupied, singletons)
+    }
+
+    /// Scalar reference twin of [`occupancy`](Self::occupancy): the
+    /// pre-wide-pass per-bucket `is_zero` loop. Bit-identical on
+    /// well-formed streams; see the module docs for the one ill-formed
+    /// state where the two definitions of "occupied" diverge.
+    pub(crate) fn occupancy_scalar(&self) -> (u64, u64) {
         let mut occupied = 0u64;
         let mut singletons = 0u64;
         for (block, (&key_sum, &fp_sum)) in self
@@ -267,22 +456,32 @@ impl LevelState {
         (occupied, singletons)
     }
 
-    /// Whether every signature in the level is zero — three linear slab
-    /// scans (the screen-sum arrays first: they are 65× smaller and
-    /// almost always decide the answer).
+    /// Whether every signature in the level is zero — three chunked
+    /// OR-fold scans (the screen-sum arrays first: they are 65× smaller
+    /// and almost always decide the answer). Exact — unlike the
+    /// occupancy mask this checks every counter, so it agrees with
+    /// [`is_zero_scalar`](Self::is_zero_scalar) on all states.
     pub(crate) fn is_zero(&self) -> bool {
+        sum_slab_is_zero(&self.key_sums)
+            && sum_slab_is_zero(&self.fp_sums)
+            && counter_slab_is_zero(&self.counts)
+    }
+
+    /// Scalar reference twin of [`is_zero`](Self::is_zero).
+    pub(crate) fn is_zero_scalar(&self) -> bool {
         self.key_sums.iter().all(|&v| v == 0)
             && self.fp_sums.iter().all(|&v| v == 0)
             && self.counts.iter().all(|&c| c == 0)
     }
 
     /// Heap bytes used by the level's slabs: `r·s·65` counters plus
-    /// `2·r·s` screen-sum words — numerically identical to the former
-    /// per-bucket accounting (`r·s·67·8`).
+    /// `2·r·s` screen-sum words plus the `r·s`-word totals mirror —
+    /// `r·s·68·8` in total.
     pub(crate) fn heap_bytes(&self) -> usize {
         self.counts.len() * std::mem::size_of::<i64>()
             + self.key_sums.len() * std::mem::size_of::<u64>()
             + self.fp_sums.len() * std::mem::size_of::<u64>()
+            + self.totals.len() * std::mem::size_of::<i64>()
     }
 }
 
@@ -385,10 +584,72 @@ mod tests {
 
     #[test]
     fn heap_bytes_counts_all_slab_bytes() {
-        // r·s·65 counters + 2·r·s screen sums = r·s·67 words — the same
-        // total the per-bucket layout reported.
+        // r·s·65 counters + 2·r·s screen sums + r·s totals mirror =
+        // r·s·68 words.
         let level = LevelState::new(2, 3);
-        assert_eq!(level.heap_bytes(), 2 * 3 * 67 * 8);
+        assert_eq!(level.heap_bytes(), 2 * 3 * 68 * 8);
+    }
+
+    /// `totals[slot] == counts[slot·65]` must hold after every write
+    /// path: per-update applies (inserts and deletes), merges,
+    /// subtracts, and the `from_parts` restore.
+    #[test]
+    fn totals_mirror_tracks_counter_slab_through_every_write_path() {
+        let assert_mirror = |level: &LevelState, context: &str| {
+            for (slot, &total) in level.totals.iter().enumerate() {
+                assert_eq!(
+                    total,
+                    level.counts[slot * SIGNATURE_LEN],
+                    "mirror diverged at slot {slot} ({context})"
+                );
+            }
+        };
+
+        let mut a = LevelState::new(2, 5);
+        let mut b = LevelState::new(2, 5);
+        for i in 0..40u32 {
+            a.apply(
+                usize_from_u32(i % 2),
+                usize_from_u32(i % 5),
+                key(i, i),
+                Delta::Insert,
+            );
+            b.apply(
+                usize_from_u32(i % 2),
+                usize_from_u32((i + 1) % 5),
+                key(i, 9),
+                Delta::Insert,
+            );
+        }
+        for i in 0..10u32 {
+            a.apply(
+                usize_from_u32(i % 2),
+                usize_from_u32(i % 5),
+                key(i, i),
+                Delta::Delete,
+            );
+        }
+        assert_mirror(&a, "after applies");
+
+        a.merge_from(&b);
+        assert_mirror(&a, "after wide merge");
+        a.subtract_scalar(&b);
+        assert_mirror(&a, "after scalar subtract");
+        a.merge_from_scalar(&b);
+        assert_mirror(&a, "after scalar merge");
+        a.subtract(&b);
+        assert_mirror(&a, "after wide subtract");
+
+        let restored = LevelState::from_parts(
+            2,
+            5,
+            a.counts.to_vec(),
+            a.key_sums.to_vec(),
+            a.fp_sums.to_vec(),
+        )
+        .unwrap();
+        assert_mirror(&restored, "after from_parts");
+        assert_eq!(restored, a);
     }
 
     #[test]
@@ -417,6 +678,117 @@ mod tests {
                 assert_eq!(level.sig_ref(t, b).is_zero(), owned.is_zero());
             }
         }
+    }
+
+    /// `FlowKey(0, 0)` packs to 0 and `fingerprint64(0) == 0`, so both
+    /// screen sums stay zero no matter how many copies the bucket
+    /// holds — the wide pass must see it through the total alone.
+    #[test]
+    fn key_zero_singleton_survives_the_wide_screen() {
+        let mut level = LevelState::new(2, 8);
+        let zero = key(0, 0);
+        level.apply(0, 3, zero, Delta::Insert);
+        level.apply(0, 3, zero, Delta::Insert);
+        level.apply(1, 5, zero, Delta::Insert);
+
+        let mut wide = BTreeSet::new();
+        level.collect_singletons(&mut wide);
+        let mut scalar = BTreeSet::new();
+        level.collect_singletons_scalar(&mut scalar);
+        assert_eq!(wide, scalar);
+        assert!(wide.contains(&zero));
+
+        assert_eq!(level.occupancy(), level.occupancy_scalar());
+        assert_eq!(level.occupancy(), (2, 2));
+        assert!(!level.is_zero());
+        assert!(!level.is_zero_scalar());
+
+        let mut net_counts = Vec::new();
+        level.for_each_singleton(|k, n| net_counts.push((k, n)));
+        assert_eq!(net_counts, vec![(zero, 2), (zero, 1)]);
+    }
+
+    /// Wide and scalar read paths agree on populated levels across
+    /// slot counts straddling the `SCREEN_LANES` chunk boundary
+    /// (remainder tails of 0, 1, and `SCREEN_LANES - 1` slots).
+    #[test]
+    fn wide_reads_match_scalar_references_across_chunk_boundaries() {
+        for buckets in [31usize, 32, 33, 63, 64, 65] {
+            for tables in [1usize, 2, 3] {
+                let mut level = LevelState::new(tables, buckets);
+                let mut x = 0x51b5_4a32u32;
+                for step in 0..(tables * buckets * 2) {
+                    x = x.wrapping_mul(747_796_405).wrapping_add(2_891_336_453);
+                    let t = step % tables;
+                    let b = usize_from_u32(x % u32::try_from(buckets).unwrap());
+                    let k = key(x, x.rotate_left(13));
+                    level.apply(t, b, k, Delta::Insert);
+                    // Revisit some buckets to manufacture collisions
+                    // and, via delete, re-emptied buckets.
+                    if step % 5 == 0 {
+                        level.apply(t, b, key(x ^ 1, x), Delta::Insert);
+                    }
+                    if step % 7 == 0 {
+                        level.apply(t, b, k, Delta::Delete);
+                    }
+                }
+                let mut wide = BTreeSet::new();
+                level.collect_singletons(&mut wide);
+                let mut scalar = BTreeSet::new();
+                level.collect_singletons_scalar(&mut scalar);
+                assert_eq!(wide, scalar, "tables {tables} buckets {buckets}");
+                assert_eq!(
+                    level.occupancy(),
+                    level.occupancy_scalar(),
+                    "tables {tables} buckets {buckets}"
+                );
+                assert_eq!(level.is_zero(), level.is_zero_scalar());
+            }
+        }
+    }
+
+    /// Emptied levels look zero through both the chunked and scalar
+    /// scans, and occupied ones don't.
+    #[test]
+    fn is_zero_agrees_with_scalar_after_inserts_and_deletes() {
+        let mut level = LevelState::new(2, 64);
+        assert!(level.is_zero() && level.is_zero_scalar());
+        level.apply(1, 63, key(9, 9), Delta::Insert);
+        assert!(!level.is_zero() && !level.is_zero_scalar());
+        level.apply(1, 63, key(9, 9), Delta::Delete);
+        assert!(level.is_zero() && level.is_zero_scalar());
+    }
+
+    /// Wide merge/subtract land on exactly the scalar twins' states.
+    #[test]
+    fn wide_merge_and_subtract_match_scalar_twins() {
+        let mut a = LevelState::new(3, 43);
+        let mut b = LevelState::new(3, 43);
+        let mut x = 0x9e37u32;
+        for step in 0..400 {
+            x = x.wrapping_mul(747_796_405).wrapping_add(2_891_336_453);
+            let level = if step % 2 == 0 { &mut a } else { &mut b };
+            level.apply(
+                usize_from_u32(x % 3),
+                usize_from_u32(x.rotate_left(7) % 43),
+                key(x, !x),
+                if step % 9 == 0 {
+                    Delta::Delete
+                } else {
+                    Delta::Insert
+                },
+            );
+        }
+        let mut wide = a.clone();
+        wide.merge_from(&b);
+        let mut scalar = a.clone();
+        scalar.merge_from_scalar(&b);
+        assert_eq!(wide, scalar);
+
+        wide.subtract(&b);
+        scalar.subtract_scalar(&b);
+        assert_eq!(wide, scalar);
+        assert_eq!(wide, a);
     }
 
     #[cfg(feature = "serde")]

@@ -490,43 +490,168 @@ fn apply_bit_counters(counters: &mut [i64; BIT_COUNTERS], packed: u64, sign_word
     }
 }
 
-/// Adds `src` into `dst` element-wise with wrapping arithmetic — the
-/// linear-pass half of level merging over whole counter slabs.
-#[inline]
-pub(crate) fn merge_counter_slab(dst: &mut [i64], src: &[i64]) {
-    debug_assert_eq!(dst.len(), src.len());
-    for (a, b) in dst.iter_mut().zip(src) {
-        *a = a.wrapping_add(*b);
-    }
+/// Lanes per fixed-width slab chunk in the wide merge/subtract and
+/// is-zero kernels below. Matches a full cache line of `i64`s eight
+/// times over and, like [`apply_bit_counters`], gives the vectorizer a
+/// fixed-trip-count body over a known-length array.
+pub(crate) const SLAB_LANES: usize = 64;
+
+/// Slabs shorter than this run the scalar twin of each wide kernel.
+///
+/// Measured cutoff in the PR 6 auto-select mould (DESIGN.md §16 has
+/// the numbers): on dense slabs the two forms are within a few percent
+/// at every length (LLVM already auto-vectorizes the fused scalar
+/// loop), so the wide kernel's win is entirely the zero-chunk skip —
+/// measured 2.4–4.3× on slabs ≥ 4 chunks with 7/8 zero chunks, but a
+/// 5–11% loss under ~4 chunks where the per-chunk zero-probe
+/// bookkeeping cannot amortize. The screen-sum slab of a
+/// `r = 2, s = 128` level sits exactly at this boundary;
+/// `tests/read_equivalence.rs` pins bit-identity on both sides of it.
+pub const SLAB_WIDE_MIN: usize = 256;
+
+/// Generates one wide/scalar pair of element-wise slab kernels.
+///
+/// The wide form walks the slabs in [`SLAB_LANES`]-wide fixed-width
+/// chunks (array-typed bodies via `first_chunk`, with a non-panicking
+/// slice fallback exactly like [`SigMut::apply_with_fp`]) and skips
+/// chunks whose source is entirely zero — wrapping add/sub of zero is
+/// the identity, so the skip is bit-invisible, and on the sparse high
+/// levels of a merge it avoids touching the destination line at all.
+/// Slabs under [`SLAB_WIDE_MIN`] dispatch to the scalar twin, which is
+/// also retained as the reference path for `tests/read_equivalence.rs`.
+macro_rules! slab_kernels {
+    ($(#[$meta:meta])* $wide:ident, $scalar:ident, $ty:ty, $op:ident) => {
+        $(#[$meta])*
+        #[inline]
+        pub(crate) fn $wide(dst: &mut [$ty], src: &[$ty]) {
+            debug_assert_eq!(dst.len(), src.len());
+            if dst.len() < SLAB_WIDE_MIN {
+                return $scalar(dst, src);
+            }
+            let mut dst_chunks = dst.chunks_exact_mut(SLAB_LANES);
+            let mut src_chunks = src.chunks_exact(SLAB_LANES);
+            for (d, s) in dst_chunks.by_ref().zip(src_chunks.by_ref()) {
+                match (d.first_chunk_mut::<SLAB_LANES>(), s.first_chunk::<SLAB_LANES>()) {
+                    (Some(d), Some(s)) => {
+                        let mut any: $ty = 0;
+                        for v in s {
+                            any |= *v;
+                        }
+                        if any == 0 {
+                            continue;
+                        }
+                        for j in 0..SLAB_LANES {
+                            d[j] = d[j].$op(s[j]);
+                        }
+                    }
+                    // Unreachable (`chunks_exact` yields exact-length
+                    // slices), but a slice-loop fallback keeps this
+                    // total without panicking machinery.
+                    _ => {
+                        for (a, b) in d.iter_mut().zip(s) {
+                            *a = a.$op(*b);
+                        }
+                    }
+                }
+            }
+            for (a, b) in dst_chunks.into_remainder().iter_mut().zip(src_chunks.remainder()) {
+                *a = a.$op(*b);
+            }
+        }
+
+        /// Scalar reference twin of the wide kernel above; the two are
+        /// bit-identical on every input.
+        #[inline]
+        pub(crate) fn $scalar(dst: &mut [$ty], src: &[$ty]) {
+            debug_assert_eq!(dst.len(), src.len());
+            for (a, b) in dst.iter_mut().zip(src) {
+                *a = a.$op(*b);
+            }
+        }
+    };
 }
 
-/// Subtracts `src` from `dst` element-wise with wrapping arithmetic.
-#[inline]
-pub(crate) fn subtract_counter_slab(dst: &mut [i64], src: &[i64]) {
-    debug_assert_eq!(dst.len(), src.len());
-    for (a, b) in dst.iter_mut().zip(src) {
-        *a = a.wrapping_sub(*b);
-    }
+slab_kernels!(
+    /// Adds `src` into `dst` element-wise with wrapping arithmetic — the
+    /// linear-pass half of level merging over whole counter slabs.
+    merge_counter_slab,
+    merge_counter_slab_scalar,
+    i64,
+    wrapping_add
+);
+
+slab_kernels!(
+    /// Subtracts `src` from `dst` element-wise with wrapping arithmetic.
+    subtract_counter_slab,
+    subtract_counter_slab_scalar,
+    i64,
+    wrapping_sub
+);
+
+slab_kernels!(
+    /// Adds `src` into `dst` element-wise — the screen-sum arrays merge
+    /// by the same linearity argument as the counters.
+    merge_sum_slab,
+    merge_sum_slab_scalar,
+    u64,
+    wrapping_add
+);
+
+slab_kernels!(
+    /// Subtracts `src` from `dst` element-wise (wrapping).
+    subtract_sum_slab,
+    subtract_sum_slab_scalar,
+    u64,
+    wrapping_sub
+);
+
+/// Generates a chunked all-zero scan over one slab type.
+///
+/// An OR-fold over each [`SLAB_LANES`]-wide chunk with a per-chunk
+/// early exit: a plain `.iter().all(|&v| v == 0)` exits per *element*,
+/// which defeats vectorization, while folding a whole chunk before
+/// testing keeps the inner loop branch-free.
+macro_rules! slab_is_zero {
+    ($(#[$meta:meta])* $name:ident, $ty:ty) => {
+        $(#[$meta])*
+        #[inline]
+        pub(crate) fn $name(slab: &[$ty]) -> bool {
+            let mut chunks = slab.chunks_exact(SLAB_LANES);
+            for chunk in chunks.by_ref() {
+                let mut any: $ty = 0;
+                match chunk.first_chunk::<SLAB_LANES>() {
+                    Some(c) => {
+                        for v in c {
+                            any |= *v;
+                        }
+                    }
+                    // Unreachable, kept total (see `slab_kernels!`).
+                    None => {
+                        for v in chunk {
+                            any |= *v;
+                        }
+                    }
+                }
+                if any != 0 {
+                    return false;
+                }
+            }
+            chunks.remainder().iter().all(|&v| v == 0)
+        }
+    };
 }
 
-/// Adds `src` into `dst` element-wise — the screen-sum arrays merge by
-/// the same linearity argument as the counters.
-#[inline]
-pub(crate) fn merge_sum_slab(dst: &mut [u64], src: &[u64]) {
-    debug_assert_eq!(dst.len(), src.len());
-    for (a, b) in dst.iter_mut().zip(src) {
-        *a = a.wrapping_add(*b);
-    }
-}
+slab_is_zero!(
+    /// Whether every counter in the slab is zero (chunked OR-fold).
+    counter_slab_is_zero,
+    i64
+);
 
-/// Subtracts `src` from `dst` element-wise (wrapping).
-#[inline]
-pub(crate) fn subtract_sum_slab(dst: &mut [u64], src: &[u64]) {
-    debug_assert_eq!(dst.len(), src.len());
-    for (a, b) in dst.iter_mut().zip(src) {
-        *a = a.wrapping_sub(*b);
-    }
-}
+slab_is_zero!(
+    /// Whether every screen sum in the slab is zero (chunked OR-fold).
+    sum_slab_is_zero,
+    u64
+);
 
 /// A second-level hash bucket's counter array (the owned form).
 ///
@@ -1039,5 +1164,131 @@ mod tests {
                 net_count: 2
             }
         );
+    }
+
+    /// Deterministic patterned fill that exercises wrap boundaries,
+    /// sign changes, and long all-zero stretches (the zero-skip path).
+    fn patterned_i64(len: usize, salt: i64) -> Vec<i64> {
+        let mut x = salt;
+        (0..len)
+            .map(|i| {
+                x = x
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                match i % 7 {
+                    0 => 0,
+                    1 => i64::MAX.wrapping_sub(x & 0xff),
+                    2 => i64::MIN.wrapping_add(x & 0xff),
+                    3 if i % 130 < 65 => 0,
+                    _ => x,
+                }
+            })
+            .collect()
+    }
+
+    /// Bit-preserving `i64 → u64` (the test patterns include negative
+    /// values, which the audited widening helper rightly rejects).
+    fn wrapped_u64(v: i64) -> u64 {
+        u64::from_ne_bytes(v.to_ne_bytes())
+    }
+
+    fn patterned_u64(len: usize, salt: i64) -> Vec<u64> {
+        patterned_i64(len, salt)
+            .into_iter()
+            .map(wrapped_u64)
+            .collect()
+    }
+
+    /// Lengths straddling every dispatch boundary of the wide kernels:
+    /// empty, sub-chunk, exact chunks, chunk+remainder, the
+    /// `SLAB_WIDE_MIN` cutoff ±1, and a multi-chunk slab.
+    const KERNEL_LENS: &[usize] = &[
+        0,
+        1,
+        SLAB_LANES - 1,
+        SLAB_LANES,
+        SLAB_LANES + 1,
+        SLAB_WIDE_MIN - 1,
+        SLAB_WIDE_MIN,
+        SLAB_WIDE_MIN + 1,
+        SLAB_WIDE_MIN + SLAB_LANES + 17,
+        1009,
+    ];
+
+    #[test]
+    fn wide_counter_kernels_match_scalar_twins() {
+        for &len in KERNEL_LENS {
+            let src = patterned_i64(len, 0x1e37_79b9_7f4a_7c15);
+            let base = patterned_i64(len, 0x51b5_4a32_d192_ed03);
+            for (wide, scalar) in [
+                (
+                    merge_counter_slab as fn(&mut [i64], &[i64]),
+                    merge_counter_slab_scalar as fn(&mut [i64], &[i64]),
+                ),
+                (subtract_counter_slab, subtract_counter_slab_scalar),
+            ] {
+                let mut a = base.clone();
+                let mut b = base.clone();
+                wide(&mut a, &src);
+                scalar(&mut b, &src);
+                assert_eq!(a, b, "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_sum_kernels_match_scalar_twins() {
+        for &len in KERNEL_LENS {
+            let src = patterned_u64(len, 0x1e37_79b9_7f4a_7c15);
+            let base = patterned_u64(len, 0x51b5_4a32_d192_ed03);
+            for (wide, scalar) in [
+                (
+                    merge_sum_slab as fn(&mut [u64], &[u64]),
+                    merge_sum_slab_scalar as fn(&mut [u64], &[u64]),
+                ),
+                (subtract_sum_slab, subtract_sum_slab_scalar),
+            ] {
+                let mut a = base.clone();
+                let mut b = base.clone();
+                wide(&mut a, &src);
+                scalar(&mut b, &src);
+                assert_eq!(a, b, "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_skip_source_chunks_leave_destination_untouched() {
+        let len = SLAB_WIDE_MIN + SLAB_LANES;
+        let src = vec![0i64; len];
+        let base = patterned_i64(len, 0x2bcd_ef01_2345_6789);
+        let mut merged = base.clone();
+        merge_counter_slab(&mut merged, &src);
+        assert_eq!(merged, base);
+        let mut subtracted = base.clone();
+        subtract_counter_slab(&mut subtracted, &src);
+        assert_eq!(subtracted, base);
+    }
+
+    #[test]
+    fn slab_is_zero_matches_elementwise_scan() {
+        for &len in KERNEL_LENS {
+            let zeros = vec![0i64; len];
+            let unsigned_zeros = vec![0u64; len];
+            assert!(counter_slab_is_zero(&zeros), "len {len}");
+            assert!(sum_slab_is_zero(&unsigned_zeros), "len {len}");
+            // A single nonzero element anywhere must be seen, including
+            // in the remainder tail past the last full chunk.
+            for hot in [0, len / 2, len.saturating_sub(1)] {
+                if len == 0 {
+                    continue;
+                }
+                let mut one = zeros.clone();
+                one[hot] = 1;
+                assert!(!counter_slab_is_zero(&one), "len {len} hot {hot}");
+                let unsigned: Vec<u64> = one.iter().copied().map(wrapped_u64).collect();
+                assert!(!sum_slab_is_zero(&unsigned), "len {len} hot {hot}");
+            }
+        }
     }
 }

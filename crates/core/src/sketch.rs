@@ -2,7 +2,7 @@
 
 use std::collections::BTreeSet;
 
-use dcs_hash::cast::{u64_from_usize, usize_from_u32, usize_from_u64};
+use dcs_hash::cast::{u32_from_usize, u64_from_usize, usize_from_u32, usize_from_u64};
 use dcs_hash::mix::{fingerprint64, fingerprint64_fill};
 use dcs_hash::{GeometricLevelHash, Hash64, MultiplyShiftHash, SeedSequence, TabulationHash};
 
@@ -11,13 +11,14 @@ use dcs_telemetry::{LevelGauges, TelemetrySnapshot};
 use crate::config::{HashFamily, SketchConfig};
 use crate::error::SketchError;
 use crate::estimator::{
-    group_frequencies, threshold_from_frequencies, top_k_from_frequencies, TopKEstimate,
+    frequencies_for_groups, group_frequencies, threshold_from_frequencies, top_k_from_frequencies,
+    TopKEstimate,
 };
 use crate::level::LevelState;
 use crate::signature::BucketState;
 use crate::state::{LevelSlabs, SketchState};
 use crate::telem::{Counter, Telem};
-use crate::types::{Delta, FlowKey, FlowUpdate};
+use crate::types::{Delta, FlowKey, FlowUpdate, GroupBy};
 
 /// Updates per internal batch chunk: bounds the scratch buffers of
 /// [`DistinctCountSketch::update_batch`] (and the tracking equivalent)
@@ -183,6 +184,21 @@ impl DistinctSample {
     /// The scale factor `2^level` that unbiases sample counts.
     pub fn scale(&self) -> u64 {
         1u64 << self.level
+    }
+
+    /// Estimates the distinct-count frequency of one `group` from this
+    /// already-extracted sample — the reusable-handle form of
+    /// [`DistinctCountSketch::estimate_group_frequency`]: extract the
+    /// sample once with [`DistinctCountSketch::distinct_sample`], then
+    /// answer any number of point queries without rescanning the
+    /// sketch.
+    pub fn group_frequency(&self, group_by: GroupBy, group: u32) -> u64 {
+        let count = self
+            .keys
+            .iter()
+            .filter(|k| group_by.group_of(**k) == group)
+            .count();
+        u64_from_usize(count) * self.scale()
     }
 }
 
@@ -656,9 +672,17 @@ impl DistinctCountSketch {
     ///
     /// [`distinct_sample`]: Self::distinct_sample
     fn level_singletons(&self, level: u32) -> Vec<FlowKey> {
+        self.level_singletons_impl(level, true)
+    }
+
+    fn level_singletons_impl(&self, level: u32, wide: bool) -> Vec<FlowKey> {
         let mut keys = BTreeSet::new();
         if let Some(state) = &self.levels[usize_from_u32(level)] {
-            state.collect_singletons(&mut keys);
+            if wide {
+                state.collect_singletons(&mut keys);
+            } else {
+                state.collect_singletons_scalar(&mut keys);
+            }
         }
         // BTreeSet iteration is already ascending, so the collected
         // vector needs no further sort.
@@ -746,6 +770,24 @@ impl DistinctCountSketch {
     /// Returns [`SketchError::IncompatibleMerge`] if the configurations
     /// (including seeds) differ.
     pub fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        self.merge_from_impl(other, true)
+    }
+
+    /// Scalar reference twin of [`merge_from`](Self::merge_from):
+    /// identical except the per-level slab passes run the retained
+    /// scalar kernels. Kept for the equivalence suite
+    /// (`tests/read_equivalence.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::IncompatibleMerge`] exactly as
+    /// [`merge_from`](Self::merge_from) does.
+    #[doc(hidden)]
+    pub fn merge_from_reference(&mut self, other: &Self) -> Result<(), SketchError> {
+        self.merge_from_impl(other, false)
+    }
+
+    fn merge_from_impl(&mut self, other: &Self, wide: bool) -> Result<(), SketchError> {
         if !self.is_compatible(other) {
             return Err(SketchError::IncompatibleMerge {
                 reason: format!("configs differ: {:?} vs {:?}", self.config, other.config),
@@ -753,7 +795,13 @@ impl DistinctCountSketch {
         }
         for (mine, theirs) in self.levels.iter_mut().zip(&other.levels) {
             match (mine.as_mut(), theirs) {
-                (Some(a), Some(b)) => a.merge_from(b),
+                (Some(a), Some(b)) => {
+                    if wide {
+                        a.merge_from(b);
+                    } else {
+                        a.merge_from_scalar(b);
+                    }
+                }
                 (None, Some(b)) => *mine = Some(b.clone()),
                 _ => {}
             }
@@ -834,6 +882,23 @@ impl DistinctCountSketch {
     /// # Ok::<(), dcs_core::SketchError>(())
     /// ```
     pub fn difference(&self, snapshot: &Self) -> Result<Self, SketchError> {
+        self.difference_impl(snapshot, true)
+    }
+
+    /// Scalar reference twin of [`difference`](Self::difference):
+    /// identical except the per-level subtract passes (and the
+    /// all-zero check on snapshot-only levels) run the retained scalar
+    /// paths. Kept for the equivalence suite.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`difference`](Self::difference).
+    #[doc(hidden)]
+    pub fn difference_reference(&self, snapshot: &Self) -> Result<Self, SketchError> {
+        self.difference_impl(snapshot, false)
+    }
+
+    fn difference_impl(&self, snapshot: &Self, wide: bool) -> Result<Self, SketchError> {
         if !self.is_compatible(snapshot) {
             return Err(SketchError::IncompatibleMerge {
                 reason: format!("configs differ: {:?} vs {:?}", self.config, snapshot.config),
@@ -849,15 +914,25 @@ impl DistinctCountSketch {
         let mut diff = self.clone();
         for (mine, theirs) in diff.levels.iter_mut().zip(&snapshot.levels) {
             match (mine.as_mut(), theirs) {
-                (Some(a), Some(b)) => a.subtract(b),
+                (Some(a), Some(b)) => {
+                    if wide {
+                        a.subtract(b);
+                    } else {
+                        a.subtract_scalar(b);
+                    }
+                }
                 (None, Some(b))
                     // Level never touched here but present in the
                     // snapshot: only sound if the snapshot level is
                     // all-zero (anything else would go negative).
-                    if !b.is_zero() => {
+                    if !(if wide { b.is_zero() } else { b.is_zero_scalar() }) => {
                         let mut fresh =
                             LevelState::new(self.config.num_tables(), self.config.buckets_per_table());
-                        fresh.subtract(b);
+                        if wide {
+                            fresh.subtract(b);
+                        } else {
+                            fresh.subtract_scalar(b);
+                        }
                         *mine = Some(fresh);
                     }
                 _ => {}
@@ -873,14 +948,30 @@ impl DistinctCountSketch {
     /// Estimates the distinct-count frequency of a single `group` from
     /// the current distinct sample (a point query over the same sample
     /// the top-k estimate uses).
+    ///
+    /// For several point queries against the same sketch state, use
+    /// [`estimate_group_frequencies`](Self::estimate_group_frequencies)
+    /// (or hold a [`distinct_sample`](Self::distinct_sample) and query
+    /// it via [`DistinctSample::group_frequency`]) — this method
+    /// re-extracts the sample, a full `levels · r · s` scan, on every
+    /// call.
     pub fn estimate_group_frequency(&self, group: u32, epsilon: f64) -> u64 {
+        self.distinct_sample(epsilon)
+            .group_frequency(self.config.group_by(), group)
+    }
+
+    /// Batched point query: estimates the distinct-count frequency of
+    /// every group in `groups` from **one** distinct sample, returning
+    /// the estimates in the same order. One sketch scan plus one
+    /// aggregation pass regardless of `groups.len()`, against one scan
+    /// *per group* for repeated
+    /// [`estimate_group_frequency`](Self::estimate_group_frequency)
+    /// calls; the estimates are identical because both read the same
+    /// sample.
+    pub fn estimate_group_frequencies(&self, groups: &[u32], epsilon: f64) -> Vec<u64> {
         let sample = self.distinct_sample(epsilon);
-        let count = sample
-            .keys
-            .iter()
-            .filter(|k| self.config.group_by().group_of(**k) == group)
-            .count();
-        u64_from_usize(count) * sample.scale()
+        let freqs = group_frequencies(&sample.keys, self.config.group_by());
+        frequencies_for_groups(&freqs, groups, sample.scale())
     }
 
     /// Iterates over every currently-decodable singleton pair with its
@@ -901,6 +992,42 @@ impl DistinctCountSketch {
         out
     }
 
+    /// Scalar reference twin of [`singletons`](Self::singletons): the
+    /// same enumeration through the retained per-bucket scan instead of
+    /// the wide screen pass. Kept for the equivalence suite.
+    #[doc(hidden)]
+    pub fn singletons_reference(&self) -> Vec<(u32, FlowKey)> {
+        let mut out = Vec::new();
+        for level in (0..self.config.max_levels()).rev() {
+            out.extend(
+                self.level_singletons_impl(level, false)
+                    .into_iter()
+                    .map(|k| (level, k)),
+            );
+        }
+        out
+    }
+
+    /// The `(occupied, singletons)` gauges of one first-level bucket
+    /// (`None` when the level was never materialized) — the per-level
+    /// unit under [`telemetry_snapshot`](Self::telemetry_snapshot),
+    /// exposed so the equivalence suite can pin the wide occupancy mask
+    /// against its scalar twin below.
+    #[doc(hidden)]
+    pub fn level_occupancy(&self, level: u32) -> Option<(u64, u64)> {
+        self.levels[usize_from_u32(level)]
+            .as_ref()
+            .map(LevelState::occupancy)
+    }
+
+    /// Scalar reference twin of [`level_occupancy`](Self::level_occupancy).
+    #[doc(hidden)]
+    pub fn level_occupancy_reference(&self, level: u32) -> Option<(u64, u64)> {
+        self.levels[usize_from_u32(level)]
+            .as_ref()
+            .map(LevelState::occupancy_scalar)
+    }
+
     /// Number of currently allocated (touched) first-level buckets.
     pub fn allocated_levels(&self) -> usize {
         self.levels.iter().filter(|l| l.is_some()).count()
@@ -916,7 +1043,6 @@ impl DistinctCountSketch {
     }
 
     /// Read-only view of a level used by tests and the tracking layer.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn level_state(&self, level: usize) -> Option<&LevelState> {
         self.levels[level].as_ref()
     }
@@ -934,9 +1060,9 @@ impl DistinctCountSketch {
         for (index, state) in self.levels.iter().enumerate() {
             let Some(state) = state else { continue };
             levels.push(LevelSlabs {
-                // Bounded by max_levels ≤ 64, so the fallback is
-                // unreachable.
-                level: u32::try_from(index).unwrap_or(u32::MAX),
+                // Bounded by max_levels ≤ 64; the audited cast panics
+                // on a logic error instead of mislabeling the level.
+                level: u32_from_usize(index),
                 counts: state.counts().to_vec(),
                 key_sums: state.key_sums().to_vec(),
                 fp_sums: state.fp_sums().to_vec(),
@@ -1020,7 +1146,7 @@ impl DistinctCountSketch {
             let Some(state) = state else { continue };
             let (occupied, singletons) = state.occupancy();
             let gauges = LevelGauges {
-                level: u32::try_from(index).unwrap_or(u32::MAX),
+                level: u32_from_usize(index),
                 occupied_buckets: occupied,
                 decoded_singletons: singletons,
                 tracked_singletons: 0,

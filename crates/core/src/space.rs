@@ -35,8 +35,9 @@ pub fn brute_force_bytes(u: u64) -> u64 {
 
 /// Predicted counter bytes for a sketch over `u` distinct pairs:
 /// `⌈log₂ u⌉ + 1` non-empty levels (the geometric hash leaves deeper
-/// levels empty with high probability) × `r·s` signatures × 67 counters
-/// (the paper's 65 plus the two singleton-screen sums).
+/// levels empty with high probability) × `r·s` signatures × 68 counters
+/// (the paper's 65 plus the two singleton-screen sums plus the
+/// totals-mirror word of the wide screen pass, DESIGN.md §16).
 ///
 /// This is the formula behind the paper's "23 non-empty first-level
 /// buckets at `U = 8·10⁶` ⇒ ≈2.3 MB" calculation (with 4-byte counters
@@ -66,16 +67,16 @@ mod tests {
     #[test]
     fn predicted_bytes_match_paper_level_count() {
         // §6.1: ≈23 non-empty levels at U = 8·10⁶ (2^23 ≈ 8.4M). With
-        // the paper's r = 3, s = 128 and our 67 counters (65 + the two
-        // screening sums): 23·3·128·67 counters. The paper uses 4-byte
-        // counters (2.3 MB); ours are 8 bytes.
+        // the paper's r = 3, s = 128 and our 68 counters (65 + the two
+        // screening sums + the totals mirror): 23·3·128·68 counters.
+        // The paper uses 4-byte counters (2.3 MB); ours are 8 bytes.
         let config = SketchConfig::paper_default();
         let bytes = predicted_sketch_bytes(&config, 8_000_000);
         let levels = bytes / config.level_bytes() as u64;
         assert_eq!(levels, 23);
-        // 23 × 3 × 128 × 67 × 8 ≈ 4.7 MB (2.3 MB in the paper's 4-byte,
+        // 23 × 3 × 128 × 68 × 8 ≈ 4.8 MB (2.3 MB in the paper's 4-byte,
         // 65-counter accounting).
-        assert_eq!(bytes, 23 * 3 * 128 * 67 * 8);
+        assert_eq!(bytes, 23 * 3 * 128 * 68 * 8);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! decode-before / decode-after transition handler, which covers every
 //! case in the paper's Fig. 6 (and its elided deletion half) uniformly.
 
-use dcs_hash::cast::{u64_from_usize, usize_from_u32};
+use dcs_hash::cast::{u32_from_usize, u64_from_usize, usize_from_u32};
 use dcs_hash::det::DetHashMap;
 use dcs_hash::mix::fingerprint64;
 use dcs_telemetry::{Counter, LevelGauges, TelemetrySnapshot};
@@ -509,7 +509,7 @@ impl TrackingDcs {
             if tracked == 0 && heap_len == 0 {
                 continue;
             }
-            let key = u32::try_from(index).unwrap_or(u32::MAX);
+            let key = u32_from_usize(index);
             let entry = by_level.entry(key).or_insert(LevelGauges {
                 level: key,
                 ..LevelGauges::default()
@@ -537,26 +537,22 @@ impl TrackingDcs {
     /// Rebuilds `singletons`/heaps from the current counter storage.
     /// Anomaly counters reset too — the rebuilt structures are exact by
     /// construction, so prior evidence of drift no longer applies.
+    ///
+    /// Runs each level's singleton enumeration as the wide screen pass
+    /// (`LevelState::for_each_singleton`), which visits singletons in
+    /// slot order — exactly the table-major `(table, bucket)` order the
+    /// former nested loop used, so the rebuilt heap arrangement is
+    /// bit-identical to the pre-wide-pass rebuild.
     fn rebuild_tracking(&mut self) {
         self.untracked_decrements = 0;
         for level in self.levels.iter_mut() {
             level.singletons.clear();
             level.heap = IndexedMaxHeap::new();
         }
-        let num_tables = self.config().num_tables();
-        let buckets = self.config().buckets_per_table();
         for level in 0..usize_from_u32(self.config().max_levels()) {
             let mut found: Vec<FlowKey> = Vec::new();
-            for table in 0..num_tables {
-                for bucket in 0..buckets {
-                    if let Some(key) = self
-                        .sketch
-                        .decode_bucket(level, table, bucket)
-                        .singleton_key()
-                    {
-                        found.push(key);
-                    }
-                }
+            if let Some(state) = self.sketch.level_state(level) {
+                state.for_each_singleton(|key, _net| found.push(key));
             }
             for key in found {
                 self.incr_singleton(level, key);
@@ -582,9 +578,9 @@ impl TrackingDcs {
             singletons.sort_unstable();
             let heap = &level.heap;
             let state = TrackingLevelState {
-                // Bounded by max_levels ≤ 64, so the fallback is
-                // unreachable.
-                level: u32::try_from(index).unwrap_or(u32::MAX),
+                // Bounded by max_levels ≤ 64; the audited cast panics
+                // on a logic error instead of mislabeling the level.
+                level: u32_from_usize(index),
                 singletons,
                 heap_slots: heap.slots().to_vec(),
                 heap_underflows: heap.underflow_count(),

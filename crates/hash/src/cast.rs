@@ -66,6 +66,24 @@ pub fn i32_from_u32(v: u32) -> i32 {
     }
 }
 
+/// Narrows a `usize` to `u32` — the level/index narrowing path in state
+/// capture and telemetry (indices there are bounded by `max_levels ≤
+/// 64`, so a failure is a logic error, never a data condition).
+///
+/// # Panics
+///
+/// Panics if `v` exceeds `u32::MAX`; the former call sites silently
+/// clamped with `unwrap_or(u32::MAX)`, which would mislabel a level in
+/// the captured state instead of surfacing the bug.
+#[inline]
+#[must_use]
+pub fn u32_from_usize(v: usize) -> u32 {
+    match u32::try_from(v) {
+        Ok(v) => v,
+        Err(_) => panic!("index {v} does not fit in u32"),
+    }
+}
+
 /// Reinterprets a non-negative `i64` count as `u64`.
 ///
 /// # Panics
@@ -188,6 +206,14 @@ mod tests {
         assert_eq!(usize_from_u64(42), 42);
         assert_eq!(u64_from_i64(7), 7);
         assert_eq!(i32_from_u32(63), 63);
+        assert_eq!(u32_from_usize(63), 63);
+        assert_eq!(u32_from_usize(usize_from_u32(u32::MAX)), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit in u32")]
+    fn oversized_index_panics() {
+        let _ = u32_from_usize(usize_from_u64(u64::from(u32::MAX) + 1));
     }
 
     #[test]

@@ -284,10 +284,22 @@ impl WorkerPool {
 
     /// Linearly merges the latest published partials into one tracking
     /// sketch (call [`Self::flush`] first for an up-to-the-cursor view).
+    ///
+    /// Partials that have processed no updates are skipped: they hold
+    /// no levels, so merging them only burns per-level clone/merge
+    /// passes. Bit-identical — an untouched partial contributes zero to
+    /// every counter — and it matters for snapshots taken before all
+    /// shards have seen traffic.
     pub(crate) fn merged(&self, config: &SketchConfig) -> Result<TrackingDcs, SketchError> {
         let parts = self.published_parts();
         let started = Instant::now();
-        let merged = DistinctCountSketch::merge_many(config, parts.iter().map(Arc::as_ref))?;
+        let merged = DistinctCountSketch::merge_many(
+            config,
+            parts
+                .iter()
+                .map(Arc::as_ref)
+                .filter(|part| part.updates_processed() > 0),
+        )?;
         self.merge_latency
             .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
         Ok(TrackingDcs::from_sketch(merged))
@@ -432,7 +444,16 @@ impl ShardReader {
             .collect();
         let started = Instant::now();
         let shard_updates: Vec<u64> = parts.iter().map(|part| part.updates_processed()).collect();
-        let merged = DistinctCountSketch::merge_many(&self.config, parts.iter().map(Arc::as_ref))?;
+        // Skip partials that have processed nothing (same reasoning as
+        // `WorkerPool::merged`); `shard_updates` above still reports
+        // every shard, including idle ones.
+        let merged = DistinctCountSketch::merge_many(
+            &self.config,
+            parts
+                .iter()
+                .map(Arc::as_ref)
+                .filter(|part| part.updates_processed() > 0),
+        )?;
         self.merge_latency
             .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
         Ok(ShardedSnapshot {

@@ -80,10 +80,12 @@ USAGE:
       Write an attack scenario: background + SYN flood (+ optional flash crowd).
 
   dcsmon topk --input <file> [--k N] [--buckets S] [--seed S] [--by-source]
-              [--shards N]
+              [--shards N] [--query IP[,IP...]]
       Replay a trace into a Tracking Distinct-Count Sketch; print the top-k
       groups with Poisson error bars. With --shards > 1 the replay runs
       through the lock-free per-core ingest engine (bit-identical result).
+      --query adds point-query estimates for the listed groups, answered
+      from one shared distinct sample (one sketch scan for all of them).
 
   dcsmon monitor --input <file> [--threshold N] [--every N] [--buckets S]
       Replay with periodic alarm evaluation; print raised alarms.
@@ -234,6 +236,27 @@ fn cmd_topk(args: &Args) -> Result<(), String> {
     );
     for (group, estimate, sigma) in top.with_error_bars() {
         println!("  {:<15}  ≈ {estimate} ± {sigma:.0}", Ipv4Addr::from(group));
+    }
+    if let Some(list) = args.value("--query") {
+        let groups: Vec<u32> = list
+            .split(',')
+            .map(|text| {
+                text.trim()
+                    .parse::<Ipv4Addr>()
+                    .map(u32::from)
+                    .map_err(|_| format!("--query: {text:?} is not an IPv4 address"))
+            })
+            .collect::<Result<_, _>>()?;
+        // One batched call: a single distinct-sample scan answers
+        // every listed group, instead of one full sketch scan each.
+        let estimates = sketch.sketch().estimate_group_frequencies(&groups, 0.25);
+        println!(
+            "point queries ({} groups, one shared sample):",
+            groups.len()
+        );
+        for (group, estimate) in groups.iter().zip(&estimates) {
+            println!("  {:<15}  ≈ {estimate}", Ipv4Addr::from(*group));
+        }
     }
     Ok(())
 }
